@@ -1,0 +1,140 @@
+//! Observation 2: cross-checking console-log DBE counts against
+//! nvidia-smi.
+//!
+//! "Unfortunately, the counts do not match exactly. Nvidia-smi output
+//! reports fewer number of DBEs than our console log filtering method. …
+//! Nvidia-smi reports a greater number of double bit errors than single
+//! bit errors for some cards during the same time-period."
+
+use serde::{Deserialize, Serialize};
+use titan_conlog::ConsoleEvent;
+use titan_gpu::{GpuErrorKind, MemoryStructure};
+use titan_nvsmi::GpuSnapshot;
+
+/// The accounting comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbeAccounting {
+    /// DBE events in the console log.
+    pub console_dbe: u64,
+    /// Total aggregate DBEs across the fleet's nvidia-smi snapshots.
+    pub nvsmi_dbe: u64,
+    /// Cards reporting more DBEs than SBEs (the logging inconsistency).
+    pub cards_dbe_exceeds_sbe: usize,
+    /// Console DBE count by structure (the Fig. 3(c) breakdown, which the
+    /// paper trusts over nvidia-smi).
+    pub console_by_structure: Vec<(MemoryStructure, u64)>,
+    /// Device-memory share of console DBEs (paper: 86%).
+    pub device_memory_fraction: f64,
+}
+
+impl DbeAccounting {
+    /// The Observation 2 signature: the snapshot count undershoots the
+    /// console count.
+    pub fn nvsmi_undercounts(&self) -> bool {
+        self.nvsmi_dbe < self.console_dbe
+    }
+}
+
+/// Runs the accounting comparison.
+pub fn dbe_accounting(events: &[ConsoleEvent], snapshots: &[GpuSnapshot]) -> DbeAccounting {
+    let dbe_events: Vec<&ConsoleEvent> = events
+        .iter()
+        .filter(|e| e.kind == GpuErrorKind::DoubleBitError)
+        .collect();
+    let console_dbe = dbe_events.len() as u64;
+
+    let mut by_structure: std::collections::HashMap<MemoryStructure, u64> = Default::default();
+    for e in &dbe_events {
+        if let Some(s) = e.structure {
+            *by_structure.entry(s).or_default() += 1;
+        }
+    }
+    let mut console_by_structure: Vec<(MemoryStructure, u64)> =
+        by_structure.into_iter().collect();
+    console_by_structure.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+
+    let with_structure: u64 = console_by_structure.iter().map(|&(_, c)| c).sum();
+    let dm = console_by_structure
+        .iter()
+        .find(|&&(s, _)| s == MemoryStructure::DeviceMemory)
+        .map_or(0, |&(_, c)| c);
+    let device_memory_fraction = if with_structure == 0 {
+        0.0
+    } else {
+        dm as f64 / with_structure as f64
+    };
+
+    let nvsmi_dbe: u64 = snapshots.iter().map(|s| s.total_dbe()).sum();
+    let cards_dbe_exceeds_sbe = snapshots
+        .iter()
+        .filter(|s| s.total_dbe() > 0 && s.dbe_exceeds_sbe())
+        .count();
+
+    DbeAccounting {
+        console_dbe,
+        nvsmi_dbe,
+        cards_dbe_exceeds_sbe,
+        console_by_structure,
+        device_memory_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_gpu::{CardSerial, GpuCard};
+    use titan_topology::NodeId;
+
+    fn dbe_ev(time: u64, structure: MemoryStructure) -> ConsoleEvent {
+        ConsoleEvent {
+            time,
+            node: NodeId(0),
+            kind: GpuErrorKind::DoubleBitError,
+            structure: Some(structure),
+            page: None,
+            apid: None,
+        }
+    }
+
+    #[test]
+    fn undercount_detected() {
+        let events = vec![
+            dbe_ev(0, MemoryStructure::DeviceMemory),
+            dbe_ev(1, MemoryStructure::DeviceMemory),
+            dbe_ev(2, MemoryStructure::RegisterFile),
+        ];
+        // Snapshot fleet persisted only one DBE.
+        let mut card = GpuCard::new(CardSerial(0));
+        card.apply_dbe(MemoryStructure::DeviceMemory, None, true);
+        card.apply_dbe(MemoryStructure::DeviceMemory, None, false);
+        let snaps = vec![GpuSnapshot::take(NodeId(0), &card, 0)];
+        let acc = dbe_accounting(&events, &snaps);
+        assert_eq!(acc.console_dbe, 3);
+        assert_eq!(acc.nvsmi_dbe, 1);
+        assert!(acc.nvsmi_undercounts());
+        assert!((acc.device_memory_fraction - 2.0 / 3.0).abs() < 1e-12);
+        // That card has DBE(1) > SBE(0).
+        assert_eq!(acc.cards_dbe_exceeds_sbe, 1);
+    }
+
+    #[test]
+    fn structure_breakdown_ordering() {
+        let events = vec![
+            dbe_ev(0, MemoryStructure::DeviceMemory),
+            dbe_ev(1, MemoryStructure::DeviceMemory),
+            dbe_ev(2, MemoryStructure::RegisterFile),
+        ];
+        let acc = dbe_accounting(&events, &[]);
+        assert_eq!(acc.console_by_structure[0].0, MemoryStructure::DeviceMemory);
+        assert_eq!(acc.console_by_structure[0].1, 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let acc = dbe_accounting(&[], &[]);
+        assert_eq!(acc.console_dbe, 0);
+        assert_eq!(acc.nvsmi_dbe, 0);
+        assert!(!acc.nvsmi_undercounts());
+        assert_eq!(acc.device_memory_fraction, 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Fig. 13: the temporal re-occurrence heatmap.
+//!
+//! "The figure shows the fraction of Xid events shown on 'Previous
+//! Failure' axis that will observe an event shown on 'Following Failure'
+//! within a 300 sec window. … The top heatmap includes all event pairs
+//! while the bottom heatmap excludes the pairs of same type of events."
+//!
+//! Co-occurrence is scoped to the same node or the same job (apid): a
+//! following failure on an unrelated node across the machine is not a
+//! child of this event.
+
+use serde::{Deserialize, Serialize};
+use titan_conlog::ConsoleEvent;
+use titan_gpu::GpuErrorKind;
+
+/// The paper's 300-second window.
+pub const WINDOW_SECS: u64 = 300;
+
+/// The kinds plotted on Fig. 13's axes, in display order.
+pub const HEATMAP_KINDS: [GpuErrorKind; 13] = [
+    GpuErrorKind::GraphicsEngineException, // 13
+    GpuErrorKind::OffTheBus,
+    GpuErrorKind::GpuMemoryPageFault,   // 31
+    GpuErrorKind::DriverFirmware,       // 38
+    GpuErrorKind::GpuStoppedProcessing, // 43
+    GpuErrorKind::ContextSwitchFault,   // 44
+    GpuErrorKind::PreemptiveCleanup,    // 45
+    GpuErrorKind::DoubleBitError,       // 48
+    GpuErrorKind::VideoMemoryProgramming, // 57
+    GpuErrorKind::UnstableVideoMemory,  // 58
+    GpuErrorKind::MicrocontrollerHaltOld, // 59
+    GpuErrorKind::MicrocontrollerHaltNew, // 62
+    GpuErrorKind::EccPageRetirement,    // 63
+];
+
+/// A (previous × following) fraction matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Kinds on both axes.
+    pub kinds: Vec<GpuErrorKind>,
+    /// `fraction[i][j]` = P(an event of kinds\[i\] sees kinds\[j\] within
+    /// the window, same node or same job).
+    pub fraction: Vec<Vec<f64>>,
+    /// Events of each previous-kind (the denominators).
+    pub totals: Vec<u64>,
+}
+
+impl Heatmap {
+    /// Fraction for a (previous, following) pair.
+    pub fn get(&self, prev: GpuErrorKind, follow: GpuErrorKind) -> Option<f64> {
+        let i = self.kinds.iter().position(|&k| k == prev)?;
+        let j = self.kinds.iter().position(|&k| k == follow)?;
+        Some(self.fraction[i][j])
+    }
+
+    /// The variant with the diagonal removed (the paper's bottom panel).
+    pub fn without_diagonal(&self) -> Heatmap {
+        let mut h = self.clone();
+        for i in 0..h.kinds.len() {
+            h.fraction[i][i] = 0.0;
+        }
+        h
+    }
+
+    /// Kinds whose row *and* diagonal are ~zero — the "relatively more
+    /// isolated in nature" set (paper: off the bus, XID 38, 48, 63).
+    pub fn isolated_kinds(&self, threshold: f64) -> Vec<GpuErrorKind> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.fraction[i][i] <= threshold)
+            .map(|(_, &k)| k)
+            .collect()
+    }
+}
+
+/// Builds the Fig. 13 heatmap. Events must be time-sorted.
+///
+/// This is the heaviest scan in the pipeline — every event looks ahead
+/// through its 300 s window, and application bursts put thousands of
+/// events inside one window — so parents are processed in parallel
+/// chunks (rayon) with a per-chunk matrix reduced at the end. The
+/// chunking is over *parents only*; every chunk reads the shared event
+/// slice forward past its own boundary, so results are identical to the
+/// sequential scan.
+pub fn cooccurrence_heatmap(events: &[ConsoleEvent]) -> Heatmap {
+    use rayon::prelude::*;
+
+    let kinds = HEATMAP_KINDS.to_vec();
+    let kind_index = |k: GpuErrorKind| kinds.iter().position(|&x| x == k);
+    let n = kinds.len();
+
+    // Index events by kind for the scan.
+    let evs: Vec<(usize, &ConsoleEvent)> = events
+        .iter()
+        .filter_map(|e| kind_index(e.kind).map(|i| (i, e)))
+        .collect();
+
+    let chunk = (evs.len() / (rayon::current_num_threads() * 8)).max(1024);
+    let (followed, totals) = (0..evs.len())
+        .into_par_iter()
+        .chunks(chunk)
+        .map(|positions| {
+            let mut followed = vec![0u64; n * n];
+            let mut totals = vec![0u64; n];
+            let mut seen = vec![false; n];
+            for pos in positions {
+                let (i, prev) = evs[pos];
+                totals[i] += 1;
+                seen.iter_mut().for_each(|s| *s = false);
+                for &(j, follow) in evs[pos + 1..].iter() {
+                    if follow.time.saturating_sub(prev.time) > WINDOW_SECS {
+                        break;
+                    }
+                    if seen[j] {
+                        continue;
+                    }
+                    let related = follow.node == prev.node
+                        || (follow.apid.is_some() && follow.apid == prev.apid);
+                    if related {
+                        seen[j] = true;
+                        followed[i * n + j] += 1;
+                    }
+                }
+            }
+            (followed, totals)
+        })
+        .reduce(
+            || (vec![0u64; n * n], vec![0u64; n]),
+            |(mut fa, mut ta), (fb, tb)| {
+                for (a, b) in fa.iter_mut().zip(&fb) {
+                    *a += b;
+                }
+                for (a, b) in ta.iter_mut().zip(&tb) {
+                    *a += b;
+                }
+                (fa, ta)
+            },
+        );
+
+    let fraction = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    let t = totals[i];
+                    if t == 0 {
+                        0.0
+                    } else {
+                        followed[i * n + j] as f64 / t as f64
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    Heatmap {
+        kinds,
+        fraction,
+        totals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_topology::NodeId;
+    use GpuErrorKind::*;
+
+    fn ev(time: u64, node: u32, kind: GpuErrorKind, apid: Option<u64>) -> ConsoleEvent {
+        ConsoleEvent {
+            time,
+            node: NodeId(node),
+            kind,
+            structure: None,
+            page: None,
+            apid,
+        }
+    }
+
+    #[test]
+    fn dbe_followed_by_cleanup() {
+        // Every DBE followed by XID 45 on the same node within 300 s.
+        let mut events = Vec::new();
+        for k in 0..10u64 {
+            events.push(ev(k * 10_000, 1, DoubleBitError, None));
+            events.push(ev(k * 10_000 + 60, 1, PreemptiveCleanup, None));
+        }
+        let h = cooccurrence_heatmap(&events);
+        assert_eq!(h.get(DoubleBitError, PreemptiveCleanup), Some(1.0));
+        assert_eq!(h.get(DoubleBitError, DoubleBitError), Some(0.0));
+        assert_eq!(h.totals[7], 10); // DBE row
+    }
+
+    #[test]
+    fn window_boundary() {
+        let events = vec![
+            ev(0, 1, DoubleBitError, None),
+            ev(301, 1, PreemptiveCleanup, None), // past 300 s
+        ];
+        let h = cooccurrence_heatmap(&events);
+        assert_eq!(h.get(DoubleBitError, PreemptiveCleanup), Some(0.0));
+        let events = vec![
+            ev(0, 1, DoubleBitError, None),
+            ev(300, 1, PreemptiveCleanup, None), // at the edge: counted
+        ];
+        let h = cooccurrence_heatmap(&events);
+        assert_eq!(h.get(DoubleBitError, PreemptiveCleanup), Some(1.0));
+    }
+
+    #[test]
+    fn unrelated_nodes_do_not_pair() {
+        let events = vec![
+            ev(0, 1, DoubleBitError, None),
+            ev(10, 2, PreemptiveCleanup, None), // other node, no apid
+        ];
+        let h = cooccurrence_heatmap(&events);
+        assert_eq!(h.get(DoubleBitError, PreemptiveCleanup), Some(0.0));
+    }
+
+    #[test]
+    fn same_apid_pairs_across_nodes() {
+        let events = vec![
+            ev(0, 1, GraphicsEngineException, Some(9)),
+            ev(10, 2, GpuStoppedProcessing, Some(9)),
+        ];
+        let h = cooccurrence_heatmap(&events);
+        assert_eq!(h.get(GraphicsEngineException, GpuStoppedProcessing), Some(1.0));
+    }
+
+    #[test]
+    fn diagonal_counts_self_repeats() {
+        let events = vec![
+            ev(0, 1, GpuStoppedProcessing, None),
+            ev(10, 1, GpuStoppedProcessing, None),
+            ev(20, 1, GpuStoppedProcessing, None),
+        ];
+        let h = cooccurrence_heatmap(&events);
+        // First two events see a same-kind follower; the third doesn't.
+        let d = h.get(GpuStoppedProcessing, GpuStoppedProcessing).unwrap();
+        assert!((d - 2.0 / 3.0).abs() < 1e-9);
+        let no_diag = h.without_diagonal();
+        assert_eq!(no_diag.get(GpuStoppedProcessing, GpuStoppedProcessing), Some(0.0));
+    }
+
+    #[test]
+    fn isolated_kinds_detected() {
+        let events = vec![
+            ev(0, 1, DriverFirmware, None),
+            ev(100_000, 2, DriverFirmware, None),
+            ev(0, 3, GpuStoppedProcessing, None),
+            ev(10, 3, GpuStoppedProcessing, None),
+        ];
+        let h = cooccurrence_heatmap(&events);
+        let isolated = h.isolated_kinds(0.0);
+        assert!(isolated.contains(&DriverFirmware));
+        assert!(!isolated.contains(&GpuStoppedProcessing));
+    }
+
+    #[test]
+    fn multiple_followers_counted_once() {
+        // Three XID 45s after one DBE: the fraction is still 1.0, not 3.
+        let events = vec![
+            ev(0, 1, DoubleBitError, None),
+            ev(10, 1, PreemptiveCleanup, None),
+            ev(20, 1, PreemptiveCleanup, None),
+            ev(30, 1, PreemptiveCleanup, None),
+        ];
+        let h = cooccurrence_heatmap(&events);
+        assert_eq!(h.get(DoubleBitError, PreemptiveCleanup), Some(1.0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let h = cooccurrence_heatmap(&[]);
+        assert!(h.totals.iter().all(|&t| t == 0));
+        assert!(h.fraction.iter().flatten().all(|&f| f == 0.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Attribution granularity — §4's collection-method limitation made
+//! quantitative:
+//!
+//! > "the SBE counts can not be collected on a per aprun basis instead
+//! > it is collected on a job basis since the nvidia-smi output is run
+//! > before and after the job script, irrespective of number of apruns
+//! > within the job script."
+//!
+//! Given the aprun log and the per-job SBE deltas, this module reports
+//! how much of the SBE volume is *ambiguous*: attributable to a job that
+//! ran more than one aprun, where no finer attribution is possible.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use titan_conlog::Aprun;
+use titan_nvsmi::JobEccDelta;
+
+/// The ambiguity report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GranularityReport {
+    /// Jobs with at least one attributed SBE.
+    pub jobs_with_sbe: u64,
+    /// Of those, jobs that ran more than one aprun.
+    pub multi_aprun_jobs_with_sbe: u64,
+    /// SBEs attributed to single-aprun jobs (fully attributable).
+    pub attributable_sbe: u64,
+    /// SBEs attributed to multi-aprun jobs (ambiguous below job level).
+    pub ambiguous_sbe: u64,
+    /// Mean apruns per SBE-carrying job.
+    pub mean_apruns_per_sbe_job: f64,
+}
+
+impl GranularityReport {
+    /// Fraction of the SBE volume that cannot be attributed to a single
+    /// aprun.
+    pub fn ambiguous_fraction(&self) -> f64 {
+        let total = self.attributable_sbe + self.ambiguous_sbe;
+        if total == 0 {
+            0.0
+        } else {
+            self.ambiguous_sbe as f64 / total as f64
+        }
+    }
+}
+
+/// Computes the report from the aprun log and job-level SBE deltas.
+pub fn aprun_granularity(apruns: &[Aprun], deltas: &[JobEccDelta]) -> GranularityReport {
+    let mut apruns_per_job: HashMap<u64, u32> = HashMap::new();
+    for a in apruns {
+        *apruns_per_job.entry(a.apid).or_default() += 1;
+    }
+    let mut report = GranularityReport {
+        jobs_with_sbe: 0,
+        multi_aprun_jobs_with_sbe: 0,
+        attributable_sbe: 0,
+        ambiguous_sbe: 0,
+        mean_apruns_per_sbe_job: 0.0,
+    };
+    let mut aprun_sum = 0u64;
+    for d in deltas {
+        let sbe = d.total_sbe();
+        if sbe == 0 {
+            continue;
+        }
+        let n = apruns_per_job.get(&d.apid).copied().unwrap_or(1);
+        report.jobs_with_sbe += 1;
+        aprun_sum += n as u64;
+        if n > 1 {
+            report.multi_aprun_jobs_with_sbe += 1;
+            report.ambiguous_sbe += sbe;
+        } else {
+            report.attributable_sbe += sbe;
+        }
+    }
+    if report.jobs_with_sbe > 0 {
+        report.mean_apruns_per_sbe_job = aprun_sum as f64 / report.jobs_with_sbe as f64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_topology::NodeId;
+
+    fn aprun(apid: u64, index: u32) -> Aprun {
+        Aprun {
+            apid,
+            index,
+            start: index as u64 * 100,
+            end: index as u64 * 100 + 50,
+        }
+    }
+
+    fn delta(apid: u64, sbe: u64) -> JobEccDelta {
+        JobEccDelta {
+            apid,
+            per_node_sbe: vec![(NodeId(0), sbe)],
+            per_structure_sbe: vec![sbe, 0, 0, 0, 0],
+        }
+    }
+
+    #[test]
+    fn splits_attributable_and_ambiguous() {
+        let apruns = vec![
+            aprun(1, 0),
+            aprun(2, 0),
+            aprun(2, 1),
+            aprun(2, 2),
+            aprun(3, 0),
+        ];
+        let deltas = vec![delta(1, 10), delta(2, 5), delta(3, 0)];
+        let r = aprun_granularity(&apruns, &deltas);
+        assert_eq!(r.jobs_with_sbe, 2);
+        assert_eq!(r.multi_aprun_jobs_with_sbe, 1);
+        assert_eq!(r.attributable_sbe, 10);
+        assert_eq!(r.ambiguous_sbe, 5);
+        assert!((r.ambiguous_fraction() - 5.0 / 15.0).abs() < 1e-12);
+        assert!((r.mean_apruns_per_sbe_job - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_aprun_log_defaults_to_single() {
+        // Jobs absent from the aprun log count as single-aprun (the log
+        // stream is lossy in practice).
+        let deltas = vec![delta(9, 3)];
+        let r = aprun_granularity(&[], &deltas);
+        assert_eq!(r.attributable_sbe, 3);
+        assert_eq!(r.ambiguous_sbe, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = aprun_granularity(&[], &[]);
+        assert_eq!(r.jobs_with_sbe, 0);
+        assert_eq!(r.ambiguous_fraction(), 0.0);
+    }
+}

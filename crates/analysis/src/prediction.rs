@@ -1,0 +1,264 @@
+//! Precursor-based failure prediction — Observation 9 operationalized:
+//!
+//! > "Doing correlation analysis between different types of errors help
+//! > us understand which errors are more likely to be followed by
+//! > another type of error … Some of these studies also propose to
+//! > exploit the correlation among failures to alert/trigger events for
+//! > failure prediction."
+//!
+//! The predictor learns the parent→child co-occurrence structure
+//! (Fig. 13) on a training prefix of the console log, then, on the
+//! evaluation suffix, raises an alarm after any event whose learned
+//! probability of being followed by a *crash-class* event within the
+//! horizon exceeds a threshold. Standard precision/recall scoring.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use titan_conlog::ConsoleEvent;
+use titan_gpu::GpuErrorKind;
+
+/// Horizon within which a predicted follow-up failure must land.
+pub const DEFAULT_HORIZON_SECS: u64 = 300;
+
+/// A trained precursor model: P(crash-class follow-up within horizon |
+/// precursor kind).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecursorModel {
+    /// Learned probabilities per precursor kind.
+    pub follow_prob: HashMap<GpuErrorKind, f64>,
+    /// Precursor sample counts (for confidence).
+    pub support: HashMap<GpuErrorKind, u64>,
+    /// Horizon used, seconds.
+    pub horizon: u64,
+}
+
+/// Whether an event terminates work — the target class for prediction.
+fn is_crash_class(kind: GpuErrorKind) -> bool {
+    kind.crashes_application() && kind != GpuErrorKind::EccPageRetirement
+}
+
+/// Trains the model on a time-sorted event slice. For every event, we
+/// look ahead `horizon` seconds for a crash-class event on the same node
+/// or the same job.
+pub fn train(events: &[ConsoleEvent], horizon: u64) -> PrecursorModel {
+    let mut followed: HashMap<GpuErrorKind, u64> = HashMap::new();
+    let mut support: HashMap<GpuErrorKind, u64> = HashMap::new();
+    for (i, prev) in events.iter().enumerate() {
+        *support.entry(prev.kind).or_default() += 1;
+        let mut hit = false;
+        for follow in events[i + 1..].iter() {
+            if follow.time.saturating_sub(prev.time) > horizon {
+                break;
+            }
+            let related =
+                follow.node == prev.node || (follow.apid.is_some() && follow.apid == prev.apid);
+            if related && is_crash_class(follow.kind) {
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            *followed.entry(prev.kind).or_default() += 1;
+        }
+    }
+    let follow_prob = support
+        .iter()
+        .map(|(&k, &n)| {
+            let f = followed.get(&k).copied().unwrap_or(0);
+            (k, f as f64 / n as f64)
+        })
+        .collect();
+    PrecursorModel {
+        follow_prob,
+        support,
+        horizon,
+    }
+}
+
+/// Prediction quality on an evaluation set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionScore {
+    /// Alarms raised.
+    pub alarms: u64,
+    /// Alarms followed by a crash-class event within the horizon.
+    pub true_positives: u64,
+    /// Crash-class events (on alarmed scopes or not).
+    pub crashes: u64,
+    /// Crash-class events preceded by an alarm within the horizon.
+    pub caught: u64,
+    /// true_positives / alarms.
+    pub precision: f64,
+    /// caught / crashes.
+    pub recall: f64,
+}
+
+/// Evaluates the model on a time-sorted event slice: raise an alarm on
+/// every event whose learned follow probability ≥ `threshold`.
+pub fn evaluate(
+    model: &PrecursorModel,
+    events: &[ConsoleEvent],
+    threshold: f64,
+) -> PredictionScore {
+    let horizon = model.horizon;
+    let alarm_on = |k: GpuErrorKind| {
+        model.follow_prob.get(&k).copied().unwrap_or(0.0) >= threshold
+            && model.support.get(&k).copied().unwrap_or(0) >= 5
+    };
+
+    let mut alarms = 0u64;
+    let mut true_positives = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        if !alarm_on(ev.kind) {
+            continue;
+        }
+        alarms += 1;
+        let hit = events[i + 1..]
+            .iter()
+            .take_while(|f| f.time.saturating_sub(ev.time) <= horizon)
+            .any(|f| {
+                (f.node == ev.node || (f.apid.is_some() && f.apid == ev.apid))
+                    && is_crash_class(f.kind)
+            });
+        if hit {
+            true_positives += 1;
+        }
+    }
+
+    let mut crashes = 0u64;
+    let mut caught = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        if !is_crash_class(ev.kind) {
+            continue;
+        }
+        crashes += 1;
+        // Any alarm in the preceding horizon on the same node/job?
+        let preceded = events[..i]
+            .iter()
+            .rev()
+            .take_while(|p| ev.time.saturating_sub(p.time) <= horizon)
+            .any(|p| {
+                alarm_on(p.kind)
+                    && (p.node == ev.node || (p.apid.is_some() && p.apid == ev.apid))
+            });
+        if preceded {
+            caught += 1;
+        }
+    }
+
+    PredictionScore {
+        alarms,
+        true_positives,
+        crashes,
+        caught,
+        precision: if alarms == 0 {
+            0.0
+        } else {
+            true_positives as f64 / alarms as f64
+        },
+        recall: if crashes == 0 {
+            0.0
+        } else {
+            caught as f64 / crashes as f64
+        },
+    }
+}
+
+/// Convenience: split a log at `split_time`, train on the prefix, score
+/// the suffix.
+pub fn train_and_evaluate(
+    events: &[ConsoleEvent],
+    split_time: u64,
+    horizon: u64,
+    threshold: f64,
+) -> (PrecursorModel, PredictionScore) {
+    let split = events.partition_point(|e| e.time < split_time);
+    let model = train(&events[..split], horizon);
+    let score = evaluate(&model, &events[split..], threshold);
+    (model, score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_topology::NodeId;
+    use GpuErrorKind::*;
+
+    fn ev(time: u64, node: u32, kind: GpuErrorKind, apid: Option<u64>) -> ConsoleEvent {
+        ConsoleEvent {
+            time,
+            node: NodeId(node),
+            kind,
+            structure: None,
+            page: None,
+            apid,
+        }
+    }
+
+    /// A synthetic log where XID 13 reliably precedes XID 43 (crash) and
+    /// retirement records precede nothing.
+    fn synthetic(n: u64, offset: u64) -> Vec<ConsoleEvent> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let t = offset + i * 10_000;
+            out.push(ev(t, (i % 100) as u32, GraphicsEngineException, Some(i)));
+            out.push(ev(t + 60, (i % 100) as u32, GpuStoppedProcessing, Some(i)));
+            out.push(ev(t + 5_000, 500 + (i % 50) as u32, EccPageRetirement, None));
+        }
+        out
+    }
+
+    #[test]
+    fn learns_strong_precursor() {
+        let model = train(&synthetic(200, 0), 300);
+        let p13 = model.follow_prob[&GraphicsEngineException];
+        assert!(p13 > 0.95, "{p13}");
+        let p63 = model.follow_prob[&EccPageRetirement];
+        assert!(p63 < 0.05, "{p63}");
+    }
+
+    #[test]
+    fn prediction_scores_high_on_stationary_process() {
+        let events = synthetic(400, 0);
+        let (model, score) = train_and_evaluate(&events, 2_000_000, 300, 0.5);
+        assert!(model.support[&GraphicsEngineException] >= 5);
+        assert!(score.alarms > 0);
+        assert!(score.precision > 0.9, "precision {}", score.precision);
+        // XID 43 events are all caught (their XID 13 precursor alarms);
+        // XID 13 itself is crash-class but has no precursor -> recall is
+        // the caught share among all crash-class events.
+        assert!(score.recall > 0.3, "recall {}", score.recall);
+    }
+
+    #[test]
+    fn threshold_one_disables_alarms() {
+        let events = synthetic(100, 0);
+        let (_, score) = train_and_evaluate(&events, 500_000, 300, 1.1);
+        assert_eq!(score.alarms, 0);
+        assert_eq!(score.precision, 0.0);
+    }
+
+    #[test]
+    fn low_support_kinds_do_not_alarm() {
+        // A kind seen fewer than 5 times in training never alarms even
+        // with probability 1.
+        let mut events = vec![
+            ev(0, 1, DriverFirmware, None),
+            ev(10, 1, GpuStoppedProcessing, None),
+        ];
+        events.extend(synthetic(50, 1_000_000));
+        let model = train(&events[..2], 300);
+        let score = evaluate(&model, &events[2..], 0.5);
+        // DriverFirmware had support 1 -> no alarms from it.
+        assert_eq!(score.alarms, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let model = train(&[], 300);
+        assert!(model.follow_prob.is_empty());
+        let score = evaluate(&model, &[], 0.5);
+        assert_eq!(score.alarms, 0);
+        assert_eq!(score.crashes, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Spatial distributions: the 25 × 8 cabinet grids and per-cage tallies
+//! of Figs. 3, 5, 7 and the three-way filtered view of Fig. 12.
+
+use serde::{Deserialize, Serialize};
+use titan_conlog::ConsoleEvent;
+use titan_gpu::GpuErrorKind;
+use titan_topology::grid::CageTally;
+use titan_topology::CabinetGrid;
+
+use crate::filtering::{dedup_job_level, of_kind};
+
+/// Cabinet grid of event counts for one kind. `distinct_nodes` counts
+/// each node once (the paper's "distinct GPU cards" view — at console-log
+/// granularity a card is identified by its slot).
+pub fn spatial_grid(events: &[ConsoleEvent], kind: GpuErrorKind, distinct_nodes: bool) -> CabinetGrid {
+    let mut grid = CabinetGrid::new();
+    if distinct_nodes {
+        let mut seen = std::collections::HashSet::new();
+        for ev in events.iter().filter(|e| e.kind == kind) {
+            if seen.insert(ev.node) {
+                grid.add_node(ev.node, 1.0);
+            }
+        }
+    } else {
+        for ev in events.iter().filter(|e| e.kind == kind) {
+            grid.add_node(ev.node, 1.0);
+        }
+    }
+    grid
+}
+
+/// Per-cage tally for one kind (Figs. 3(b), 5, 7): total events and
+/// distinct nodes per cage.
+pub fn cage_tally(events: &[ConsoleEvent], kind: GpuErrorKind) -> (CageTally, CageTally) {
+    let mut totals = CageTally::default();
+    let mut distinct = CageTally::default();
+    let mut seen = std::collections::HashSet::new();
+    for ev in events.iter().filter(|e| e.kind == kind) {
+        totals.add_node(ev.node, 1.0);
+        if seen.insert(ev.node) {
+            distinct.add_node(ev.node, 1.0);
+        }
+    }
+    (totals, distinct)
+}
+
+/// The three panels of Fig. 12 for an application XID.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialFiltering {
+    /// Top panel: no filtering — every report on every node.
+    pub unfiltered: CabinetGrid,
+    /// Middle panel: 5 s-filtered — one event per incident.
+    pub filtered: CabinetGrid,
+    /// Bottom panel: only the events *removed* by the filter (the
+    /// children inside the 5 s window).
+    pub children: CabinetGrid,
+}
+
+impl SpatialFiltering {
+    /// Even-column bias of each panel: the paper's observation is that
+    /// the unfiltered and children panels stripe (bias far from 1) while
+    /// the filtered panel does not stripe as strongly.
+    pub fn stripe_biases(&self) -> (f64, f64, f64) {
+        (
+            self.unfiltered.even_column_bias().unwrap_or(1.0),
+            self.filtered.even_column_bias().unwrap_or(1.0),
+            self.children.even_column_bias().unwrap_or(1.0),
+        )
+    }
+}
+
+/// Builds Fig. 12 for `kind` with the paper's 5-second window.
+pub fn spatial_with_filtering(events: &[ConsoleEvent], kind: GpuErrorKind) -> SpatialFiltering {
+    spatial_with_filtering_window(events, kind, 5)
+}
+
+/// [`spatial_with_filtering`] with an explicit window (the ablation bench
+/// sweeps this).
+pub fn spatial_with_filtering_window(
+    events: &[ConsoleEvent],
+    kind: GpuErrorKind,
+    window_secs: u64,
+) -> SpatialFiltering {
+    let only = of_kind(events, kind);
+    let unfiltered = spatial_grid(&only, kind, false);
+    let outcome = dedup_job_level(&only, kind, window_secs);
+    let filtered = spatial_grid(&outcome.parents, kind, false);
+    let children = spatial_grid(&outcome.children, kind, false);
+    SpatialFiltering {
+        unfiltered,
+        filtered,
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_topology::{Location, NodeId};
+
+    fn node_at(row: u8, col: u8, cage: u8) -> NodeId {
+        Location {
+            row,
+            col,
+            cage,
+            blade: 0,
+            node: 0,
+        }
+        .node_id()
+    }
+
+    fn ev(time: u64, node: NodeId, kind: GpuErrorKind) -> ConsoleEvent {
+        ConsoleEvent {
+            time,
+            node,
+            kind,
+            structure: None,
+            page: None,
+            apid: None,
+        }
+    }
+
+    #[test]
+    fn grid_counts_and_distinct() {
+        use GpuErrorKind::DoubleBitError as DBE;
+        let n = node_at(3, 2, 1);
+        let events = vec![ev(0, n, DBE), ev(10_000, n, DBE)];
+        let total = spatial_grid(&events, DBE, false);
+        let distinct = spatial_grid(&events, DBE, true);
+        assert_eq!(total.get(3, 2), 2.0);
+        assert_eq!(distinct.get(3, 2), 1.0);
+    }
+
+    #[test]
+    fn cage_tally_counts() {
+        use GpuErrorKind::OffTheBus as OTB;
+        let top = node_at(0, 0, 2);
+        let bottom = node_at(0, 0, 0);
+        let events = vec![ev(0, top, OTB), ev(1, top, OTB), ev(2, bottom, OTB)];
+        let (totals, distinct) = cage_tally(&events, OTB);
+        assert_eq!(totals.by_cage, [1.0, 0.0, 2.0]);
+        assert_eq!(distinct.by_cage, [1.0, 0.0, 1.0]);
+        assert!(totals.top_heavy());
+    }
+
+    #[test]
+    fn fig12_filtering_splits_stripes() {
+        use GpuErrorKind::GraphicsEngineException as X13;
+        // One incident spread across even columns within 5 s (the job's
+        // striped allocation), then a lone later incident on an odd column.
+        let events = vec![
+            ev(100, node_at(0, 0, 0), X13),
+            ev(101, node_at(0, 2, 0), X13),
+            ev(102, node_at(0, 4, 0), X13),
+            ev(103, node_at(0, 6, 0), X13),
+            ev(1_000, node_at(5, 1, 0), X13),
+        ];
+        let f = spatial_with_filtering(&events, X13);
+        assert_eq!(f.unfiltered.total(), 5.0);
+        assert_eq!(f.filtered.total(), 2.0);
+        assert_eq!(f.children.total(), 3.0);
+        let (un, _fi, ch) = f.stripe_biases();
+        // Unfiltered and children lean even; the filter keeps one event
+        // per incident so its panel is much less striped.
+        assert!(un > 1.5, "unfiltered bias {un}");
+        assert!(ch > 1.9, "children bias {ch}");
+    }
+
+    #[test]
+    fn empty_events_empty_panels() {
+        use GpuErrorKind::GraphicsEngineException as X13;
+        let f = spatial_with_filtering(&[], X13);
+        assert_eq!(f.unfiltered.total(), 0.0);
+        assert_eq!(f.stripe_biases(), (1.0, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Thermal survey from nvidia-smi snapshots.
+//!
+//! The paper derives its temperature claim from the tool, not from
+//! facility sensors: "the GPUs in the uppermost cage are on an average
+//! more than 10 °F hotter than the GPUs in the lowermost cage, as per a
+//! snapshot taken by the nvidia-smi utility." This module reproduces
+//! that derivation: aggregate snapshot temperatures by cage and compare.
+
+use serde::{Deserialize, Serialize};
+use titan_nvsmi::GpuSnapshot;
+
+/// Cage-level temperature summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSurvey {
+    /// Mean GPU temperature per cage, bottom → top, °F.
+    pub mean_by_cage: [f64; 3],
+    /// GPUs sampled per cage.
+    pub count_by_cage: [u64; 3],
+    /// Top-minus-bottom mean difference, °F (the paper's ">10 °F").
+    pub top_bottom_delta_f: f64,
+    /// Hottest single GPU observed, °F.
+    pub max_f: f64,
+    /// Coolest single GPU observed, °F.
+    pub min_f: f64,
+}
+
+/// Aggregates snapshot temperatures by cage.
+pub fn thermal_survey(snapshots: &[GpuSnapshot]) -> ThermalSurvey {
+    let mut sum = [0.0f64; 3];
+    let mut count = [0u64; 3];
+    let mut max_f = f64::NEG_INFINITY;
+    let mut min_f = f64::INFINITY;
+    for s in snapshots {
+        let cage = s.node.location().cage as usize;
+        sum[cage] += s.temperature_f;
+        count[cage] += 1;
+        max_f = max_f.max(s.temperature_f);
+        min_f = min_f.min(s.temperature_f);
+    }
+    let mean = |i: usize| {
+        if count[i] == 0 {
+            f64::NAN
+        } else {
+            sum[i] / count[i] as f64
+        }
+    };
+    let mean_by_cage = [mean(0), mean(1), mean(2)];
+    ThermalSurvey {
+        mean_by_cage,
+        count_by_cage: count,
+        top_bottom_delta_f: mean_by_cage[2] - mean_by_cage[0],
+        max_f,
+        min_f,
+    }
+}
+
+impl ThermalSurvey {
+    /// The paper's claim: top cage more than 10 °F hotter than bottom.
+    pub fn matches_paper(&self) -> bool {
+        self.top_bottom_delta_f > 10.0
+    }
+
+    /// Monotone gradient bottom → top.
+    pub fn monotone(&self) -> bool {
+        self.mean_by_cage[0] < self.mean_by_cage[1]
+            && self.mean_by_cage[1] < self.mean_by_cage[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_gpu::{CardSerial, GpuCard};
+    use titan_topology::{Location, NodeId};
+
+    fn snap(cage: u8, blade: u8) -> GpuSnapshot {
+        let node: NodeId = Location {
+            row: 5,
+            col: 3,
+            cage,
+            blade,
+            node: 1,
+        }
+        .node_id();
+        GpuSnapshot::take(node, &GpuCard::new(CardSerial(node.0)), 0)
+    }
+
+    #[test]
+    fn survey_reproduces_cage_gradient() {
+        let mut snaps = Vec::new();
+        for cage in 0..3u8 {
+            for blade in 0..8u8 {
+                snaps.push(snap(cage, blade));
+            }
+        }
+        let t = thermal_survey(&snaps);
+        assert_eq!(t.count_by_cage, [8, 8, 8]);
+        assert!(t.monotone(), "{:?}", t.mean_by_cage);
+        assert!(t.matches_paper(), "delta {}", t.top_bottom_delta_f);
+        assert!(t.max_f > t.min_f);
+    }
+
+    #[test]
+    fn empty_survey_is_nan() {
+        let t = thermal_survey(&[]);
+        assert!(t.mean_by_cage[0].is_nan());
+        assert!(!t.matches_paper());
+    }
+}

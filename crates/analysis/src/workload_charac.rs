@@ -1,0 +1,195 @@
+//! Fig. 21 / Observation 14: GPU workload characterization.
+//!
+//! Four panels: jobs sorted by GPU core-hours show (a) memory and
+//! (b) node-count profiles; jobs sorted by node count show (c) wall-clock
+//! and (d) memory profiles. The paper's reading: memory-maximal jobs use
+//! below-average core-hours and smaller node counts; long-wall-clock jobs
+//! can be small.
+
+use serde::{Deserialize, Serialize};
+use titan_conlog::JobRecord;
+use titan_stats::spearman;
+
+use crate::correlation::normalize_to_mean;
+
+/// Fig. 21's four panels plus the headline statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadCharacterization {
+    /// (a) sorted by core-hours: normalized max memory.
+    pub by_corehours_maxmem: Vec<f64>,
+    /// (a') sorted by core-hours: normalized total memory.
+    pub by_corehours_totalmem: Vec<f64>,
+    /// (b) sorted by core-hours: normalized node count.
+    pub by_corehours_nodes: Vec<f64>,
+    /// (c) sorted by node count: normalized wall-clock.
+    pub by_nodes_wall: Vec<f64>,
+    /// (d) sorted by node count: normalized max memory.
+    pub by_nodes_maxmem: Vec<f64>,
+    /// Spearman(core-hours, nodes) — expected clearly positive.
+    pub corehours_nodes_spearman: Option<f64>,
+    /// Mean normalized core-hours of the top-decile-by-max-memory jobs —
+    /// expected < 1 (below average).
+    pub memheavy_corehours_ratio: f64,
+    /// Fraction of the top-5%-longest-wall jobs with below-*mean* node
+    /// count — expected > 0.5 ("some jobs with smaller node counts may
+    /// actually be the longest running jobs").
+    pub longest_jobs_small_fraction: f64,
+    /// Mean normalized node count of the top-decile-by-max-memory jobs —
+    /// expected < 1.
+    pub memheavy_nodes_ratio: f64,
+    /// Jobs analyzed.
+    pub n_jobs: usize,
+}
+
+/// Runs the characterization over the job log.
+pub fn workload_characterization(jobs: &[JobRecord]) -> WorkloadCharacterization {
+    let n = jobs.len();
+    let ch: Vec<f64> = jobs.iter().map(|j| j.gpu_core_hours).collect();
+    let nodes: Vec<f64> = jobs.iter().map(|j| j.node_count() as f64).collect();
+    let maxmem: Vec<f64> = jobs.iter().map(|j| j.max_memory_bytes as f64).collect();
+    let totalmem: Vec<f64> = jobs.iter().map(|j| j.total_memory_byte_hours).collect();
+    let wall: Vec<f64> = jobs.iter().map(|j| j.wall_seconds() as f64).collect();
+
+    let order_by = |key: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| key[a].partial_cmp(&key[b]).expect("finite"));
+        idx
+    };
+    let pick = |src: &[f64], order: &[usize]| -> Vec<f64> {
+        normalize_to_mean(&order.iter().map(|&i| src[i]).collect::<Vec<f64>>())
+    };
+
+    let by_ch = order_by(&ch);
+    let by_nd = order_by(&nodes);
+
+    // Top decile by max memory.
+    let by_mem = order_by(&maxmem);
+    let decile = &by_mem[n.saturating_sub(n / 10)..];
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let ch_mean = mean(&ch);
+    let nodes_mean = mean(&nodes);
+    let memheavy_corehours_ratio = if decile.is_empty() || ch_mean == 0.0 {
+        f64::NAN
+    } else {
+        mean(&decile.iter().map(|&i| ch[i]).collect::<Vec<f64>>()) / ch_mean
+    };
+    let memheavy_nodes_ratio = if decile.is_empty() || nodes_mean == 0.0 {
+        f64::NAN
+    } else {
+        mean(&decile.iter().map(|&i| nodes[i]).collect::<Vec<f64>>()) / nodes_mean
+    };
+
+    // Top 5% by wall clock: fraction with below-mean node count. The
+    // mean is pulled up by capability jobs, so "below mean" captures the
+    // paper's "smaller node counts" relative to the big runs.
+    let by_wall = order_by(&wall);
+    let top5 = &by_wall[n.saturating_sub((n / 20).max(1).min(n))..];
+    let longest_jobs_small_fraction = if top5.is_empty() {
+        f64::NAN
+    } else {
+        top5.iter().filter(|&&i| nodes[i] < nodes_mean).count() as f64 / top5.len() as f64
+    };
+
+    WorkloadCharacterization {
+        by_corehours_maxmem: pick(&maxmem, &by_ch),
+        by_corehours_totalmem: pick(&totalmem, &by_ch),
+        by_corehours_nodes: pick(&nodes, &by_ch),
+        by_nodes_wall: pick(&wall, &by_nd),
+        by_nodes_maxmem: pick(&maxmem, &by_nd),
+        corehours_nodes_spearman: spearman(&ch, &nodes).map(|r| r.r),
+        memheavy_corehours_ratio,
+        longest_jobs_small_fraction,
+        memheavy_nodes_ratio,
+        n_jobs: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_topology::NodeId;
+
+    fn job(apid: u64, nodes: usize, wall: u64, ch: f64, maxmem: u64) -> JobRecord {
+        JobRecord {
+            apid,
+            user: 0,
+            nodes: (0..nodes as u32).map(NodeId).collect(),
+            start: 0,
+            end: wall,
+            gpu_core_hours: ch,
+            max_memory_bytes: maxmem,
+            total_memory_byte_hours: maxmem as f64 * nodes as f64 * wall as f64 / 3600.0,
+        }
+    }
+
+    /// A synthetic population with the paper's structure: capability
+    /// (big, moderate), capacity (small, long), memory hogs (small,
+    /// short, max memory).
+    fn population() -> Vec<JobRecord> {
+        let mut jobs = Vec::new();
+        let mut apid = 0;
+        for i in 0..40 {
+            // Capability: 1000 nodes, 4h, high core-hours, modest memory.
+            jobs.push(job(apid, 1000 + i, 4 * 3600, 4000.0, 1 << 30));
+            apid += 1;
+        }
+        for i in 0..40 {
+            // Capacity: 20 nodes, 20h, low-ish core-hours.
+            jobs.push(job(apid, 20 + i as usize % 5, 20 * 3600, 400.0, 1 << 29));
+            apid += 1;
+        }
+        for _ in 0..40 {
+            // Memory hogs: 10 nodes, 2h, low core-hours, 6 GB.
+            jobs.push(job(apid, 10, 2 * 3600, 100.0, 6 << 30));
+            apid += 1;
+        }
+        jobs
+    }
+
+    #[test]
+    fn paper_shapes_hold_on_synthetic_population() {
+        let c = workload_characterization(&population());
+        assert_eq!(c.n_jobs, 120);
+        // Memory-heavy jobs: below-average core-hours and node counts.
+        assert!(c.memheavy_corehours_ratio < 1.0, "{}", c.memheavy_corehours_ratio);
+        assert!(c.memheavy_nodes_ratio < 1.0, "{}", c.memheavy_nodes_ratio);
+        // Long-wall jobs are small.
+        assert!(c.longest_jobs_small_fraction > 0.5, "{}", c.longest_jobs_small_fraction);
+        // Core-hours rise with node count.
+        assert!(c.corehours_nodes_spearman.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn series_lengths_and_normalization() {
+        let c = workload_characterization(&population());
+        assert_eq!(c.by_corehours_maxmem.len(), 120);
+        assert_eq!(c.by_nodes_wall.len(), 120);
+        for series in [
+            &c.by_corehours_maxmem,
+            &c.by_corehours_totalmem,
+            &c.by_corehours_nodes,
+            &c.by_nodes_wall,
+            &c.by_nodes_maxmem,
+        ] {
+            let avg: f64 = series.iter().sum::<f64>() / series.len() as f64;
+            assert!((avg - 1.0).abs() < 1e-9, "normalized mean {avg}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let c = workload_characterization(&[]);
+        assert_eq!(c.n_jobs, 0);
+        assert!(c.by_corehours_maxmem.is_empty());
+        let one = vec![job(1, 10, 100, 1.0, 1)];
+        let c = workload_characterization(&one);
+        assert_eq!(c.n_jobs, 1);
+        assert!(c.corehours_nodes_spearman.is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the analysis methodology.
+
+use proptest::prelude::*;
+use titan_analysis::filtering::{dedup_job_level, of_kind, split_parents_children};
+use titan_analysis::{cooccurrence_heatmap, retirement_delays};
+use titan_conlog::ConsoleEvent;
+use titan_gpu::GpuErrorKind;
+use titan_topology::NodeId;
+
+fn arb_kind() -> impl Strategy<Value = GpuErrorKind> {
+    prop::sample::select(
+        GpuErrorKind::ALL
+            .into_iter()
+            .filter(|k| *k != GpuErrorKind::SingleBitError)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn arb_events(max: usize) -> impl Strategy<Value = Vec<ConsoleEvent>> {
+    prop::collection::vec(
+        (0u64..100_000, 0u32..500, arb_kind(), prop::option::of(0u64..50)),
+        0..max,
+    )
+    .prop_map(|mut v| {
+        v.sort_by_key(|e| e.0);
+        v.into_iter()
+            .map(|(time, node, kind, apid)| ConsoleEvent {
+                time,
+                node: NodeId(node),
+                kind,
+                structure: None,
+                page: None,
+                apid,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Filtering conserves events: parents + children == input.
+    #[test]
+    fn filtering_conserves(events in arb_events(120), window in 1u64..600) {
+        let out = split_parents_children(&events, window);
+        prop_assert_eq!(out.parents.len() + out.children.len(), events.len());
+        let out2 = dedup_job_level(&events, GpuErrorKind::GraphicsEngineException, window);
+        prop_assert_eq!(out2.parents.len() + out2.children.len(), events.len());
+    }
+
+    /// Filtering is idempotent: re-filtering the parents produces no new
+    /// children.
+    #[test]
+    fn filtering_idempotent(events in arb_events(120), window in 1u64..600) {
+        let once = split_parents_children(&events, window);
+        let twice = split_parents_children(&once.parents, window);
+        prop_assert!(twice.children.is_empty(),
+            "second pass found {} children", twice.children.len());
+    }
+
+    /// A wider window never yields more parents.
+    #[test]
+    fn wider_window_fewer_parents(events in arb_events(120), w in 1u64..300) {
+        let narrow = dedup_job_level(&events, GpuErrorKind::GpuStoppedProcessing, w);
+        let wide = dedup_job_level(&events, GpuErrorKind::GpuStoppedProcessing, w * 2);
+        prop_assert!(wide.parents.len() <= narrow.parents.len());
+    }
+
+    /// Heatmap fractions are probabilities and the totals account for
+    /// every on-axis event.
+    #[test]
+    fn heatmap_bounds(events in arb_events(100)) {
+        let h = cooccurrence_heatmap(&events);
+        for row in &h.fraction {
+            for &f in row {
+                prop_assert!((0.0..=1.0).contains(&f), "{f}");
+            }
+        }
+        let on_axis = events
+            .iter()
+            .filter(|e| h.kinds.contains(&e.kind))
+            .count() as u64;
+        prop_assert_eq!(h.totals.iter().sum::<u64>(), on_axis);
+    }
+
+    /// Retirement-delay accounting conserves retirement records.
+    #[test]
+    fn retirement_delay_conservation(events in arb_events(100), since in 0u64..50_000) {
+        let d = retirement_delays(&events, since);
+        let recs = events
+            .iter()
+            .filter(|e| e.kind == GpuErrorKind::EccPageRetirement && e.time >= since)
+            .count() as u64;
+        prop_assert_eq!(d.total_retirements(), recs);
+        prop_assert_eq!(d.delays.len() as u64, recs - d.no_preceding_dbe);
+        // DBE pairs: n DBEs -> n-1 pairs, classified exhaustively.
+        let dbes = events
+            .iter()
+            .filter(|e| e.kind == GpuErrorKind::DoubleBitError && e.time >= since)
+            .count() as u64;
+        prop_assert!(d.dbe_pairs_without_retirement <= dbes.saturating_sub(1));
+    }
+
+    /// of_kind + dedup on a single-kind stream equals dedup on the mixed
+    /// stream restricted to that kind.
+    #[test]
+    fn kind_restriction_commutes(events in arb_events(100), w in 1u64..120) {
+        let kind = GpuErrorKind::GraphicsEngineException;
+        let only = of_kind(&events, kind);
+        let direct = dedup_job_level(&only, kind, w);
+        let mixed = dedup_job_level(&events, kind, w);
+        let mixed_kind_parents: Vec<_> = mixed
+            .parents
+            .iter()
+            .filter(|e| e.kind == kind)
+            .copied()
+            .collect();
+        prop_assert_eq!(direct.parents, mixed_kind_parents);
+    }
+}

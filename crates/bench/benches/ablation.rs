@@ -1,0 +1,114 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the 5-second dedup window (what happens to the Fig. 12 incident
+//!   count as the window sweeps 1 s → 60 s);
+//! * the 300-second co-occurrence window of Fig. 13;
+//! * cascades on/off (how much of the console volume is children);
+//! * the statistical kernels underlying §4 at fleet scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use titan_analysis::filtering::dedup_job_level;
+use titan_analysis::spatial::spatial_with_filtering_window;
+use titan_bench::fixture;
+use titan_gpu::GpuErrorKind;
+use titan_stats::{pearson, spearman};
+
+fn bench_dedup_window_sweep(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    println!("[ablation] 5 s-window sweep for XID 13 incident counting:");
+    for window in [1u64, 2, 5, 10, 30, 60] {
+        let out = dedup_job_level(events, GpuErrorKind::GraphicsEngineException, window);
+        let x13 = out
+            .parents
+            .iter()
+            .filter(|e| e.kind == GpuErrorKind::GraphicsEngineException)
+            .count();
+        println!("  window {window:>2}s -> {x13} incidents ({} children)", out.children.len());
+    }
+    let mut g = c.benchmark_group("dedup_window");
+    for window in [1u64, 5, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                spatial_with_filtering_window(
+                    black_box(events),
+                    GpuErrorKind::GraphicsEngineException,
+                    w,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cascade_share(c: &mut Criterion) {
+    // Compare console volume with and without cascades (fresh small sims).
+    use titan_reliability::{Study, StudyConfig};
+    let mut with_cfg = StudyConfig::quick(30, 0xCA5);
+    with_cfg.skip_text_roundtrip = true;
+    let mut without_cfg = with_cfg.clone();
+    without_cfg.sim.enable_cascades = false;
+    let with = Study::new(with_cfg.clone()).run().data.console.len();
+    let without = Study::new(without_cfg).run().data.console.len();
+    println!(
+        "[ablation] cascades contribute {} of {} console events ({:.1}%)",
+        with - without,
+        with,
+        100.0 * (with - without) as f64 / with as f64
+    );
+    let mut g = c.benchmark_group("cascade");
+    g.sample_size(10);
+    g.bench_function("sim30_with_cascades", |b| {
+        b.iter(|| Study::new(black_box(with_cfg.clone())).run().data.console.len())
+    });
+    g.finish();
+}
+
+fn bench_interleave_ablation(c: &mut Criterion) {
+    use titan_gpu::interleave::{derived_dbe_split, regfile_fix_ablation, ClusterDistribution};
+    let clusters = ClusterDistribution::default();
+    println!("[ablation] derived DBE split (area x interleaving):");
+    for (s, share) in derived_dbe_split(&clusters) {
+        println!("  {:<16} {:.1}%", s.label(), share * 100.0);
+    }
+    let (baseline, fixed) = regfile_fix_ablation(&clusters);
+    println!(
+        "[ablation] register-file share with degree-4 interleaving: {:.1}% -> {:.1}%",
+        baseline * 100.0,
+        fixed * 100.0
+    );
+    c.bench_function("interleave_derived_split", |b| {
+        b.iter(|| derived_dbe_split(black_box(&clusters)))
+    });
+}
+
+fn bench_stats_kernels(c: &mut Criterion) {
+    let study = fixture();
+    // Fleet-scale series: per-job core-hours and SBE counts.
+    let x: Vec<f64> = study.data.jobs.iter().map(|j| j.gpu_core_hours).collect();
+    let y: Vec<f64> = study
+        .data
+        .job_sbe
+        .iter()
+        .map(|d| d.total_sbe() as f64)
+        .collect();
+    let n = x.len().min(y.len());
+    let mut g = c.benchmark_group("stats");
+    g.bench_function(format!("spearman_{n}_jobs"), |b| {
+        b.iter(|| spearman(black_box(&x[..n]), black_box(&y[..n])))
+    });
+    g.bench_function(format!("pearson_{n}_jobs"), |b| {
+        b.iter(|| pearson(black_box(&x[..n]), black_box(&y[..n])))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dedup_window_sweep,
+    bench_cascade_share,
+    bench_interleave_ablation,
+    bench_stats_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Benches for the extension analyses: checkpoint-policy replay and
+//! precursor-based failure prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use titan_analysis::checkpoint::{
+    evaluate_policy, interval_sweep, young_interval, CheckpointPolicy,
+};
+use titan_analysis::prediction::train_and_evaluate;
+use titan_bench::{fixture, FIXTURE_DAYS};
+
+fn failure_trace() -> Vec<u64> {
+    // Hardware/driver failure *incidents*: exclude application-caused
+    // XIDs and collapse per-node re-reports to one event per job, the
+    // same trace definition the checkpoint_advisor example uses.
+    let study = fixture();
+    let mut seen_apids = std::collections::HashSet::new();
+    let mut failures: Vec<u64> = study
+        .data
+        .console
+        .iter()
+        .filter(|e| {
+            e.kind.crashes_application()
+                && e.kind != titan_gpu::GpuErrorKind::EccPageRetirement
+                && !e.kind.user_application_possible()
+        })
+        .filter(|e| match e.apid {
+            Some(a) => seen_apids.insert(a),
+            None => true,
+        })
+        .map(|e| e.time)
+        .collect();
+    failures.sort_unstable();
+    failures.dedup();
+    failures
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let failures = failure_trace();
+    let span = FIXTURE_DAYS * 86_400;
+    let mtbf = (failures.last().unwrap() - failures[0]) as f64 / (failures.len() - 1) as f64;
+    let young = young_interval(mtbf, 300.0);
+    println!(
+        "[checkpoint] {} failures, MTBF {:.1} h, Young interval {:.0} s",
+        failures.len(),
+        mtbf / 3600.0,
+        young
+    );
+    let sweep = interval_sweep(
+        &failures,
+        span,
+        300.0,
+        600.0,
+        &[young / 4.0, young, young * 4.0],
+    );
+    for (iv, out) in &sweep {
+        println!("  tau {iv:>9.0} s -> efficiency {:.4}", out.efficiency);
+    }
+    c.bench_function("checkpoint_policy_replay", |b| {
+        b.iter(|| {
+            evaluate_policy(
+                black_box(&failures),
+                span,
+                300.0,
+                600.0,
+                CheckpointPolicy::Periodic { interval: young },
+            )
+        })
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    let split = FIXTURE_DAYS / 2 * 86_400;
+    let (model, score) = train_and_evaluate(events, split, 300, 0.4);
+    println!(
+        "[prediction] learned {} precursor kinds; precision {:.2}, recall {:.2}",
+        model.follow_prob.len(),
+        score.precision,
+        score.recall
+    );
+    let mut g = c.benchmark_group("prediction");
+    g.sample_size(10); // train+evaluate scans every event's window twice
+    g.bench_function("train_and_evaluate", |b| {
+        b.iter(|| train_and_evaluate(black_box(events), split, 300, 0.4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkpoint, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benches for the temporal-correlation figures: Fig. 8 (retirement
+//! delay after DBE) and Fig. 13 (the 300 s co-occurrence heatmap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use titan_analysis::cooccurrence::cooccurrence_heatmap;
+use titan_analysis::interarrival::retirement_delays;
+use titan_bench::fixture;
+use titan_faults::calibration;
+use titan_gpu::GpuErrorKind;
+
+fn bench_fig08(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    let since = calibration::retirement_xid_introduced();
+    let d = retirement_delays(events, since);
+    println!(
+        "[fig08] ≤10min {}, 10min–6h {}, later {}, no-DBE {}, pairs-w/o-retirement {}",
+        d.within_10min, d.min10_to_6h, d.later, d.no_preceding_dbe,
+        d.dbe_pairs_without_retirement
+    );
+    c.bench_function("fig08_retire_after_dbe", |b| {
+        b.iter(|| retirement_delays(black_box(events), since))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    let h = cooccurrence_heatmap(events);
+    println!(
+        "[fig13] P(48→45)={:?} P(13→43)={:?} diag(13)={:?}",
+        h.get(GpuErrorKind::DoubleBitError, GpuErrorKind::PreemptiveCleanup),
+        h.get(GpuErrorKind::GraphicsEngineException, GpuErrorKind::GpuStoppedProcessing),
+        h.get(
+            GpuErrorKind::GraphicsEngineException,
+            GpuErrorKind::GraphicsEngineException
+        ),
+    );
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10); // each pass scans every event's 300 s window
+    g.bench_function("heatmap", |b| {
+        b.iter(|| cooccurrence_heatmap(black_box(events)))
+    });
+    g.bench_function("heatmap_no_diagonal", |b| {
+        b.iter(|| cooccurrence_heatmap(black_box(events)).without_diagonal())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig08, bench_fig13);
+criterion_main!(benches);

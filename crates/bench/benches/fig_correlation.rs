@@ -1,0 +1,68 @@
+//! Benches for the correlation figures: Figs. 16–19 (utilization ↔ SBE),
+//! Fig. 20 (per-user proxy), and Fig. 21 (workload characterization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use titan_analysis::correlation::{job_sbe_correlations, JobMetric};
+use titan_analysis::user_proxy::user_level_correlation;
+use titan_analysis::workload_charac::workload_characterization;
+use titan_bench::fixture;
+
+fn bench_fig16_19(c: &mut Criterion) {
+    let study = fixture();
+    let (jobs, deltas, snaps) = (
+        &study.data.jobs,
+        &study.data.job_sbe,
+        &study.data.snapshots,
+    );
+    let s = job_sbe_correlations(jobs, deltas, snaps);
+    for m in JobMetric::ALL {
+        println!(
+            "[fig16-19] {}: Spearman {:?} (excl. top-10 {:?})",
+            m.label(),
+            s.spearman_of(m, false).map(|r| (r * 100.0).round() / 100.0),
+            s.spearman_of(m, true).map(|r| (r * 100.0).round() / 100.0),
+        );
+    }
+    c.bench_function("fig16_19_correlation", |b| {
+        b.iter(|| job_sbe_correlations(black_box(jobs), black_box(deltas), black_box(snaps)))
+    });
+}
+
+fn bench_fig20(c: &mut Criterion) {
+    let study = fixture();
+    let s = user_level_correlation(&study.data.jobs, &study.data.job_sbe, &study.data.snapshots);
+    println!(
+        "[fig20] user Spearman {:?} (excl. top-10 {:?}) over {} users",
+        s.spearman_all.map(|r| (r.r * 100.0).round() / 100.0),
+        s.spearman_excluding_top10.map(|r| (r.r * 100.0).round() / 100.0),
+        s.rows.len()
+    );
+    c.bench_function("fig20_user", |b| {
+        b.iter(|| {
+            user_level_correlation(
+                black_box(&study.data.jobs),
+                black_box(&study.data.job_sbe),
+                black_box(&study.data.snapshots),
+            )
+        })
+    });
+}
+
+fn bench_fig21(c: &mut Criterion) {
+    let study = fixture();
+    let w = workload_characterization(&study.data.jobs);
+    println!(
+        "[fig21] {} jobs; Spearman(ch,nodes) {:?}; mem-heavy core-hour ratio {:.2}; longest-small {:.2}",
+        w.n_jobs,
+        w.corehours_nodes_spearman.map(|r| (r * 100.0).round() / 100.0),
+        w.memheavy_corehours_ratio,
+        w.longest_jobs_small_fraction
+    );
+    c.bench_function("fig21_workload", |b| {
+        b.iter(|| workload_characterization(black_box(&study.data.jobs)))
+    });
+}
+
+criterion_group!(benches, bench_fig16_19, bench_fig20, bench_fig21);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Benches for the monthly-frequency figures: Fig. 2 (DBE), Fig. 4
+//! (off-the-bus), Fig. 6 (page retirement), Fig. 9 (driver XIDs),
+//! Fig. 10 (XID 13), Fig. 11 (micro-controller halts).
+//!
+//! Each bench regenerates the figure's data series from the fixture's
+//! console log and prints the headline numbers once, so `cargo bench`
+//! doubles as a figure regeneration harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use titan_analysis::filtering::dedup_by_job;
+use titan_analysis::timeseries::{burstiness, monthly_counts, mtbf_hours};
+use titan_bench::fixture;
+use titan_gpu::GpuErrorKind;
+
+fn bench_fig02(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    let series = monthly_counts(events, GpuErrorKind::DoubleBitError);
+    println!(
+        "[fig02] {} DBEs, MTBF {:?} h, burstiness {:?}",
+        series.total(),
+        mtbf_hours(events, GpuErrorKind::DoubleBitError).map(|h| h.round()),
+        burstiness(events, GpuErrorKind::DoubleBitError).map(|b| (b * 100.0).round() / 100.0),
+    );
+    c.bench_function("fig02_dbe_monthly", |b| {
+        b.iter(|| monthly_counts(black_box(events), GpuErrorKind::DoubleBitError))
+    });
+    c.bench_function("fig02_dbe_mtbf", |b| {
+        b.iter(|| mtbf_hours(black_box(events), GpuErrorKind::DoubleBitError))
+    });
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    let series = monthly_counts(events, GpuErrorKind::OffTheBus);
+    println!(
+        "[fig04] {} OTB events; {} before Jan'14, {} after",
+        series.total(),
+        series.total_before(7),
+        series.total_from(7)
+    );
+    c.bench_function("fig04_otb_monthly", |b| {
+        b.iter(|| monthly_counts(black_box(events), GpuErrorKind::OffTheBus))
+    });
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    let series = monthly_counts(events, GpuErrorKind::EccPageRetirement);
+    println!(
+        "[fig06] {} retirement records ({} before Jan'14)",
+        series.total(),
+        series.total_before(7)
+    );
+    c.bench_function("fig06_retire_monthly", |b| {
+        b.iter(|| monthly_counts(black_box(events), GpuErrorKind::EccPageRetirement))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    for kind in [
+        GpuErrorKind::GpuMemoryPageFault,
+        GpuErrorKind::PushBufferStream,
+        GpuErrorKind::GpuStoppedProcessing,
+        GpuErrorKind::ContextSwitchFault,
+    ] {
+        let n = if kind.user_application_possible() {
+            dedup_by_job(events, kind, 5).parents.iter().filter(|e| e.kind == kind).count()
+        } else {
+            events.iter().filter(|e| e.kind == kind).count()
+        };
+        println!("[fig09] {kind:?}: {n} incidents");
+    }
+    c.bench_function("fig09_xid_incident_dedup", |b| {
+        b.iter(|| dedup_by_job(black_box(events), GpuErrorKind::GpuMemoryPageFault, 5))
+    });
+}
+
+fn bench_fig10_11(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    println!(
+        "[fig10] XID 13: {} raw events, burstiness {:?}",
+        events
+            .iter()
+            .filter(|e| e.kind == GpuErrorKind::GraphicsEngineException)
+            .count(),
+        burstiness(events, GpuErrorKind::GraphicsEngineException)
+            .map(|b| (b * 100.0).round() / 100.0)
+    );
+    c.bench_function("fig10_xid13_burstiness", |b| {
+        b.iter(|| burstiness(black_box(events), GpuErrorKind::GraphicsEngineException))
+    });
+    c.bench_function("fig11_uchalt_monthly", |b| {
+        b.iter(|| {
+            (
+                monthly_counts(black_box(events), GpuErrorKind::MicrocontrollerHaltOld),
+                monthly_counts(black_box(events), GpuErrorKind::MicrocontrollerHaltNew),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig02,
+    bench_fig04,
+    bench_fig06,
+    bench_fig09,
+    bench_fig10_11
+);
+criterion_main!(benches);

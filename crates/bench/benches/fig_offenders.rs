@@ -1,0 +1,32 @@
+//! Benches for the SBE offender figures: Fig. 14 (spatial skew under
+//! top-K exclusion) and Fig. 15 (cage distributions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use titan_analysis::offenders::sbe_offender_analysis;
+use titan_bench::fixture;
+
+fn bench_fig14_15(c: &mut Criterion) {
+    let study = fixture();
+    let snaps = &study.data.snapshots;
+    let a = sbe_offender_analysis(snaps);
+    println!(
+        "[fig14] {} cards with SBEs ({:.1}%); top-10 share {:.0}%; CV {:.2}→{:.2}→{:.2}",
+        a.cards_with_sbe,
+        a.affected_fraction * 100.0,
+        a.top10_share * 100.0,
+        a.levels[0].spatial_cv,
+        a.levels[1].spatial_cv,
+        a.levels[2].spatial_cv,
+    );
+    println!(
+        "[fig15] distinct-card cage distribution (top-0 removed): {:?}",
+        a.levels[0].cage_distinct.by_cage
+    );
+    c.bench_function("fig14_sbe_spatial", |b| {
+        b.iter(|| sbe_offender_analysis(black_box(snaps)))
+    });
+}
+
+criterion_group!(benches, bench_fig14_15);
+criterion_main!(benches);

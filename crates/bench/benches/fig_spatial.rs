@@ -1,0 +1,70 @@
+//! Benches for the spatial figures: Fig. 3 (DBE grid + cage + structure
+//! breakdown), Fig. 5 (OTB), Fig. 7 (retirement), Fig. 12 (XID 13 under
+//! the three filterings).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use titan_analysis::consistency::dbe_accounting;
+use titan_analysis::spatial::{cage_tally, spatial_grid, spatial_with_filtering};
+use titan_bench::fixture;
+use titan_gpu::GpuErrorKind;
+
+fn bench_fig03(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    let (all, distinct) = cage_tally(events, GpuErrorKind::DoubleBitError);
+    let acc = dbe_accounting(events, &study.data.snapshots);
+    println!(
+        "[fig03] DBE cage {:?} (distinct {:?}); device-memory share {:.0}%; console {} vs nvsmi {}",
+        all.by_cage,
+        distinct.by_cage,
+        acc.device_memory_fraction * 100.0,
+        acc.console_dbe,
+        acc.nvsmi_dbe
+    );
+    c.bench_function("fig03a_dbe_grid", |b| {
+        b.iter(|| spatial_grid(black_box(events), GpuErrorKind::DoubleBitError, false))
+    });
+    c.bench_function("fig03b_dbe_cage", |b| {
+        b.iter(|| cage_tally(black_box(events), GpuErrorKind::DoubleBitError))
+    });
+    c.bench_function("fig03c_dbe_accounting", |b| {
+        b.iter(|| dbe_accounting(black_box(events), black_box(&study.data.snapshots)))
+    });
+}
+
+fn bench_fig05_07(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    c.bench_function("fig05_otb_spatial", |b| {
+        b.iter(|| {
+            (
+                spatial_grid(black_box(events), GpuErrorKind::OffTheBus, false),
+                cage_tally(black_box(events), GpuErrorKind::OffTheBus),
+            )
+        })
+    });
+    c.bench_function("fig07_retire_spatial", |b| {
+        b.iter(|| spatial_grid(black_box(events), GpuErrorKind::EccPageRetirement, false))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    let f = spatial_with_filtering(events, GpuErrorKind::GraphicsEngineException);
+    println!(
+        "[fig12] stripe contrast: unfiltered {:.3}, filtered {:.3}, children {:.3}",
+        f.unfiltered.stripe_contrast().unwrap_or(0.0),
+        f.filtered.stripe_contrast().unwrap_or(0.0),
+        f.children.stripe_contrast().unwrap_or(0.0),
+    );
+    c.bench_function("fig12_xid13_spatial_filtering", |b| {
+        b.iter(|| {
+            spatial_with_filtering(black_box(events), GpuErrorKind::GraphicsEngineException)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig03, bench_fig05_07, bench_fig12);
+criterion_main!(benches);

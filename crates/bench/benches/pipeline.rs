@@ -1,0 +1,88 @@
+//! Pipeline-throughput benches: the engineering numbers a downstream
+//! site would care about — console-log render/parse rates, SEC rule
+//! throughput, simulation speed, and the full figure computation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use titan_bench::fixture;
+use titan_conlog::format::{parse_stream, render_stream};
+use titan_conlog::sec::SecEngine;
+use titan_reliability::{Figures, Study, StudyConfig};
+use titan_sim::{SimConfig, Simulator};
+
+fn bench_console_render(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.sim.console;
+    let mut g = c.benchmark_group("console");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("render", |b| {
+        b.iter(|| render_stream(black_box(events)).len())
+    });
+    let text = study.sim.render_console_log();
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("parse", |b| {
+        b.iter(|| parse_stream(black_box(&text)).0.len())
+    });
+    g.finish();
+}
+
+fn bench_sec_engine(c: &mut Criterion) {
+    let study = fixture();
+    let events = &study.data.console;
+    let mut g = c.benchmark_group("sec");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("olcf_rules", |b| {
+        b.iter(|| {
+            let mut sec = SecEngine::olcf_default();
+            sec.ingest_all(black_box(events)).len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    // A short window so the bench stays in seconds; throughput is in
+    // simulated node-days.
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(30 * 18_688));
+    g.bench_function("30_days", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(SimConfig::quick(30, 0xBE11)).expect("valid");
+            sim.run().console.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let study = fixture();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("compute_all", |b| {
+        b.iter(|| Figures::compute(black_box(&study.data)))
+    });
+    g.finish();
+}
+
+fn bench_study_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("study");
+    g.sample_size(10);
+    g.bench_function("quick30_end_to_end", |b| {
+        b.iter(|| {
+            let s = Study::new(StudyConfig::quick(30, 0xE2E)).run();
+            s.figures().fig02_dbe_monthly.total()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_console_render,
+    bench_sec_engine,
+    bench_simulation,
+    bench_figures,
+    bench_study_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benches for Tables 1 & 2 (the XID taxonomy) and Fig. 1 (the physical
+//! organization): constant-time invariants plus the cost of the
+//! coordinate machinery every spatial analysis rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use titan_gpu::{ErrorCategory, GpuErrorKind, Xid};
+use titan_topology::{NodeId, Torus, COMPUTE_NODES, TOTAL_SLOTS};
+
+fn bench_taxonomy(c: &mut Criterion) {
+    // Print the tables once: this *is* the T1/T2 artifact.
+    println!("[T1] hardware errors:");
+    for k in GpuErrorKind::ALL {
+        if k.category() == ErrorCategory::Hardware || k.category() == ErrorCategory::Ambiguous {
+            println!(
+                "  {:?} -> {}",
+                k.xid().map(|x| x.0),
+                k.description()
+            );
+        }
+    }
+    println!("[T2] software/firmware errors:");
+    for k in GpuErrorKind::ALL {
+        if k.category() == ErrorCategory::SoftwareFirmware
+            || k.category() == ErrorCategory::Ambiguous
+        {
+            println!("  {:?} -> {}", k.xid().map(|x| x.0), k.description());
+        }
+    }
+    c.bench_function("taxonomy_xid_lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for code in 0u8..=255 {
+                if GpuErrorKind::from_xid(black_box(Xid(code))).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    println!(
+        "[F1] {} slots, {} compute nodes, {} routers",
+        TOTAL_SLOTS,
+        COMPUTE_NODES,
+        titan_topology::GEMINI_ROUTERS
+    );
+    c.bench_function("topology_location_decode_fleet", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..TOTAL_SLOTS as u32 {
+                acc = acc.wrapping_add(NodeId(black_box(i)).location().cage as u32);
+            }
+            acc
+        })
+    });
+    c.bench_function("topology_cname_roundtrip", |b| {
+        let names: Vec<String> = (0..1000u32)
+            .map(|i| NodeId(i * 19).location().cname())
+            .collect();
+        b.iter(|| {
+            names
+                .iter()
+                .filter(|n| titan_topology::Location::parse_cname(black_box(n)).is_ok())
+                .count()
+        })
+    });
+    c.bench_function("topology_allocation_order", |b| {
+        b.iter(|| Torus.allocation_order().len())
+    });
+}
+
+criterion_group!(benches, bench_taxonomy, bench_topology);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! # titan-bench
+//!
+//! Criterion benchmark harness: one bench target per paper table/figure
+//! (regenerating the figure data and measuring the analysis cost) plus
+//! pipeline-throughput and ablation benches.
+//!
+//! All figure benches share one simulated fixture so the comparison is
+//! apples-to-apples: a 120-day study at a fixed seed, built once per
+//! bench binary. `cargo bench -p titan-bench` regenerates every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+use titan_reliability::study::CompletedStudy;
+use titan_reliability::{Study, StudyConfig};
+
+/// Days in the shared bench fixture. Long enough for every figure to be
+/// populated (page retirement needs the Jan'14 driver, i.e. >214 days).
+pub const FIXTURE_DAYS: u64 = 300;
+
+/// Fixed fixture seed.
+pub const FIXTURE_SEED: u64 = 0xBE4C;
+
+/// The shared study fixture, built on first use.
+pub fn fixture() -> &'static CompletedStudy {
+    static FIXTURE: OnceLock<CompletedStudy> = OnceLock::new();
+    FIXTURE.get_or_init(|| Study::new(StudyConfig::quick(FIXTURE_DAYS, FIXTURE_SEED)).run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_and_is_populated() {
+        let f = fixture();
+        assert!(!f.data.console.is_empty());
+        assert!(!f.data.jobs.is_empty());
+        assert_eq!(f.data.snapshots.len(), 18_688);
+    }
+}

@@ -1,0 +1,325 @@
+//! The console-log wire format.
+//!
+//! One event renders to one line, e.g.:
+//!
+//! ```text
+//! [2013-09-14 03:22:41] c3-17c2s5n1 GPU Xid 48: Double Bit Error (detected by the SECDED ECC, but not corrected) struct="Device Memory" page=0x0001a2b3 apid=1048576
+//! [2013-07-02 11:00:05] c0-4c2s1n3 GPU has fallen off the bus apid=77341
+//! ```
+//!
+//! Rendering and parsing are exact inverses for every well-formed event;
+//! the parser additionally tolerates (and counts) malformed lines, since
+//! real console streams interleave GPU events with unrelated chatter.
+
+use bytes::BytesMut;
+use titan_gpu::{GpuErrorKind, MemoryStructure, Xid};
+use titan_topology::Location;
+
+use crate::record::ConsoleEvent;
+use crate::time::StudyCalendar;
+
+/// Counters from a parsing pass over a log stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Lines that produced an event.
+    pub parsed: u64,
+    /// Lines skipped as non-GPU chatter or garbage.
+    pub skipped: u64,
+}
+
+/// Renders one event as a console-log line (no trailing newline).
+pub fn render_line(ev: &ConsoleEvent) -> String {
+    let cal = StudyCalendar;
+    let mut s = String::with_capacity(96);
+    s.push('[');
+    s.push_str(&cal.format_timestamp(ev.time));
+    s.push_str("] ");
+    s.push_str(&ev.node.location().cname());
+    s.push(' ');
+    match ev.kind.xid() {
+        Some(x) => {
+            s.push_str("GPU Xid ");
+            s.push_str(&x.to_string());
+            s.push_str(": ");
+            s.push_str(ev.kind.description());
+        }
+        None => match ev.kind {
+            GpuErrorKind::OffTheBus => s.push_str("GPU has fallen off the bus"),
+            // SBEs never appear in console logs; render defensively anyway.
+            _ => s.push_str(ev.kind.description()),
+        },
+    }
+    if let Some(st) = ev.structure {
+        s.push_str(" struct=\"");
+        s.push_str(st.label());
+        s.push('"');
+    }
+    if let Some(p) = ev.page {
+        s.push_str(&format!(" page=0x{p:08x}"));
+    }
+    if let Some(a) = ev.apid {
+        s.push_str(&format!(" apid={a}"));
+    }
+    s
+}
+
+/// Renders a batch of events into a newline-delimited buffer.
+pub fn render_stream(events: &[ConsoleEvent]) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(events.len() * 96);
+    for ev in events {
+        buf.extend_from_slice(render_line(ev).as_bytes());
+        buf.extend_from_slice(b"\n");
+    }
+    buf
+}
+
+/// Parses one console-log line. `None` for anything that is not a
+/// GPU event line (the stream carries plenty of other traffic).
+pub fn parse_line(line: &str) -> Option<ConsoleEvent> {
+    let cal = StudyCalendar;
+    let line = line.trim_end();
+    // "[" ts "]" — fixed-width timestamp.
+    let rest = line.strip_prefix('[')?;
+    // Checked slicing: arbitrary console chatter may contain multi-byte
+    // UTF-8 right where the timestamp should be.
+    let ts = rest.get(..19)?;
+    let time = cal.parse_timestamp(ts)?;
+    let rest = rest.get(19..)?;
+    let rest = rest.strip_prefix("] ")?;
+    // cname up to next space.
+    let sp = rest.find(' ')?;
+    let (cname, rest) = rest.split_at(sp);
+    let node = Location::parse_cname(cname).ok()?.node_id();
+    let rest = &rest[1..];
+
+    // Event body.
+    let (kind, after): (GpuErrorKind, &str) = if let Some(r) = rest.strip_prefix("GPU Xid ") {
+        let colon = r.find(':')?;
+        let xid: u8 = r[..colon].parse().ok()?;
+        let kind = GpuErrorKind::from_xid(Xid(xid))?;
+        // Skip ": <description>" through to the attribute section.
+        let body = &r[colon + 1..];
+        (kind, attr_tail(body))
+    } else if let Some(r) = rest.strip_prefix("GPU has fallen off the bus") {
+        (GpuErrorKind::OffTheBus, r)
+    } else {
+        return None;
+    };
+
+    let mut structure = None;
+    let mut page = None;
+    let mut apid = None;
+    for (key, value) in attrs(after) {
+        match key {
+            "struct" => structure = MemoryStructure::from_label(value),
+            "page" => {
+                let hex = value.strip_prefix("0x")?;
+                page = Some(u32::from_str_radix(hex, 16).ok()?);
+            }
+            "apid" => apid = Some(value.parse().ok()?),
+            _ => {}
+        }
+    }
+
+    Some(ConsoleEvent {
+        time,
+        node,
+        kind,
+        structure,
+        page,
+        apid,
+    })
+}
+
+/// Finds the start of the `key=value` attribute section: the first
+/// ` key=` occurrence after the free-text description.
+fn attr_tail(body: &str) -> &str {
+    for key in [" struct=", " page=", " apid="] {
+        if let Some(i) = body.find(key) {
+            return &body[i..];
+        }
+    }
+    ""
+}
+
+/// Iterates `key=value` pairs; values may be double-quoted to contain
+/// spaces.
+fn attrs(mut s: &str) -> Vec<(&str, &str)> {
+    let mut out = Vec::new();
+    loop {
+        s = s.trim_start();
+        let Some(eq) = s.find('=') else { break };
+        let key = &s[..eq];
+        let rest = &s[eq + 1..];
+        let (value, next) = if let Some(r) = rest.strip_prefix('"') {
+            match r.find('"') {
+                Some(q) => (&r[..q], &r[q + 1..]),
+                None => break,
+            }
+        } else {
+            match rest.find(' ') {
+                Some(sp) => (&rest[..sp], &rest[sp..]),
+                None => (rest, ""),
+            }
+        };
+        out.push((key, value));
+        s = next;
+    }
+    out
+}
+
+/// Parses a whole log stream, collecting events and counting skips.
+pub fn parse_stream(text: &str) -> (Vec<ConsoleEvent>, ParseStats) {
+    let mut events = Vec::new();
+    let mut stats = ParseStats::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(ev) => {
+                events.push(ev);
+                stats.parsed += 1;
+            }
+            None => stats.skipped += 1,
+        }
+    }
+    (events, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_topology::NodeId;
+
+    fn sample(kind: GpuErrorKind) -> ConsoleEvent {
+        ConsoleEvent {
+            time: 8_982_161,
+            node: NodeId(10_000),
+            kind,
+            structure: Some(MemoryStructure::DeviceMemory),
+            page: Some(0x1a2b3),
+            apid: Some(1_048_576),
+        }
+    }
+
+    #[test]
+    fn render_dbe_line_shape() {
+        let line = render_line(&sample(GpuErrorKind::DoubleBitError));
+        assert!(line.starts_with('['), "{line}");
+        assert!(line.contains("GPU Xid 48:"), "{line}");
+        assert!(line.contains("struct=\"Device Memory\""), "{line}");
+        assert!(line.contains("page=0x0001a2b3"), "{line}");
+        assert!(line.contains("apid=1048576"), "{line}");
+    }
+
+    #[test]
+    fn roundtrip_all_xid_kinds() {
+        for kind in GpuErrorKind::ALL {
+            if kind == GpuErrorKind::SingleBitError {
+                continue; // never logged to console
+            }
+            let ev = ConsoleEvent {
+                structure: if kind == GpuErrorKind::DoubleBitError {
+                    Some(MemoryStructure::RegisterFile)
+                } else {
+                    None
+                },
+                page: None,
+                ..sample(kind)
+            };
+            let line = render_line(&ev);
+            let back = parse_line(&line).unwrap_or_else(|| panic!("parse {line}"));
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_optional_fields() {
+        for (st, pg, ap) in [
+            (None, None, None),
+            (Some(MemoryStructure::L2Cache), None, None),
+            (None, Some(7u32), None),
+            (None, None, Some(9u64)),
+            (Some(MemoryStructure::DeviceMemory), Some(0xffff_ffff), Some(u64::MAX)),
+        ] {
+            let ev = ConsoleEvent {
+                structure: st,
+                page: pg,
+                apid: ap,
+                ..sample(GpuErrorKind::DoubleBitError)
+            };
+            assert_eq!(parse_line(&render_line(&ev)), Some(ev));
+        }
+    }
+
+    #[test]
+    fn off_the_bus_roundtrip() {
+        let ev = ConsoleEvent {
+            structure: None,
+            page: None,
+            ..sample(GpuErrorKind::OffTheBus)
+        };
+        let line = render_line(&ev);
+        assert!(line.contains("fallen off the bus"), "{line}");
+        assert!(!line.contains("Xid"), "{line}");
+        assert_eq!(parse_line(&line), Some(ev));
+    }
+
+    #[test]
+    fn parser_skips_chatter() {
+        let text = "\
+[2013-06-01 00:00:10] c0-0c1s2n3 GPU Xid 13: Graphics Engine Exception apid=5
+random kernel chatter
+[2013-06-01 00:00:11] c0-0c1s2n3 LNet: some lustre noise
+[bogus timestamp] c0-0c1s2n3 GPU Xid 13: x
+
+[2013-06-01 00:00:12] c0-0c1s2n3 GPU Xid 43: GPU stopped processing apid=5
+";
+        let (events, stats) = parse_stream(text);
+        assert_eq!(events.len(), 2);
+        assert_eq!(stats.parsed, 2);
+        assert_eq!(stats.skipped, 3);
+        assert_eq!(events[0].kind, GpuErrorKind::GraphicsEngineException);
+        assert_eq!(events[1].kind, GpuErrorKind::GpuStoppedProcessing);
+    }
+
+    #[test]
+    fn parser_rejects_unknown_xid() {
+        let line = "[2013-06-01 00:00:10] c0-0c1s2n3 GPU Xid 99: Mystery error";
+        assert_eq!(parse_line(line), None);
+    }
+
+    #[test]
+    fn parser_rejects_bad_cname() {
+        let line = "[2013-06-01 00:00:10] c9-0c1s2n3 GPU Xid 13: Graphics Engine Exception";
+        assert_eq!(parse_line(line), None);
+    }
+
+    #[test]
+    fn render_stream_is_line_per_event() {
+        let evs = vec![
+            sample(GpuErrorKind::DoubleBitError),
+            sample(GpuErrorKind::GpuStoppedProcessing),
+        ];
+        let buf = render_stream(&evs);
+        let text = std::str::from_utf8(&buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let (parsed, stats) = parse_stream(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(stats.skipped, 0);
+    }
+
+    #[test]
+    fn description_containing_attr_like_text_is_safe() {
+        // The attr scanner must find the *first* attribute key, not text
+        // inside the description.
+        let ev = ConsoleEvent {
+            structure: Some(MemoryStructure::SharedL1),
+            page: None,
+            apid: Some(3),
+            ..sample(GpuErrorKind::PreemptiveCleanup)
+        };
+        assert_eq!(parse_line(&render_line(&ev)), Some(ev));
+    }
+}

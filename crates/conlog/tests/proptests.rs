@@ -1,0 +1,112 @@
+//! Property tests: the log wire formats must round-trip exactly, and the
+//! parsers must be total (never panic) on arbitrary input.
+
+use proptest::prelude::*;
+use titan_conlog::format::{parse_line, parse_stream, render_line};
+use titan_conlog::joblog::{compress_ranges, expand_ranges, JobRecord};
+use titan_conlog::time::{StudyCalendar, STUDY_SECONDS};
+use titan_conlog::ConsoleEvent;
+use titan_gpu::{GpuErrorKind, MemoryStructure};
+use titan_topology::NodeId;
+
+fn any_kind() -> impl Strategy<Value = GpuErrorKind> {
+    prop::sample::select(
+        GpuErrorKind::ALL
+            .into_iter()
+            .filter(|k| *k != GpuErrorKind::SingleBitError)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn any_structure() -> impl Strategy<Value = Option<MemoryStructure>> {
+    prop::option::of(prop::sample::select(MemoryStructure::ALL.to_vec()))
+}
+
+proptest! {
+    /// Console event -> line -> event is the identity.
+    #[test]
+    fn console_roundtrip(
+        time in 0u64..STUDY_SECONDS,
+        node in 0u32..19_200,
+        kind in any_kind(),
+        structure in any_structure(),
+        page in prop::option::of(any::<u32>()),
+        apid in prop::option::of(any::<u64>()),
+    ) {
+        let ev = ConsoleEvent { time, node: NodeId(node), kind, structure, page, apid };
+        let line = render_line(&ev);
+        prop_assert_eq!(parse_line(&line), Some(ev), "{}", line);
+    }
+
+    /// The line parser never panics and never invents events from noise
+    /// that lacks the GPU markers.
+    #[test]
+    fn parser_total(s in "\\PC{0,200}") {
+        let r = parse_line(&s);
+        if !s.contains("GPU") {
+            prop_assert_eq!(r, None);
+        }
+    }
+
+    /// Stream parsing conserves lines: parsed + skipped == nonempty lines.
+    #[test]
+    fn stream_conservation(lines in prop::collection::vec("\\PC{0,80}", 0..30)) {
+        let text = lines.join("\n");
+        let (events, stats) = parse_stream(&text);
+        let nonempty = text.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+        prop_assert_eq!(stats.parsed + stats.skipped, nonempty);
+        prop_assert_eq!(events.len() as u64, stats.parsed);
+    }
+
+    /// Node-range compression round-trips through expansion (after
+    /// sort+dedup normalization).
+    #[test]
+    fn ranges_roundtrip(ids in prop::collection::vec(0u32..19_200, 0..200)) {
+        let nodes: Vec<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
+        let mut normalized: Vec<u32> = ids.clone();
+        normalized.sort_unstable();
+        normalized.dedup();
+        let s = compress_ranges(&nodes);
+        let back = expand_ranges(&s).unwrap();
+        let back_ids: Vec<u32> = back.iter().map(|n| n.0).collect();
+        prop_assert_eq!(back_ids, normalized);
+    }
+
+    /// Job records round-trip exactly (floats rendered with enough
+    /// precision for the analysis tolerances).
+    #[test]
+    fn job_roundtrip(
+        apid in any::<u64>(),
+        user in any::<u32>(),
+        ids in prop::collection::vec(0u32..19_200, 1..50),
+        start in 0u64..STUDY_SECONDS,
+        dur in 60u64..86_400,
+        gch in 0.0f64..1e6,
+        max_mem in 0u64..6_442_450_944,
+        tmb in 0.0f64..1e15,
+    ) {
+        let mut nodes: Vec<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let j = JobRecord {
+            apid, user, nodes,
+            start, end: start + dur,
+            gpu_core_hours: (gch * 1e4).round() / 1e4,
+            max_memory_bytes: max_mem,
+            total_memory_byte_hours: (tmb * 1e4).round() / 1e4,
+        };
+        let back = JobRecord::parse(&j.render()).unwrap();
+        prop_assert_eq!(back.apid, j.apid);
+        prop_assert_eq!(back.user, j.user);
+        prop_assert_eq!(&back.nodes, &j.nodes);
+        prop_assert!((back.gpu_core_hours - j.gpu_core_hours).abs() < 1e-3);
+        prop_assert_eq!(back.max_memory_bytes, j.max_memory_bytes);
+    }
+
+    /// Timestamp render/parse round-trips across the window.
+    #[test]
+    fn timestamp_roundtrip(t in 0u64..STUDY_SECONDS) {
+        let cal = StudyCalendar;
+        prop_assert_eq!(cal.parse_timestamp(&cal.format_timestamp(t)), Some(t));
+    }
+}

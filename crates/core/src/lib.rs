@@ -1,0 +1,40 @@
+//! # titan-reliability
+//!
+//! Top-level API of the Titan GPU reliability study reproduction.
+//!
+//! ```no_run
+//! use titan_reliability::render::Render;
+//! use titan_reliability::{Study, StudyConfig};
+//!
+//! // Simulate the full Jun'13–Feb'15 window and regenerate every figure.
+//! let study = Study::new(StudyConfig::default()).run();
+//! let figures = study.figures();
+//! println!("{}", figures.fig02_dbe_monthly.render());
+//! println!("DBE MTBF: {:?} hours", figures.fig02_mtbf_hours);
+//! ```
+//!
+//! The pipeline is end-to-end honest: the simulator renders its console
+//! stream to *text*, and the study re-parses that text before analysis —
+//! the analysis only ever sees what an operator's scripts would see.
+//!
+//! * [`study`] — the [`Study`] runner and its parsed data bundle.
+//! * [`figures`] — every table/figure of the paper computed from the
+//!   data bundle (rayon-parallel across independent figures).
+//! * [`expectations`] — the paper-vs-measured registry behind
+//!   EXPERIMENTS.md.
+//! * [`render`] — ASCII bar charts, grids, and tables; CSV/JSON export.
+//! * [`report`] — the consolidated operator report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expectations;
+pub mod figures;
+pub mod render;
+pub mod report;
+pub mod study;
+
+pub use expectations::{evaluate_all, Expectation, Verdict};
+pub use report::full_report;
+pub use figures::Figures;
+pub use study::{Study, StudyConfig, StudyData};

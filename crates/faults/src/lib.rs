@@ -1,0 +1,44 @@
+//! # titan-faults
+//!
+//! Stochastic fault processes calibrated to the SC '15 Titan field study.
+//!
+//! The real Titan's faults came from cosmic rays, GDDR5 wear, a card-seat
+//! integration defect, driver bugs, and user code. We cannot replay those;
+//! instead this crate provides *generative models* whose parameters are
+//! pinned, constant by constant, to sentences in the paper
+//! (see [`calibration`]). The fleet simulator draws fault times and
+//! attributes from these processes; the analysis pipeline then has to
+//! *recover* the paper's observations from the resulting logs — nothing in
+//! the analysis reads these parameters.
+//!
+//! * [`calibration`] — every constant, with the paper sentence it encodes.
+//! * [`rngstream`] — deterministic per-subsystem RNG streams (SplitMix64
+//!   seeding) so processes are independent and reproducible.
+//! * [`process`] — Poisson machinery: homogeneous, piecewise-rate, and
+//!   burst-compound processes over the study window.
+//! * [`susceptibility`] — the per-card SBE "offender" mixture
+//!   (Observation 10) and per-card DBE proneness.
+//! * [`hardware`] — DBE, off-the-bus, and SBE generators with structure
+//!   attribution and temperature coupling.
+//! * [`software`] — driver/application XID incident generators
+//!   (Observation 6's bursty-vs-steady split).
+//! * [`cascade`] — the parent→child XID co-occurrence model behind
+//!   Fig. 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod cascade;
+pub mod hardware;
+pub mod process;
+pub mod rngstream;
+pub mod software;
+pub mod susceptibility;
+
+pub use cascade::CascadeModel;
+pub use hardware::{DbeProcess, OtbProcess, SbeProcess};
+pub use process::{BurstProcess, PiecewisePoisson, PoissonProcess};
+pub use rngstream::RngStreams;
+pub use software::{SoftwareIncident, SoftwareXidModel};
+pub use susceptibility::CardSusceptibility;

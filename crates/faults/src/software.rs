@@ -1,0 +1,284 @@
+//! Software / firmware / application XID incident generators.
+//!
+//! Observation 6: "User application caused XID errors are bursty in
+//! nature and are frequent, while driver related XID errors are not
+//! bursty and occur relatively less frequently."
+//!
+//! An *incident* here is one logical failure; application incidents get
+//! replicated across every node of the affected job by the simulator
+//! ("user application related errors are reported on all the nodes
+//! allocated to the job"), driver incidents strike a single node.
+
+use rand::Rng;
+use titan_conlog::time::{SimTime, STUDY_SECONDS};
+use titan_gpu::GpuErrorKind;
+
+use crate::calibration;
+use crate::process::{BurstProcess, PiecewisePoisson, PoissonProcess};
+
+/// One software/firmware incident draft.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareIncident {
+    /// When it begins.
+    pub time: SimTime,
+    /// XID kind.
+    pub kind: GpuErrorKind,
+    /// Whether the incident hits a whole job (application errors) or one
+    /// node (driver errors).
+    pub job_wide: bool,
+}
+
+/// Generator for every Table 2 XID stream.
+#[derive(Debug, Clone)]
+pub struct SoftwareXidModel {
+    /// Deadline-season burst process for XID 13.
+    xid13: BurstProcess,
+    /// Steady driver processes: (kind, rate/sec, job_wide).
+    steady: Vec<(GpuErrorKind, f64, bool)>,
+    /// The XID 59 → 62 regime change for micro-controller halts.
+    uchalt: PiecewisePoisson,
+}
+
+impl Default for SoftwareXidModel {
+    fn default() -> Self {
+        const DAY: f64 = 86_400.0;
+        let per_total = |target: f64| target / STUDY_SECONDS as f64;
+        SoftwareXidModel {
+            xid13: BurstProcess {
+                base_rate_per_sec: calibration::XID13_INCIDENT_PER_DAY / DAY,
+                season_multiplier: calibration::XID13_DEADLINE_MULTIPLIER,
+                // Quarterly conference deadlines, two hot weeks each.
+                season_period: 90 * 86_400,
+                season_len: 14 * 86_400,
+                // Debug-run repetition: the same buggy binary resubmitted a
+                // few times the same day.
+                mean_children: 2.0,
+                child_span: 12 * 3600,
+            },
+            steady: vec![
+                (
+                    GpuErrorKind::GpuMemoryPageFault,
+                    calibration::XID31_INCIDENT_PER_DAY / DAY,
+                    true, // user-code error: reported across the job
+                ),
+                (
+                    GpuErrorKind::GpuStoppedProcessing,
+                    calibration::XID43_INCIDENT_PER_DAY / DAY,
+                    false,
+                ),
+                (
+                    GpuErrorKind::ContextSwitchFault,
+                    calibration::XID44_INCIDENT_PER_DAY / DAY,
+                    false,
+                ),
+                (
+                    GpuErrorKind::PreemptiveCleanup,
+                    calibration::XID45_INCIDENT_PER_DAY / DAY,
+                    false,
+                ),
+                (
+                    GpuErrorKind::PushBufferStream,
+                    per_total(calibration::XID32_TOTAL_TARGET),
+                    true,
+                ),
+                (
+                    GpuErrorKind::DriverFirmware,
+                    per_total(calibration::XID38_TOTAL_TARGET),
+                    false,
+                ),
+                (
+                    GpuErrorKind::VideoProcessorSw,
+                    per_total(calibration::XID42_TOTAL_TARGET), // zero: never occurs
+                    false,
+                ),
+                (
+                    GpuErrorKind::DisplayEngine,
+                    per_total(calibration::XID56_TOTAL_TARGET),
+                    false,
+                ),
+                (
+                    GpuErrorKind::VideoMemoryProgramming,
+                    per_total(calibration::XID57_TOTAL_TARGET),
+                    false,
+                ),
+                (
+                    GpuErrorKind::UnstableVideoMemory,
+                    per_total(calibration::XID58_TOTAL_TARGET),
+                    false,
+                ),
+                (
+                    GpuErrorKind::VideoProcessorHw,
+                    per_total(calibration::XID65_TOTAL_TARGET),
+                    false,
+                ),
+            ],
+            uchalt: PiecewisePoisson::new(vec![
+                (0, calibration::UCHALT_INCIDENT_PER_DAY / DAY),
+                (
+                    calibration::driver_update_date(),
+                    calibration::UCHALT_INCIDENT_PER_DAY / DAY,
+                ),
+            ])
+            .expect("valid segments"),
+        }
+    }
+}
+
+impl SoftwareXidModel {
+    /// Samples every software incident over the study window, sorted by
+    /// time.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<SoftwareIncident> {
+        let mut out = Vec::new();
+
+        // XID 13: bursty, job-wide.
+        for (parent, children) in self.xid13.sample_window(0, STUDY_SECONDS, rng) {
+            out.push(SoftwareIncident {
+                time: parent,
+                kind: GpuErrorKind::GraphicsEngineException,
+                job_wide: true,
+            });
+            for c in children {
+                out.push(SoftwareIncident {
+                    time: c,
+                    kind: GpuErrorKind::GraphicsEngineException,
+                    job_wide: true,
+                });
+            }
+        }
+
+        // Steady driver / rare streams.
+        for &(kind, rate, job_wide) in &self.steady {
+            if let Some(p) = PoissonProcess::new(rate) {
+                for t in p.sample_window(0, STUDY_SECONDS, rng) {
+                    out.push(SoftwareIncident {
+                        time: t,
+                        kind,
+                        job_wide,
+                    });
+                }
+            }
+        }
+
+        // Micro-controller halts: kind switches at the driver update.
+        for t in self.uchalt.sample_window(0, STUDY_SECONDS, rng) {
+            let kind = if t < calibration::driver_update_date() {
+                GpuErrorKind::MicrocontrollerHaltOld
+            } else {
+                GpuErrorKind::MicrocontrollerHaltNew
+            };
+            out.push(SoftwareIncident {
+                time: t,
+                kind,
+                job_wide: false,
+            });
+        }
+
+        out.sort_unstable_by_key(|i| i.time);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn incidents() -> Vec<SoftwareIncident> {
+        let mut rng = StdRng::seed_from_u64(1234);
+        SoftwareXidModel::default().sample(&mut rng)
+    }
+
+    fn by_kind(incs: &[SoftwareIncident]) -> HashMap<GpuErrorKind, usize> {
+        let mut m = HashMap::new();
+        for i in incs {
+            *m.entry(i.kind).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn sorted_by_time() {
+        let incs = incidents();
+        assert!(incs.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(incs.iter().all(|i| i.time < STUDY_SECONDS));
+    }
+
+    #[test]
+    fn xid42_never_occurs() {
+        let m = by_kind(&incidents());
+        assert_eq!(m.get(&GpuErrorKind::VideoProcessorSw), None);
+    }
+
+    #[test]
+    fn rare_xids_under_ten() {
+        let m = by_kind(&incidents());
+        let x32 = *m.get(&GpuErrorKind::PushBufferStream).unwrap_or(&0);
+        let x38 = *m.get(&GpuErrorKind::DriverFirmware).unwrap_or(&0);
+        assert!(x32 < 15, "xid32 {x32}");
+        assert!(x38 < 12, "xid38 {x38}");
+    }
+
+    #[test]
+    fn xid13_is_the_most_frequent() {
+        let m = by_kind(&incidents());
+        let x13 = *m.get(&GpuErrorKind::GraphicsEngineException).unwrap();
+        for (&k, &c) in &m {
+            if k != GpuErrorKind::GraphicsEngineException {
+                assert!(x13 >= c, "xid13 {x13} vs {k:?} {c}");
+            }
+        }
+        // Order of a thousand incidents over 21 months.
+        assert!(x13 > 300, "xid13 {x13}");
+    }
+
+    #[test]
+    fn uchalt_regime_change() {
+        let incs = incidents();
+        let cut = calibration::driver_update_date();
+        for i in &incs {
+            match i.kind {
+                GpuErrorKind::MicrocontrollerHaltOld => assert!(i.time < cut),
+                GpuErrorKind::MicrocontrollerHaltNew => assert!(i.time >= cut),
+                _ => {}
+            }
+        }
+        let m = by_kind(&incs);
+        assert!(*m.get(&GpuErrorKind::MicrocontrollerHaltOld).unwrap_or(&0) > 10);
+        assert!(*m.get(&GpuErrorKind::MicrocontrollerHaltNew).unwrap_or(&0) > 10);
+    }
+
+    #[test]
+    fn job_wide_split_matches_design() {
+        let incs = incidents();
+        for i in &incs {
+            let expected = matches!(
+                i.kind,
+                GpuErrorKind::GraphicsEngineException
+                    | GpuErrorKind::GpuMemoryPageFault
+                    | GpuErrorKind::PushBufferStream
+            );
+            assert_eq!(i.job_wide, expected, "{:?}", i.kind);
+        }
+    }
+
+    #[test]
+    fn xid13_burstier_than_driver_xids() {
+        let incs = incidents();
+        let t13: Vec<u64> = incs
+            .iter()
+            .filter(|i| i.kind == GpuErrorKind::GraphicsEngineException)
+            .map(|i| i.time)
+            .collect();
+        let t43: Vec<u64> = incs
+            .iter()
+            .filter(|i| i.kind == GpuErrorKind::GpuStoppedProcessing)
+            .map(|i| i.time)
+            .collect();
+        let b13 = titan_stats::burstiness(&t13).unwrap();
+        let b43 = titan_stats::burstiness(&t43).unwrap();
+        assert!(b13 > b43 + 0.1, "b13={b13} b43={b43}");
+        assert!(b43.abs() < 0.25, "driver stream should be near-Poisson: {b43}");
+    }
+}

@@ -1,0 +1,88 @@
+//! K20X (GK110) architectural constants, straight from paper §2.1.
+
+use serde::{Deserialize, Serialize};
+
+/// The Tesla K20X accelerator as configured on Titan.
+///
+/// All figures come from §2.1 of the paper: "the K20X GPU has 2688 CUDA
+/// cores (28nm process technology). There are a total of 14 SMs and 192
+/// CUDA cores within each SM. A single GPU has 3.95 Tflops single
+/// precision peak performance and 1.31 Tflops double precision peak
+/// performance. The on-chip memory hierarchy on a GPU consists of each SM
+/// having 64K registers, 64KB of combined shared memory and L1 cache, and
+/// 48KB of read-only data cache. All SMs on the GPU share a 1536 KB L2
+/// cache and 6GB GDDR5 memory."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct K20X;
+
+impl K20X {
+    /// Streaming multiprocessors per GPU.
+    pub const SM_COUNT: u32 = 14;
+    /// CUDA cores per SM.
+    pub const CORES_PER_SM: u32 = 192;
+    /// Total CUDA cores (14 × 192 = 2688).
+    pub const CUDA_CORES: u32 = Self::SM_COUNT * Self::CORES_PER_SM;
+    /// 32-bit registers per SM (64 K entries).
+    pub const REGISTERS_PER_SM: u32 = 64 * 1024;
+    /// Combined shared memory + L1 per SM, bytes (64 KB).
+    pub const SHMEM_L1_PER_SM: u64 = 64 * 1024;
+    /// Read-only data cache per SM, bytes (48 KB).
+    pub const READONLY_PER_SM: u64 = 48 * 1024;
+    /// Shared L2 cache, bytes (1536 KB).
+    pub const L2_BYTES: u64 = 1536 * 1024;
+    /// GDDR5 device memory, bytes (6 GB).
+    pub const DEVICE_MEMORY_BYTES: u64 = 6 * 1024 * 1024 * 1024;
+    /// Single-precision peak, Gflop/s.
+    pub const PEAK_SP_GFLOPS: f64 = 3950.0;
+    /// Double-precision peak, Gflop/s.
+    pub const PEAK_DP_GFLOPS: f64 = 1310.0;
+    /// Process technology, nanometres.
+    pub const PROCESS_NM: u32 = 28;
+
+    /// Total register-file bytes across the chip: 14 SMs × 64 K × 4 B.
+    pub const fn register_file_bytes() -> u64 {
+        (Self::SM_COUNT as u64) * (Self::REGISTERS_PER_SM as u64) * 4
+    }
+
+    /// Total shared-memory+L1 bytes across the chip.
+    pub const fn shmem_l1_bytes() -> u64 {
+        (Self::SM_COUNT as u64) * Self::SHMEM_L1_PER_SM
+    }
+
+    /// Total read-only cache bytes across the chip.
+    pub const fn readonly_bytes() -> u64 {
+        (Self::SM_COUNT as u64) * Self::READONLY_PER_SM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_figures() {
+        assert_eq!(K20X::CUDA_CORES, 2688);
+        assert_eq!(K20X::SM_COUNT, 14);
+        assert_eq!(K20X::L2_BYTES, 1_572_864);
+        assert_eq!(K20X::DEVICE_MEMORY_BYTES, 6_442_450_944);
+    }
+
+    #[test]
+    fn derived_capacities() {
+        // 14 × 64K × 4B = 3.5 MiB of registers.
+        assert_eq!(K20X::register_file_bytes(), 3_670_016);
+        assert_eq!(K20X::shmem_l1_bytes(), 14 * 64 * 1024);
+        assert_eq!(K20X::readonly_bytes(), 14 * 48 * 1024);
+    }
+
+    #[test]
+    fn device_memory_dwarfs_on_chip_structures() {
+        // The paper's Observation 3 hinges on this ordering: device memory
+        // is "larger than other memory structures by orders of magnitude".
+        let on_chip = K20X::register_file_bytes()
+            + K20X::shmem_l1_bytes()
+            + K20X::readonly_bytes()
+            + K20X::L2_BYTES;
+        assert!(K20X::DEVICE_MEMORY_BYTES > 500 * on_chip);
+    }
+}

@@ -1,0 +1,153 @@
+//! SECDED outcome state machine.
+//!
+//! Translates a raw bit-upset (where it struck and how many bits flipped)
+//! into the observable consequence on a K20X:
+//!
+//! * SECDED structure, 1 bit  → corrected; SBE counter increments; the
+//!   application never notices.
+//! * SECDED structure, ≥2 bits → detected, uncorrectable; "when a DBE is
+//!   encountered, SECDED mechanism always crashes the program" (§3.1).
+//! * Parity structure, 1 bit  → detected; the read-only cache recovers by
+//!   refetching (clean data exists upstream), so no crash, but the event
+//!   is counted.
+//! * Parity structure, ≥2 bits → an even number of flips can defeat
+//!   parity: silent data corruption; odd counts detect and refetch.
+//! * Unprotected logic → the paper: "this opens up the possibility of a
+//!   soft-error causing side-effects (crash or silent data corruption),
+//!   but still not being caught by the ECC mechanism."
+
+use serde::{Deserialize, Serialize};
+
+use crate::structures::{MemoryStructure, Protection};
+
+/// A raw upset: the physical strike before ECC interprets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccEvent {
+    /// Structure struck.
+    pub structure: MemoryStructure,
+    /// Number of bits flipped within one ECC word.
+    pub flipped_bits: u8,
+}
+
+/// Observable consequence of an upset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccOutcome {
+    /// Corrected single-bit error; counted, harmless.
+    CorrectedSbe,
+    /// Detected, uncorrectable double-bit error; the program is killed.
+    UncorrectedDbe,
+    /// Parity detected the flip and the structure refetched clean data.
+    ParityRecovered,
+    /// The upset escaped detection entirely.
+    SilentCorruption,
+    /// Upset in unprotected logic that manifested as a crash.
+    LogicCrash,
+}
+
+impl EccOutcome {
+    /// Whether the running application is terminated.
+    pub fn crashes_application(self) -> bool {
+        matches!(self, EccOutcome::UncorrectedDbe | EccOutcome::LogicCrash)
+    }
+
+    /// Whether the outcome is visible to *any* counter or log. Silent
+    /// corruption is, definitionally, not.
+    pub fn observable(self) -> bool {
+        !matches!(self, EccOutcome::SilentCorruption)
+    }
+}
+
+/// Resolves an upset through the structure's protection.
+///
+/// `logic_crash` decides the crash-vs-silent coin for unprotected logic;
+/// callers pass a pre-drawn boolean so this function stays deterministic
+/// and RNG-free.
+pub fn resolve(event: EccEvent, logic_crash: bool) -> EccOutcome {
+    match event.structure.protection() {
+        Protection::Secded => {
+            if event.flipped_bits <= 1 {
+                EccOutcome::CorrectedSbe
+            } else {
+                EccOutcome::UncorrectedDbe
+            }
+        }
+        Protection::Parity => {
+            if event.flipped_bits % 2 == 1 {
+                EccOutcome::ParityRecovered
+            } else {
+                EccOutcome::SilentCorruption
+            }
+        }
+        Protection::Unprotected => {
+            if logic_crash {
+                EccOutcome::LogicCrash
+            } else {
+                EccOutcome::SilentCorruption
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures::MemoryStructure::*;
+
+    fn ev(structure: MemoryStructure, bits: u8) -> EccEvent {
+        EccEvent {
+            structure,
+            flipped_bits: bits,
+        }
+    }
+
+    #[test]
+    fn secded_single_bit_corrected() {
+        for s in [DeviceMemory, L2Cache, RegisterFile, SharedL1, TextureMemory] {
+            assert_eq!(resolve(ev(s, 1), false), EccOutcome::CorrectedSbe);
+        }
+    }
+
+    #[test]
+    fn secded_double_bit_always_crashes() {
+        let out = resolve(ev(DeviceMemory, 2), false);
+        assert_eq!(out, EccOutcome::UncorrectedDbe);
+        assert!(out.crashes_application());
+        // Triple-bit upsets in a SECDED word are also uncorrectable.
+        assert_eq!(resolve(ev(RegisterFile, 3), false), EccOutcome::UncorrectedDbe);
+    }
+
+    #[test]
+    fn parity_odd_recovers_even_escapes() {
+        assert_eq!(resolve(ev(ReadOnlyCache, 1), false), EccOutcome::ParityRecovered);
+        assert_eq!(
+            resolve(ev(ReadOnlyCache, 2), false),
+            EccOutcome::SilentCorruption
+        );
+        assert_eq!(resolve(ev(ReadOnlyCache, 3), false), EccOutcome::ParityRecovered);
+    }
+
+    #[test]
+    fn unprotected_logic_flips_coin() {
+        assert_eq!(resolve(ev(ControlLogic, 1), true), EccOutcome::LogicCrash);
+        assert_eq!(
+            resolve(ev(ControlLogic, 1), false),
+            EccOutcome::SilentCorruption
+        );
+    }
+
+    #[test]
+    fn observability() {
+        assert!(EccOutcome::CorrectedSbe.observable());
+        assert!(EccOutcome::UncorrectedDbe.observable());
+        assert!(!EccOutcome::SilentCorruption.observable());
+        assert!(!EccOutcome::CorrectedSbe.crashes_application());
+        assert!(!EccOutcome::ParityRecovered.crashes_application());
+        assert!(EccOutcome::LogicCrash.crashes_application());
+    }
+
+    #[test]
+    fn zero_bit_event_is_noop_correction() {
+        // Degenerate input: zero flipped bits is treated as corrected.
+        assert_eq!(resolve(ev(L2Cache, 0), false), EccOutcome::CorrectedSbe);
+    }
+}

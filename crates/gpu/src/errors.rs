@@ -1,0 +1,291 @@
+//! The GPU error taxonomy of the paper's Tables 1 and 2, keyed by NVIDIA
+//! XID code.
+//!
+//! Two deliberate subtleties carried over from the paper:
+//!
+//! * single-bit errors and off-the-bus events have *no* XID — SBEs never
+//!   reach the console log at all (they are only visible through
+//!   nvidia-smi), and off-the-bus events are logged by the host side;
+//! * XIDs 57/58 appear in both tables ("some errors may appear in both
+//!   tables since determining precise source of a particular error is not
+//!   always possible"), so [`GpuErrorKind::category`] returns
+//!   [`ErrorCategory::Ambiguous`] for them.
+
+use serde::{Deserialize, Serialize};
+
+/// NVIDIA XID code (the "Xid" field of a console-log error line).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Xid(pub u8);
+
+impl std::fmt::Display for Xid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Source attribution per the paper's two tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorCategory {
+    /// Table 1: caused by hardware or cosmic rays.
+    Hardware,
+    /// Table 2: application, driver, firmware or thermal causes.
+    SoftwareFirmware,
+    /// Listed in both tables (XIDs 57 and 58).
+    Ambiguous,
+}
+
+/// Every GPU-related error event the study tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuErrorKind {
+    /// Single bit error, corrected by SECDED. No XID; invisible to the
+    /// console log (nvidia-smi only).
+    SingleBitError,
+    /// Double bit error, detected but uncorrectable — SECDED always
+    /// crashes the program. XID 48.
+    DoubleBitError,
+    /// "Off the bus": host lost the PCIe connection to the GPU. A system
+    /// integration issue, not GPU micro-architecture. No XID.
+    OffTheBus,
+    /// Display engine error. XID 56.
+    DisplayEngine,
+    /// Error programming the video memory interface. XID 57 (both tables).
+    VideoMemoryProgramming,
+    /// Unstable video memory interface detected. XID 58 (both tables).
+    UnstableVideoMemory,
+    /// ECC page retirement recording event. XID 63.
+    EccPageRetirement,
+    /// ECC page retirement/remapping failure. XID 64.
+    EccPageRetirementFailure,
+    /// Video processor exception (hardware attribution). XID 65.
+    VideoProcessorHw,
+    /// Graphics engine exception — driver, user app, FB corruption, bus or
+    /// thermal. The paper's canonical bursty application error. XID 13.
+    GraphicsEngineException,
+    /// GPU memory page fault (driver or user app). XID 31.
+    GpuMemoryPageFault,
+    /// Invalid or corrupted push buffer stream. XID 32.
+    PushBufferStream,
+    /// Driver firmware error. XID 38.
+    DriverFirmware,
+    /// Video processor exception (driver attribution). XID 42 — the paper
+    /// notes it never occurred on Titan.
+    VideoProcessorSw,
+    /// GPU stopped processing (driver). XID 43.
+    GpuStoppedProcessing,
+    /// Graphics engine fault during context switch (driver). XID 44.
+    ContextSwitchFault,
+    /// Preemptive cleanup, due to previous errors (driver). XID 45.
+    PreemptiveCleanup,
+    /// Internal micro-controller halt — the *old* driver's code. XID 59.
+    MicrocontrollerHaltOld,
+    /// Internal micro-controller halt — new driver, thermal causes. XID 62.
+    MicrocontrollerHaltNew,
+}
+
+impl GpuErrorKind {
+    /// All kinds in stable reporting order.
+    pub const ALL: [GpuErrorKind; 19] = [
+        GpuErrorKind::SingleBitError,
+        GpuErrorKind::DoubleBitError,
+        GpuErrorKind::OffTheBus,
+        GpuErrorKind::DisplayEngine,
+        GpuErrorKind::VideoMemoryProgramming,
+        GpuErrorKind::UnstableVideoMemory,
+        GpuErrorKind::EccPageRetirement,
+        GpuErrorKind::EccPageRetirementFailure,
+        GpuErrorKind::VideoProcessorHw,
+        GpuErrorKind::GraphicsEngineException,
+        GpuErrorKind::GpuMemoryPageFault,
+        GpuErrorKind::PushBufferStream,
+        GpuErrorKind::DriverFirmware,
+        GpuErrorKind::VideoProcessorSw,
+        GpuErrorKind::GpuStoppedProcessing,
+        GpuErrorKind::ContextSwitchFault,
+        GpuErrorKind::PreemptiveCleanup,
+        GpuErrorKind::MicrocontrollerHaltOld,
+        GpuErrorKind::MicrocontrollerHaltNew,
+    ];
+
+    /// XID code, when the event has one.
+    pub fn xid(self) -> Option<Xid> {
+        use GpuErrorKind::*;
+        let x = match self {
+            SingleBitError | OffTheBus => return None,
+            DoubleBitError => 48,
+            DisplayEngine => 56,
+            VideoMemoryProgramming => 57,
+            UnstableVideoMemory => 58,
+            EccPageRetirement => 63,
+            EccPageRetirementFailure => 64,
+            VideoProcessorHw => 65,
+            GraphicsEngineException => 13,
+            GpuMemoryPageFault => 31,
+            PushBufferStream => 32,
+            DriverFirmware => 38,
+            VideoProcessorSw => 42,
+            GpuStoppedProcessing => 43,
+            ContextSwitchFault => 44,
+            PreemptiveCleanup => 45,
+            MicrocontrollerHaltOld => 59,
+            MicrocontrollerHaltNew => 62,
+        };
+        Some(Xid(x))
+    }
+
+    /// Reverse lookup from an XID code. XIDs 65 and 42 are distinct codes
+    /// so the mapping is unambiguous.
+    pub fn from_xid(xid: Xid) -> Option<GpuErrorKind> {
+        GpuErrorKind::ALL
+            .into_iter()
+            .find(|k| k.xid() == Some(xid))
+    }
+
+    /// Table attribution.
+    pub fn category(self) -> ErrorCategory {
+        use GpuErrorKind::*;
+        match self {
+            SingleBitError | DoubleBitError | OffTheBus | DisplayEngine | EccPageRetirement
+            | EccPageRetirementFailure | VideoProcessorHw => ErrorCategory::Hardware,
+            VideoMemoryProgramming | UnstableVideoMemory => ErrorCategory::Ambiguous,
+            GraphicsEngineException | GpuMemoryPageFault | PushBufferStream | DriverFirmware
+            | VideoProcessorSw | GpuStoppedProcessing | ContextSwitchFault | PreemptiveCleanup
+            | MicrocontrollerHaltOld | MicrocontrollerHaltNew => ErrorCategory::SoftwareFirmware,
+        }
+    }
+
+    /// Whether the event terminates the application running on the node.
+    ///
+    /// SBEs are corrected transparently; a retirement *recording* (two-SBE
+    /// path) does not crash ("the application crashes in the first
+    /// \[DBE\] case, but not in the second"); everything else interrupts
+    /// execution.
+    pub fn crashes_application(self) -> bool {
+        use GpuErrorKind::*;
+        !matches!(self, SingleBitError | EccPageRetirement)
+    }
+
+    /// Human-readable description, as would appear in vendor docs.
+    pub fn description(self) -> &'static str {
+        use GpuErrorKind::*;
+        match self {
+            SingleBitError => "Single Bit Error (corrected by the SECDED ECC)",
+            DoubleBitError => "Double Bit Error (detected by the SECDED ECC, but not corrected)",
+            OffTheBus => "GPU off the bus",
+            DisplayEngine => "Display Engine error",
+            VideoMemoryProgramming => "Error programming video memory interface",
+            UnstableVideoMemory => "Unstable video memory interface detected",
+            EccPageRetirement => "ECC page retirement event",
+            EccPageRetirementFailure => "ECC page retirement or row remapper failure",
+            VideoProcessorHw => "Video processor exception",
+            GraphicsEngineException => "Graphics Engine Exception",
+            GpuMemoryPageFault => "GPU memory page fault",
+            PushBufferStream => "Invalid or corrupted push buffer stream",
+            DriverFirmware => "Driver firmware error",
+            VideoProcessorSw => "Video processor exception",
+            GpuStoppedProcessing => "GPU stopped processing",
+            ContextSwitchFault => "Graphics Engine fault during context switch",
+            PreemptiveCleanup => "Preemptive cleanup, due to previous errors",
+            MicrocontrollerHaltOld => "Internal micro-controller halt (legacy driver)",
+            MicrocontrollerHaltNew => "Internal micro-controller halt",
+        }
+    }
+
+    /// True for errors whose *possible causes* include the user
+    /// application (per NVIDIA's XID documentation, reflected in Table 2).
+    /// These are the bursty ones of Observation 6.
+    pub fn user_application_possible(self) -> bool {
+        use GpuErrorKind::*;
+        matches!(
+            self,
+            GraphicsEngineException | GpuMemoryPageFault | PushBufferStream
+        )
+    }
+}
+
+impl std::fmt::Display for GpuErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.xid() {
+            Some(x) => write!(f, "{} (Xid {})", self.description(), x),
+            None => f.write_str(self.description()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xid_codes_match_tables() {
+        use GpuErrorKind::*;
+        assert_eq!(DoubleBitError.xid(), Some(Xid(48)));
+        assert_eq!(GraphicsEngineException.xid(), Some(Xid(13)));
+        assert_eq!(GpuMemoryPageFault.xid(), Some(Xid(31)));
+        assert_eq!(PushBufferStream.xid(), Some(Xid(32)));
+        assert_eq!(DriverFirmware.xid(), Some(Xid(38)));
+        assert_eq!(VideoProcessorSw.xid(), Some(Xid(42)));
+        assert_eq!(GpuStoppedProcessing.xid(), Some(Xid(43)));
+        assert_eq!(ContextSwitchFault.xid(), Some(Xid(44)));
+        assert_eq!(PreemptiveCleanup.xid(), Some(Xid(45)));
+        assert_eq!(DisplayEngine.xid(), Some(Xid(56)));
+        assert_eq!(VideoMemoryProgramming.xid(), Some(Xid(57)));
+        assert_eq!(UnstableVideoMemory.xid(), Some(Xid(58)));
+        assert_eq!(MicrocontrollerHaltOld.xid(), Some(Xid(59)));
+        assert_eq!(MicrocontrollerHaltNew.xid(), Some(Xid(62)));
+        assert_eq!(EccPageRetirement.xid(), Some(Xid(63)));
+        assert_eq!(EccPageRetirementFailure.xid(), Some(Xid(64)));
+        assert_eq!(VideoProcessorHw.xid(), Some(Xid(65)));
+        assert_eq!(SingleBitError.xid(), None);
+        assert_eq!(OffTheBus.xid(), None);
+    }
+
+    #[test]
+    fn from_xid_roundtrip() {
+        for k in GpuErrorKind::ALL {
+            if let Some(x) = k.xid() {
+                assert_eq!(GpuErrorKind::from_xid(x), Some(k), "{k:?}");
+            }
+        }
+        assert_eq!(GpuErrorKind::from_xid(Xid(99)), None);
+    }
+
+    #[test]
+    fn ambiguous_errors_in_both_tables() {
+        assert_eq!(
+            GpuErrorKind::VideoMemoryProgramming.category(),
+            ErrorCategory::Ambiguous
+        );
+        assert_eq!(
+            GpuErrorKind::UnstableVideoMemory.category(),
+            ErrorCategory::Ambiguous
+        );
+    }
+
+    #[test]
+    fn crash_semantics() {
+        assert!(!GpuErrorKind::SingleBitError.crashes_application());
+        assert!(!GpuErrorKind::EccPageRetirement.crashes_application());
+        assert!(GpuErrorKind::DoubleBitError.crashes_application());
+        assert!(GpuErrorKind::OffTheBus.crashes_application());
+        assert!(GpuErrorKind::GraphicsEngineException.crashes_application());
+    }
+
+    #[test]
+    fn user_app_kinds_are_table2() {
+        for k in GpuErrorKind::ALL {
+            if k.user_application_possible() {
+                assert_eq!(k.category(), ErrorCategory::SoftwareFirmware);
+            }
+        }
+    }
+
+    #[test]
+    fn display_includes_xid() {
+        let s = format!("{}", GpuErrorKind::DoubleBitError);
+        assert!(s.contains("Xid 48"), "{s}");
+        let s = format!("{}", GpuErrorKind::OffTheBus);
+        assert!(!s.contains("Xid"), "{s}");
+    }
+}

@@ -1,0 +1,187 @@
+//! `nvidia-smi -q -d ECC,PAGE_RETIREMENT`-style text rendering and
+//! parsing, so snapshot archives round-trip through the same text format
+//! an operator's collection scripts would store.
+
+use titan_gpu::MemoryStructure;
+use titan_topology::NodeId;
+
+use crate::snapshot::{EccCounts, GpuSnapshot};
+
+/// Renders one GPU's ECC report.
+pub fn render_ecc_report(s: &GpuSnapshot) -> String {
+    let mut out = String::with_capacity(640);
+    out.push_str(&format!(
+        "==============NVSMI LOG==============\nTimestamp : {}\nNode : {}\nSerial Number : {}\n",
+        s.taken_at,
+        s.node.location().cname(),
+        s.serial,
+    ));
+    out.push_str(&format!("GPU Current Temp : {} F\n", s.temperature_f));
+    out.push_str("Ecc Errors\n");
+    for (label, counts) in [("Volatile", &s.volatile), ("Aggregate", &s.aggregate)] {
+        out.push_str(&format!("  {label}\n"));
+        for (i, &m) in MemoryStructure::ECC_COUNTED.iter().enumerate() {
+            out.push_str(&format!(
+                "    {} : Single Bit {} : Double Bit {}\n",
+                m.label(),
+                counts[i].sbe,
+                counts[i].dbe
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "Retired Pages\n  Double Bit ECC : {}\n  Single Bit ECC : {}\n",
+        s.retired_pages.0, s.retired_pages.1
+    ));
+    out
+}
+
+/// Parses a [`render_ecc_report`] block back into a snapshot. Returns
+/// `None` on any structural mismatch.
+pub fn parse_ecc_report(text: &str) -> Option<GpuSnapshot> {
+    let mut taken_at = None;
+    let mut node = None;
+    let mut serial = None;
+    let mut volatile = Vec::new();
+    let mut aggregate = Vec::new();
+    let mut retired = (None, None);
+    let mut temperature = None;
+    let mut section = "";
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(v) = t.strip_prefix("Timestamp : ") {
+            taken_at = v.parse().ok();
+        } else if let Some(v) = t.strip_prefix("Node : ") {
+            node = titan_topology::Location::parse_cname(v).ok().map(|l| l.node_id());
+        } else if let Some(v) = t.strip_prefix("Serial Number : ") {
+            // Serial format: constant prefix "032351" + 7 digits.
+            let digits = v.strip_prefix("032351")?;
+            serial = digits.parse().ok().map(titan_gpu::CardSerial);
+        } else if let Some(v) = t.strip_prefix("GPU Current Temp : ") {
+            temperature = v.strip_suffix(" F").and_then(|x| x.parse().ok());
+        } else if t == "Volatile" {
+            section = "volatile";
+        } else if t == "Aggregate" {
+            section = "aggregate";
+        } else if t == "Retired Pages" {
+            section = "retired";
+        } else if let Some(v) = t.strip_prefix("Double Bit ECC : ") {
+            if section == "retired" {
+                retired.0 = v.parse().ok();
+            }
+        } else if let Some(v) = t.strip_prefix("Single Bit ECC : ") {
+            if section == "retired" {
+                retired.1 = v.parse().ok();
+            }
+        } else if t.contains(" : Single Bit ") {
+            let (_, rest) = t.split_once(" : Single Bit ")?;
+            let (sbe, dbe) = rest.split_once(" : Double Bit ")?;
+            let counts = EccCounts {
+                sbe: sbe.trim().parse().ok()?,
+                dbe: dbe.trim().parse().ok()?,
+            };
+            match section {
+                "volatile" => volatile.push(counts),
+                "aggregate" => aggregate.push(counts),
+                _ => return None,
+            }
+        }
+    }
+    let n = MemoryStructure::ECC_COUNTED.len();
+    if volatile.len() != n || aggregate.len() != n {
+        return None;
+    }
+    Some(GpuSnapshot {
+        node: node?,
+        serial: serial?,
+        taken_at: taken_at?,
+        aggregate,
+        volatile,
+        retired_pages: (retired.0?, retired.1?),
+        temperature_f: temperature?,
+    })
+}
+
+/// Renders a fleet of snapshots separated by blank lines.
+pub fn render_fleet(snaps: &[GpuSnapshot]) -> String {
+    snaps
+        .iter()
+        .map(render_ecc_report)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Parses a fleet archive; skips malformed blocks (operator scripts
+/// truncate files at collection windows).
+pub fn parse_fleet(text: &str) -> Vec<GpuSnapshot> {
+    text.split("==============NVSMI LOG==============")
+        .filter(|b| !b.trim().is_empty())
+        .filter_map(parse_ecc_report)
+        .collect()
+}
+
+/// Convenience: snapshot a card and render in one step.
+pub fn report_for(node: NodeId, card: &titan_gpu::GpuCard, taken_at: u64) -> String {
+    render_ecc_report(&GpuSnapshot::take(node, card, taken_at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_gpu::{CardSerial, GpuCard, PageAddress};
+
+    fn snapshot() -> GpuSnapshot {
+        let mut c = GpuCard::new(CardSerial(321));
+        c.apply_sbe(MemoryStructure::L2Cache, None);
+        c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(5)));
+        c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(5)));
+        c.inforom.flush_sbe();
+        c.apply_dbe(MemoryStructure::RegisterFile, None, true);
+        GpuSnapshot::take(NodeId(777), &c, 123_456)
+    }
+
+    #[test]
+    fn report_mentions_structures_and_counts() {
+        let text = render_ecc_report(&snapshot());
+        assert!(text.contains("L2 Cache"), "{text}");
+        assert!(text.contains("Device Memory"), "{text}");
+        assert!(text.contains("Retired Pages"), "{text}");
+        assert!(text.contains("Single Bit ECC : 1"), "{text}"); // 2-SBE page
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = snapshot();
+        let text = render_ecc_report(&s);
+        let back = parse_ecc_report(&text).expect("parse");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn fleet_roundtrip_with_garbage() {
+        let a = snapshot();
+        let mut b = snapshot();
+        b.taken_at = 999;
+        let mut text = render_fleet(&[a.clone(), b.clone()]);
+        text.push_str("\n==============NVSMI LOG==============\ntruncated garbage\n");
+        let parsed = parse_fleet(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], a);
+        assert_eq!(parsed[1], b);
+    }
+
+    #[test]
+    fn parse_rejects_missing_sections() {
+        assert!(parse_ecc_report("").is_none());
+        assert!(parse_ecc_report("Timestamp : 5\nNode : c0-0c0s0n0\n").is_none());
+    }
+
+    #[test]
+    fn report_for_is_take_then_render() {
+        let c = GpuCard::new(CardSerial(9));
+        let text = report_for(NodeId(3), &c, 77);
+        let s = parse_ecc_report(&text).unwrap();
+        assert_eq!(s.serial, CardSerial(9));
+        assert_eq!(s.total_sbe(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Point-in-time per-GPU ECC snapshots.
+
+use serde::{Deserialize, Serialize};
+use titan_gpu::{CardSerial, GpuCard, MemoryStructure};
+use titan_topology::NodeId;
+
+/// SBE/DBE counters for one structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccCounts {
+    /// Corrected single-bit errors.
+    pub sbe: u64,
+    /// Detected double-bit errors.
+    pub dbe: u64,
+}
+
+/// One GPU's snapshot — what `nvidia-smi -q -d ECC,PAGE_RETIREMENT`
+/// would print for the device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSnapshot {
+    /// Where the card sits right now.
+    pub node: NodeId,
+    /// Card identity (serials survive slot moves).
+    pub serial: CardSerial,
+    /// Snapshot time (seconds since study epoch) — the time the *tool*
+    /// ran; individual errors carry no timestamps, per the paper.
+    pub taken_at: u64,
+    /// Aggregate (lifetime) counters per ECC-counted structure, in
+    /// [`MemoryStructure::ECC_COUNTED`] order.
+    pub aggregate: Vec<EccCounts>,
+    /// Volatile (since driver reload) counters, same order.
+    pub volatile: Vec<EccCounts>,
+    /// Retired pages: (double-bit count, single-bit count).
+    pub retired_pages: (u32, u32),
+    /// GPU temperature at snapshot time, °F — nvidia-smi reports this and
+    /// the paper's cage-gradient claim ("more than 10 °F hotter") was
+    /// derived from exactly such a snapshot.
+    pub temperature_f: f64,
+}
+
+impl GpuSnapshot {
+    /// Reads a card. This is the *only* way the analysis side ever sees
+    /// SBE information — mirroring the real pipeline. Temperature comes
+    /// from the slot's steady-state thermal model.
+    pub fn take(node: NodeId, card: &GpuCard, taken_at: u64) -> Self {
+        Self::take_with_thermal(node, card, taken_at, &titan_topology::ThermalModel::default())
+    }
+
+    /// [`take`](Self::take) with an explicit thermal model.
+    pub fn take_with_thermal(
+        node: NodeId,
+        card: &GpuCard,
+        taken_at: u64,
+        thermal: &titan_topology::ThermalModel,
+    ) -> Self {
+        let aggregate = MemoryStructure::ECC_COUNTED
+            .iter()
+            .map(|&s| EccCounts {
+                // NVML reports persisted + pending-flush; a crash between
+                // snapshots silently drops the pending part.
+                sbe: card.inforom.reported_sbe(s),
+                dbe: card.inforom.aggregate_dbe(s),
+            })
+            .collect();
+        let volatile = MemoryStructure::ECC_COUNTED
+            .iter()
+            .map(|&s| EccCounts {
+                sbe: card.inforom.volatile_sbe(s),
+                dbe: card.inforom.volatile_dbe(s),
+            })
+            .collect();
+        GpuSnapshot {
+            node,
+            serial: card.serial,
+            taken_at,
+            aggregate,
+            volatile,
+            retired_pages: card.retirement.retired_counts(),
+            temperature_f: thermal.gpu_temp_f(node),
+        }
+    }
+
+    /// Total aggregate SBEs across structures.
+    pub fn total_sbe(&self) -> u64 {
+        self.aggregate.iter().map(|c| c.sbe).sum()
+    }
+
+    /// Total aggregate DBEs across structures.
+    pub fn total_dbe(&self) -> u64 {
+        self.aggregate.iter().map(|c| c.dbe).sum()
+    }
+
+    /// Aggregate counts for one structure, `None` if not ECC-counted.
+    pub fn counts_for(&self, s: MemoryStructure) -> Option<EccCounts> {
+        MemoryStructure::ECC_COUNTED
+            .iter()
+            .position(|&m| m == s)
+            .map(|i| self.aggregate[i])
+    }
+
+    /// The Observation 2 inconsistency check: true when this card reports
+    /// more DBEs than SBEs — "Nvidia-smi reports a greater number of
+    /// double bit errors than single bit errors for some cards".
+    pub fn dbe_exceeds_sbe(&self) -> bool {
+        self.total_dbe() > self.total_sbe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_gpu::PageAddress;
+
+    fn card_with_history() -> GpuCard {
+        let mut c = GpuCard::new(CardSerial(7));
+        c.apply_sbe(MemoryStructure::L2Cache, None);
+        c.apply_sbe(MemoryStructure::L2Cache, None);
+        c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(3)));
+        c.inforom.flush_sbe();
+        c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(9)), true);
+        c
+    }
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let c = card_with_history();
+        let s = GpuSnapshot::take(NodeId(10), &c, 1000);
+        assert_eq!(s.total_sbe(), 3);
+        assert_eq!(s.total_dbe(), 1);
+        assert_eq!(
+            s.counts_for(MemoryStructure::L2Cache).unwrap().sbe,
+            2
+        );
+        assert_eq!(
+            s.counts_for(MemoryStructure::DeviceMemory).unwrap().dbe,
+            1
+        );
+        assert_eq!(s.counts_for(MemoryStructure::ControlLogic), None);
+        assert_eq!(s.retired_pages, (1, 0));
+        assert!(!s.dbe_exceeds_sbe());
+    }
+
+    #[test]
+    fn unpersisted_dbe_invisible_to_snapshot() {
+        let mut c = GpuCard::new(CardSerial(1));
+        c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(1)), false);
+        let s = GpuSnapshot::take(NodeId(0), &c, 0);
+        assert_eq!(s.total_dbe(), 0, "lost InfoROM write must not appear");
+        assert_eq!(c.lifetime_dbe, 1, "ground truth still knows");
+    }
+
+    #[test]
+    fn observation2_inversion_detectable() {
+        let mut c = GpuCard::new(CardSerial(2));
+        c.apply_sbe(MemoryStructure::DeviceMemory, None);
+        c.inforom.driver_reload(false); // crash loses the SBE
+        c.apply_dbe(MemoryStructure::DeviceMemory, None, true);
+        let s = GpuSnapshot::take(NodeId(0), &c, 0);
+        assert!(s.dbe_exceeds_sbe());
+    }
+
+    #[test]
+    fn volatile_vs_aggregate_split() {
+        let mut c = GpuCard::new(CardSerial(3));
+        c.apply_sbe(MemoryStructure::L2Cache, None);
+        let s = GpuSnapshot::take(NodeId(0), &c, 0);
+        // Pending-flush errors appear in both the volatile counter and
+        // NVML's reported aggregate...
+        assert_eq!(s.volatile[1].sbe, 1); // index 1 = L2 in ECC_COUNTED
+        assert_eq!(s.aggregate[1].sbe, 1);
+        // ...until a crash reload drops the pending part from both.
+        c.inforom.driver_reload(false);
+        let s = GpuSnapshot::take(NodeId(0), &c, 1);
+        assert_eq!(s.volatile[1].sbe, 0);
+        assert_eq!(s.aggregate[1].sbe, 0);
+    }
+}

@@ -1,0 +1,1006 @@
+//! The deterministic event loop.
+//!
+//! All stochastic choices are drawn from per-subsystem RNG streams, and
+//! events are ordered by `(time, sequence)`, so a given [`SimConfig`]
+//! always produces bit-identical output.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use titan_conlog::time::SimTime;
+use titan_conlog::{ConsoleEvent, JobRecord};
+use titan_faults::calibration;
+use titan_faults::cascade::CascadeModel;
+use titan_faults::hardware::{DbeProcess, OtbProcess, SbeProcess};
+use titan_faults::rngstream::{RngStreams, StreamTag};
+use titan_faults::software::SoftwareXidModel;
+use titan_gpu::pages::{RetireDecision, RetirementCause};
+use titan_gpu::{GpuErrorKind, MemoryStructure, PageAddress};
+use titan_nvsmi::{GpuSnapshot, JobEccDelta};
+use titan_topology::{node_to_gpu_index, NodeId, TOTAL_SLOTS};
+use titan_workload::{ScheduledJob, WorkloadSchedule};
+
+use crate::config::SimConfig;
+use crate::fleet::Fleet;
+use crate::output::{DbeTruth, OtbTruth, RetireTruth, SimOutput, SwapTruth};
+
+/// Sentinel: no job on this node.
+const NO_JOB: u32 = u32::MAX;
+
+/// One schedulable event.
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    JobStart(u32),
+    JobEnd(u32),
+    Dbe {
+        structure: MemoryStructure,
+        page: Option<PageAddress>,
+        persisted: bool,
+    },
+    Otb,
+    Sbe {
+        structure: MemoryStructure,
+        hot_page: Option<u32>,
+    },
+    Soft {
+        kind: GpuErrorKind,
+        job_wide: bool,
+    },
+    /// Cascade child event landing on a specific node. Carries the apid
+    /// of the originating job: by the time the child lands the job has
+    /// usually crashed, but the console line still names the application
+    /// that caused it (the driver logs the context's apid).
+    Child {
+        node: NodeId,
+        kind: GpuErrorKind,
+        apid: Option<u64>,
+    },
+    /// Deferred XID 63 console record for a retirement on `card`.
+    RetireRecord {
+        card: u32,
+    },
+    /// Hot-spare maintenance swap for `slot`.
+    Swap {
+        slot: u32,
+    },
+}
+
+/// Per-job runtime state.
+#[derive(Debug, Clone, Default)]
+struct JobState {
+    started: bool,
+    ended: bool,
+    /// Reported per-structure SBE totals per node at job start, in
+    /// `MemoryStructure::ECC_COUNTED` order. Present only while running.
+    pre_sbe: Option<Vec<[u64; 5]>>,
+    actual_end: SimTime,
+}
+
+/// The fleet simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator; the config must validate.
+    pub fn new(config: SimConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Simulator { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the full simulation.
+    pub fn run(&self) -> SimOutput {
+        let cfg = &self.config;
+        let streams = RngStreams::new(cfg.seed);
+        let window = cfg.window;
+
+        // --- Generate the workload and fault drafts -------------------
+        let schedule = {
+            let mut rng = streams.stream(StreamTag::Workload);
+            WorkloadSchedule::generate(&cfg.schedule, &mut rng)
+        };
+
+        let mut heap: BinaryHeap<Reverse<(SimTime, u8, u64)>> = BinaryHeap::new();
+        let mut payloads: Vec<Ev> = Vec::new();
+        // Ties at one timestamp order by class (job starts before faults
+        // before job ends), then by insertion sequence — so a fault at a
+        // job's exact start second sees the job as running.
+        let push = |heap: &mut BinaryHeap<Reverse<(SimTime, u8, u64)>>,
+                    payloads: &mut Vec<Ev>,
+                    t: SimTime,
+                    class: u8,
+                    ev: Ev| {
+            let seq = payloads.len() as u64;
+            payloads.push(ev);
+            heap.push(Reverse((t, class, seq)));
+        };
+
+        // Job lifecycle events. Class 0 = starts (before same-time faults),
+        // class 2 = ends (after same-time faults).
+        for (i, j) in schedule.jobs.iter().enumerate() {
+            push(&mut heap, &mut payloads, j.start, 0, Ev::JobStart(i as u32));
+            push(&mut heap, &mut payloads, j.end, 2, Ev::JobEnd(i as u32));
+        }
+
+        if cfg.enable_dbe {
+            let mut rng = streams.stream(StreamTag::Dbe);
+            for d in DbeProcess::default().sample(&mut rng) {
+                if d.time < window {
+                    push(
+                        &mut heap,
+                        &mut payloads,
+                        d.time,
+                        1,
+                        Ev::Dbe {
+                            structure: d.structure,
+                            page: d.page,
+                            persisted: d.inforom_persisted,
+                        },
+                    );
+                }
+            }
+        }
+        if cfg.enable_otb {
+            let mut rng = streams.stream(StreamTag::OffTheBus);
+            for d in OtbProcess::default().sample(&mut rng) {
+                if d.time < window {
+                    push(&mut heap, &mut payloads, d.time, 1, Ev::Otb);
+                }
+            }
+        }
+        if cfg.enable_sbe {
+            let mut rng = streams.stream(StreamTag::Sbe);
+            for d in SbeProcess::default().sample(&mut rng) {
+                if d.time < window {
+                    push(
+                        &mut heap,
+                        &mut payloads,
+                        d.time,
+                        1,
+                        Ev::Sbe {
+                            structure: d.structure,
+                            hot_page: d.page.map(|p| p.0),
+                        },
+                    );
+                }
+            }
+        }
+        if cfg.enable_software {
+            let mut rng = streams.stream(StreamTag::SoftwareXid);
+            for inc in SoftwareXidModel::default().sample(&mut rng) {
+                if inc.time < window {
+                    push(
+                        &mut heap,
+                        &mut payloads,
+                        inc.time,
+                        1,
+                        Ev::Soft {
+                            kind: inc.kind,
+                            job_wide: inc.job_wide,
+                        },
+                    );
+                }
+            }
+        }
+
+        // --- Runtime state ---------------------------------------------
+        let mut fleet = {
+            let mut rng = streams.stream(StreamTag::Susceptibility);
+            Fleet::new(cfg.spare_cards, &mut rng)
+        };
+        let cascades = if cfg.enable_cascades {
+            CascadeModel::default()
+        } else {
+            CascadeModel::disabled()
+        };
+        let mut sim_rng = streams.stream(StreamTag::Simulator);
+        let mut cascade_rng = streams.stream(StreamTag::Cascade);
+        let mut spare_rng = streams.stream(StreamTag::HotSpare);
+
+        let mut node_job: Vec<u32> = vec![NO_JOB; TOTAL_SLOTS];
+        let mut job_state: Vec<JobState> = vec![JobState::default(); schedule.jobs.len()];
+        let mut active_jobs: Vec<u32> = Vec::new();
+        let mut swap_pending: Vec<bool> = vec![false; fleet.n_cards()];
+
+        let mut out = SimOutput {
+            schedule_dropped: schedule.dropped,
+            ..SimOutput::default()
+        };
+        out.truth.sbe_by_card = vec![0; fleet.n_cards()];
+        out.truth.sbe_by_slot = vec![0; titan_topology::COMPUTE_NODES];
+        out.truth.sbe_by_structure = vec![0; MemoryStructure::ECC_COUNTED.len()];
+
+        // --- Event loop --------------------------------------------------
+        while let Some(Reverse((t, _class, seq))) = heap.pop() {
+            if t >= window {
+                // Clamp: everything at/after the horizon is dropped; job
+                // ends were generated clamped to the window already.
+                if t > window {
+                    continue;
+                }
+            }
+            let ev = payloads[seq as usize].clone();
+            match ev {
+                Ev::JobStart(j) => {
+                    let job = &schedule.jobs[j as usize];
+                    let st = &mut job_state[j as usize];
+                    st.started = true;
+                    st.actual_end = job.end;
+                    let mut pre = Vec::with_capacity(job.nodes.len());
+                    for n in &job.nodes {
+                        node_job[n.0 as usize] = j;
+                        pre.push(reported_sbe_vector(&fleet, *n));
+                    }
+                    st.pre_sbe = Some(pre);
+                    active_jobs.push(j);
+                }
+                Ev::JobEnd(j) => {
+                    end_job(
+                        j,
+                        t,
+                        &schedule,
+                        &mut job_state,
+                        &mut node_job,
+                        &mut active_jobs,
+                        &fleet,
+                        &mut out,
+                    );
+                }
+                Ev::Dbe {
+                    structure,
+                    page,
+                    persisted,
+                } => {
+                    let slot = fleet.pick_dbe_slot(&mut sim_rng);
+                    let node = fleet.node_of_slot(slot);
+                    let card = fleet.card_at_slot(slot);
+                    let apid = apid_at(&schedule, &node_job, node);
+
+                    let decision =
+                        fleet
+                            .card_mut(card)
+                            .apply_dbe(structure, page, persisted);
+                    out.console.push(ConsoleEvent {
+                        time: t,
+                        node,
+                        kind: GpuErrorKind::DoubleBitError,
+                        structure: Some(structure),
+                        page: page.map(|p| p.0),
+                        apid,
+                    });
+                    out.truth.dbe.push(DbeTruth {
+                        time: t,
+                        node,
+                        card,
+                        structure,
+                        persisted,
+                        crashed_apid: apid,
+                    });
+
+                    // Crash the job and reboot the node.
+                    if let Some(j) = job_at(&node_job, node) {
+                        end_job(
+                            j,
+                            t,
+                            &schedule,
+                            &mut job_state,
+                            &mut node_job,
+                            &mut active_jobs,
+                            &fleet,
+                            &mut out,
+                        );
+                    }
+                    fleet.card_mut(card).inforom.driver_reload(persisted);
+
+                    // Page retirement (post-Jan'14 driver only).
+                    if t >= calibration::retirement_xid_introduced() {
+                        if let RetireDecision::Retired(cause) = decision {
+                            schedule_retirement(
+                                t,
+                                card,
+                                cause,
+                                &mut heap,
+                                &mut payloads,
+                                &mut cascade_rng,
+                                &mut out,
+                            );
+                        }
+                    }
+
+                    // Cascade children (XID 45 and friends).
+                    for child in cascades.spawn(GpuErrorKind::DoubleBitError, &mut cascade_rng) {
+                        let seq2 = payloads.len() as u64;
+                        payloads.push(Ev::Child {
+                            node,
+                            kind: child.kind,
+                            apid,
+                        });
+                        heap.push(Reverse((t + child.delay, 1, seq2)));
+                    }
+
+                    // Hot-spare policy.
+                    if cfg.enable_hot_spare_policy
+                        && fleet.card(card).lifetime_dbe >= calibration::CARD_PULL_DBE_THRESHOLD
+                        && !swap_pending[card as usize]
+                        && fleet.n_spares() > 0
+                    {
+                        swap_pending[card as usize] = true;
+                        let seq2 = payloads.len() as u64;
+                        payloads.push(Ev::Swap { slot });
+                        // Next maintenance window: 24 h later.
+                        heap.push(Reverse((t + 24 * 3600, 1, seq2)));
+                    }
+                }
+                Ev::Otb => {
+                    let Some(slot) = fleet.pick_otb_slot(&mut sim_rng) else {
+                        continue;
+                    };
+                    let node = fleet.node_of_slot(slot);
+                    let card = fleet.card_at_slot(slot);
+                    let apid = apid_at(&schedule, &node_job, node);
+                    fleet.mark_otb_done(card);
+                    out.console.push(ConsoleEvent {
+                        time: t,
+                        node,
+                        kind: GpuErrorKind::OffTheBus,
+                        structure: None,
+                        page: None,
+                        apid,
+                    });
+                    out.truth.otb.push(OtbTruth {
+                        time: t,
+                        node,
+                        card,
+                    });
+                    if let Some(j) = job_at(&node_job, node) {
+                        end_job(
+                            j,
+                            t,
+                            &schedule,
+                            &mut job_state,
+                            &mut node_job,
+                            &mut active_jobs,
+                            &fleet,
+                            &mut out,
+                        );
+                    }
+                    // Node reboots after repair; volatile counters clear.
+                    fleet.card_mut(card).inforom.driver_reload(false);
+                }
+                Ev::Sbe {
+                    structure,
+                    hot_page,
+                } => {
+                    let Some(card) = fleet.pick_sbe_card(&mut sim_rng) else {
+                        continue;
+                    };
+                    let Some(slot) = fleet.slot_of_card(card) else {
+                        continue; // card sits in the spare pool right now
+                    };
+                    let node = fleet.node_of_slot(slot);
+                    // Activity thinning: busy GPUs accumulate SBEs faster
+                    // (monotone but sublinear — Observation 12).
+                    let accept_p = match job_at(&node_job, node) {
+                        Some(j) => schedule.jobs[j as usize]
+                            .spec
+                            .gpu_util
+                            .powf(calibration::SBE_ACTIVITY_EXPONENT),
+                        None => 0.25,
+                    };
+                    if sim_rng.gen::<f64>() >= accept_p {
+                        out.truth.sbe_rejected += 1;
+                        continue;
+                    }
+                    let page = hot_page.map(PageAddress);
+                    let decision = fleet.card_mut(card).apply_sbe(structure, page);
+                    out.truth.sbe_by_card[card as usize] += 1;
+                    out.truth.sbe_by_slot[slot as usize] += 1;
+                    if let Some(i) = MemoryStructure::ECC_COUNTED
+                        .iter()
+                        .position(|&m| m == structure)
+                    {
+                        out.truth.sbe_by_structure[i] += 1;
+                    }
+                    if t >= calibration::retirement_xid_introduced() {
+                        if let RetireDecision::Retired(cause) = decision {
+                            schedule_retirement(
+                                t,
+                                card,
+                                cause,
+                                &mut heap,
+                                &mut payloads,
+                                &mut cascade_rng,
+                                &mut out,
+                            );
+                        }
+                    }
+                }
+                Ev::Soft { kind, job_wide } => {
+                    if job_wide {
+                        // Strike a running job, debug runs 8x as likely.
+                        let Some(&j) = weighted_job_pick(&active_jobs, &schedule, &mut sim_rng)
+                        else {
+                            out.truth.software_skipped += 1;
+                            continue;
+                        };
+                        let job = &schedule.jobs[j as usize];
+                        let apid = Some(job.spec.apid);
+                        // "errors appear on all the nodes allocated to the
+                        // job within five seconds".
+                        for (k, n) in job.nodes.iter().enumerate() {
+                            let skew = if k == 0 {
+                                0
+                            } else {
+                                sim_rng.gen_range(0..=calibration::APP_XID_NODE_SPREAD_SEC)
+                            };
+                            out.console.push(ConsoleEvent {
+                                time: t + skew,
+                                node: *n,
+                                kind,
+                                structure: None,
+                                page: None,
+                                apid,
+                            });
+                        }
+                        // Cascade consequences land on the first node.
+                        let first = job.nodes[0];
+                        for child in cascades.spawn(kind, &mut cascade_rng) {
+                            // Target draw comes from the cascade stream so
+                            // that disabling cascades leaves every other
+                            // stream untouched (clean ablations).
+                            let target = if child.same_node || job.nodes.len() == 1 {
+                                first
+                            } else {
+                                job.nodes[cascade_rng.gen_range(0..job.nodes.len())]
+                            };
+                            let seq2 = payloads.len() as u64;
+                            payloads.push(Ev::Child {
+                                node: target,
+                                kind: child.kind,
+                                apid,
+                            });
+                            heap.push(Reverse((t + child.delay, 1, seq2)));
+                        }
+                        if kind.crashes_application() {
+                            end_job(
+                                j,
+                                t,
+                                &schedule,
+                                &mut job_state,
+                                &mut node_job,
+                                &mut active_jobs,
+                                &fleet,
+                                &mut out,
+                            );
+                        }
+                    } else {
+                        // Driver-level: one node, busy nodes preferred.
+                        let node = match pick_any_job_node(&active_jobs, &schedule, &mut sim_rng)
+                        {
+                            Some(n) => n,
+                            None => {
+                                // Idle machine: any compute node.
+                                let slot =
+                                    sim_rng.gen_range(0..titan_topology::COMPUTE_NODES as u32);
+                                fleet.node_of_slot(slot)
+                            }
+                        };
+                        let apid = apid_at(&schedule, &node_job, node);
+                        out.console.push(ConsoleEvent {
+                            time: t,
+                            node,
+                            kind,
+                            structure: None,
+                            page: None,
+                            apid,
+                        });
+                        for child in cascades.spawn(kind, &mut cascade_rng) {
+                            let seq2 = payloads.len() as u64;
+                            payloads.push(Ev::Child {
+                                node,
+                                kind: child.kind,
+                                apid,
+                            });
+                            heap.push(Reverse((t + child.delay, 1, seq2)));
+                        }
+                        if kind.crashes_application() {
+                            if let Some(j) = job_at(&node_job, node) {
+                                end_job(
+                                    j,
+                                    t,
+                                    &schedule,
+                                    &mut job_state,
+                                    &mut node_job,
+                                    &mut active_jobs,
+                                    &fleet,
+                                    &mut out,
+                                );
+                            }
+                        }
+                    }
+                }
+                Ev::Child { node, kind, apid } => {
+                    out.console.push(ConsoleEvent {
+                        time: t,
+                        node,
+                        kind,
+                        structure: None,
+                        page: None,
+                        apid,
+                    });
+                }
+                Ev::RetireRecord { card } => {
+                    // The card may have moved to the spare pool meanwhile.
+                    if let Some(slot) = fleet.slot_of_card(card) {
+                        let node = fleet.node_of_slot(slot);
+                        let apid = apid_at(&schedule, &node_job, node);
+                        out.console.push(ConsoleEvent {
+                            time: t,
+                            node,
+                            kind: GpuErrorKind::EccPageRetirement,
+                            structure: Some(MemoryStructure::DeviceMemory),
+                            page: None,
+                            apid,
+                        });
+                    }
+                }
+                Ev::Swap { slot } => {
+                    if let Some((old_card, new_card)) = fleet.swap_out(slot) {
+                        // Hot-spare stress testing: burn the pulled card
+                        // in under accelerated load. Its latent DBE
+                        // proneness (lemons were usually what crossed the
+                        // pull threshold) decides whether errors
+                        // reproduce and the card goes back to the vendor.
+                        let outcome = crate::hotspare::stress_test(
+                            &crate::hotspare::StressTestConfig::default(),
+                            fleet.susceptibility.dbe_weight(old_card as usize),
+                            &mut spare_rng,
+                        );
+                        if outcome.returned_to_vendor {
+                            fleet.card_mut(old_card).return_to_vendor();
+                        }
+                        out.truth.swaps.push(SwapTruth {
+                            time: t,
+                            slot,
+                            old_card,
+                            new_card,
+                            returned_to_vendor: outcome.returned_to_vendor,
+                        });
+                    }
+                }
+            }
+        }
+
+        // End any jobs still running at the horizon.
+        let still_active: Vec<u32> = active_jobs.clone();
+        for j in still_active {
+            end_job(
+                j,
+                window,
+                &schedule,
+                &mut job_state,
+                &mut node_job,
+                &mut active_jobs,
+                &fleet,
+                &mut out,
+            );
+        }
+
+        // Aprun structure for every completed job (the ALPS log). Uses a
+        // dedicated substream so the main workload stream is untouched.
+        {
+            let mut aprun_rng = streams.substream(StreamTag::Workload, 1);
+            let is_debug: std::collections::HashMap<u64, bool> = schedule
+                .jobs
+                .iter()
+                .map(|j| (j.spec.apid, j.spec.is_debug))
+                .collect();
+            for rec in &out.jobs {
+                out.apruns.extend(titan_workload::apruns::subdivide_span(
+                    rec.apid,
+                    rec.start,
+                    rec.end,
+                    is_debug.get(&rec.apid).copied().unwrap_or(false),
+                    8,
+                    &mut aprun_rng,
+                ));
+            }
+        }
+
+        // Final fleet snapshots (per production slot).
+        out.final_snapshots = (0..titan_topology::COMPUTE_NODES as u32)
+            .map(|slot| {
+                let node = fleet.node_of_slot(slot);
+                GpuSnapshot::take(node, fleet.card(fleet.card_at_slot(slot)), window)
+            })
+            .collect();
+
+        out.console.sort_by_key(|e| e.time);
+        out.jobs.sort_by_key(|j| j.start);
+        SimOutput {
+            console: out.console,
+            jobs: out.jobs,
+            job_sbe: out.job_sbe,
+            apruns: out.apruns,
+            final_snapshots: out.final_snapshots,
+            schedule_dropped: out.schedule_dropped,
+            truth: out.truth,
+        }
+    }
+}
+
+/// Reported per-structure SBE vector for the card on `node`.
+fn reported_sbe_vector(fleet: &Fleet, node: NodeId) -> [u64; 5] {
+    let mut v = [0u64; 5];
+    if let Some(slot) = node_to_gpu_index(node) {
+        let card = fleet.card(fleet.card_at_slot(slot));
+        for (i, &s) in MemoryStructure::ECC_COUNTED.iter().enumerate() {
+            v[i] = card.inforom.reported_sbe(s);
+        }
+    }
+    v
+}
+
+fn job_at(node_job: &[u32], node: NodeId) -> Option<u32> {
+    let j = node_job[node.0 as usize];
+    (j != NO_JOB).then_some(j)
+}
+
+fn apid_at(schedule: &WorkloadSchedule, node_job: &[u32], node: NodeId) -> Option<u64> {
+    job_at(node_job, node).map(|j| schedule.jobs[j as usize].spec.apid)
+}
+
+/// Picks an active job for an application XID: debug runs weighted 20:1
+/// (graphics engine exceptions overwhelmingly come from code under
+/// development, per the paper's "debug and test runs" reading).
+fn weighted_job_pick<'a>(
+    active: &'a [u32],
+    schedule: &WorkloadSchedule,
+    rng: &mut StdRng,
+) -> Option<&'a u32> {
+    if active.is_empty() {
+        return None;
+    }
+    let weights: Vec<f64> = active
+        .iter()
+        .map(|&j| {
+            if schedule.jobs[j as usize].spec.is_debug {
+                20.0
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return active.get(i);
+        }
+    }
+    active.last()
+}
+
+/// A uniformly random node of a uniformly random active job.
+fn pick_any_job_node(
+    active: &[u32],
+    schedule: &WorkloadSchedule,
+    rng: &mut StdRng,
+) -> Option<NodeId> {
+    if active.is_empty() {
+        return None;
+    }
+    let j = active[rng.gen_range(0..active.len())];
+    let nodes = &schedule.jobs[j as usize].nodes;
+    Some(nodes[rng.gen_range(0..nodes.len())])
+}
+
+/// Schedules the XID 63 console record for a retirement, honouring the
+/// prompt / delayed / missing split of Fig. 8.
+#[allow(clippy::too_many_arguments)]
+fn schedule_retirement(
+    t: SimTime,
+    card: u32,
+    cause: RetirementCause,
+    heap: &mut BinaryHeap<Reverse<(SimTime, u8, u64)>>,
+    payloads: &mut Vec<Ev>,
+    rng: &mut StdRng,
+    out: &mut SimOutput,
+) {
+    let (emitted, delay) = match cause {
+        RetirementCause::DoubleBitError => {
+            let roll: f64 = rng.gen();
+            if roll < calibration::RETIRE_MISSING_PROB {
+                (false, 0)
+            } else if roll < calibration::RETIRE_MISSING_PROB + calibration::RETIRE_DELAYED_PROB {
+                // Delayed past the prompt path: 10 min – 6 h.
+                (true, rng.gen_range(600..21_600))
+            } else {
+                // Prompt: exponential with the calibrated mean, capped
+                // inside the 10-minute bucket.
+                let d = titan_stats::Exponential::new(
+                    1.0 / calibration::RETIRE_AFTER_DBE_MEAN_DELAY_SEC,
+                )
+                .expect("positive mean")
+                .sample(rng)
+                .min(590.0) as u64;
+                (true, d.max(1))
+            }
+        }
+        // The two-SBE path always records (it is the driver's own
+        // bookkeeping, no crash race).
+        RetirementCause::MultipleSingleBitErrors => (true, rng.gen_range(1..120)),
+    };
+    out.truth.retirements.push(RetireTruth {
+        time: t,
+        card,
+        cause,
+        emitted,
+    });
+    if emitted {
+        let seq = payloads.len() as u64;
+        payloads.push(Ev::RetireRecord { card });
+        heap.push(Reverse((t + delay, 1, seq)));
+    }
+}
+
+/// Ends job `j` at `t` (normal completion or crash), producing the job
+/// record and the nvidia-smi prologue/epilogue SBE delta.
+#[allow(clippy::too_many_arguments)]
+fn end_job(
+    j: u32,
+    t: SimTime,
+    schedule: &WorkloadSchedule,
+    job_state: &mut [JobState],
+    node_job: &mut [u32],
+    active_jobs: &mut Vec<u32>,
+    fleet: &Fleet,
+    out: &mut SimOutput,
+) {
+    let st = &mut job_state[j as usize];
+    if !st.started || st.ended {
+        return;
+    }
+    st.ended = true;
+    st.actual_end = t;
+    let job: &ScheduledJob = &schedule.jobs[j as usize];
+    for n in &job.nodes {
+        if node_job[n.0 as usize] == j {
+            node_job[n.0 as usize] = NO_JOB;
+        }
+    }
+    active_jobs.retain(|&x| x != j);
+
+    // nvidia-smi epilogue: per-node SBE delta.
+    let pre = st.pre_sbe.take().unwrap_or_default();
+    let mut per_node_sbe = Vec::with_capacity(job.nodes.len());
+    let mut per_structure_sbe = vec![0u64; 5];
+    for (n, before) in job.nodes.iter().zip(&pre) {
+        let after = reported_sbe_vector(fleet, *n);
+        let mut node_total = 0;
+        for i in 0..5 {
+            let d = after[i].saturating_sub(before[i]);
+            node_total += d;
+            per_structure_sbe[i] += d;
+        }
+        per_node_sbe.push((*n, node_total));
+    }
+    out.job_sbe.push(JobEccDelta {
+        apid: job.spec.apid,
+        per_node_sbe,
+        per_structure_sbe,
+    });
+
+    // Job log record with *actual* runtime.
+    let wall = t.saturating_sub(job.start);
+    let frac = if job.spec.wall == 0 {
+        0.0
+    } else {
+        wall as f64 / job.spec.wall as f64
+    };
+    out.jobs.push(JobRecord {
+        apid: job.spec.apid,
+        user: job.spec.user,
+        nodes: job.nodes.clone(),
+        start: job.start,
+        end: t,
+        gpu_core_hours: job.spec.gpu_core_hours() * frac.min(1.0),
+        max_memory_bytes: job.spec.mem_max_bytes,
+        total_memory_byte_hours: job.spec.total_memory_byte_hours() * frac.min(1.0),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_run(days: u64, seed: u64) -> SimOutput {
+        Simulator::new(SimConfig::quick(days, seed))
+            .expect("valid config")
+            .run()
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick_run(14, 7);
+        let b = quick_run(14, 7);
+        assert_eq!(a.console, b.console);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.truth.sbe_by_card, b.truth.sbe_by_card);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick_run(14, 1);
+        let b = quick_run(14, 2);
+        assert_ne!(a.console, b.console);
+    }
+
+    #[test]
+    fn console_sorted_and_in_window() {
+        let out = quick_run(20, 3);
+        assert!(out.console.windows(2).all(|w| w[0].time <= w[1].time));
+        // Children may land slightly past a crash but never past the
+        // horizon + max skew.
+        assert!(out
+            .console
+            .iter()
+            .all(|e| e.time <= 20 * 86_400 + calibration::APP_XID_NODE_SPREAD_SEC));
+    }
+
+    #[test]
+    fn sbes_never_in_console_log() {
+        let out = quick_run(30, 5);
+        assert!(out
+            .console
+            .iter()
+            .all(|e| e.kind != GpuErrorKind::SingleBitError));
+        // But SBEs did happen.
+        let total: u64 = out.truth.sbe_by_card.iter().sum();
+        assert!(total > 100, "sbe total {total}");
+    }
+
+    #[test]
+    fn sbe_visible_through_snapshots() {
+        let out = quick_run(30, 5);
+        let snap_total: u64 = out.final_snapshots.iter().map(|s| s.total_sbe()).sum();
+        assert!(snap_total > 0);
+        // Snapshot totals can undercount truth (crash-lost pending) but
+        // never exceed it.
+        let truth_total: u64 = out.truth.sbe_by_card.iter().sum();
+        assert!(snap_total <= truth_total, "{snap_total} vs {truth_total}");
+    }
+
+    #[test]
+    fn dbe_crashes_running_job() {
+        let out = quick_run(60, 11);
+        // At least one DBE struck a busy node; its job record must end at
+        // the DBE time.
+        let crashed: Vec<_> = out
+            .truth
+            .dbe
+            .iter()
+            .filter_map(|d| d.crashed_apid.map(|a| (a, d.time)))
+            .collect();
+        assert!(!crashed.is_empty(), "no DBE hit a running job in 60 days");
+        for (apid, t) in crashed {
+            let job = out.jobs.iter().find(|j| j.apid == apid).expect("job record");
+            assert_eq!(job.end, t, "job must end at the DBE");
+        }
+    }
+
+    #[test]
+    fn app_xids_replicate_across_job_nodes() {
+        let out = quick_run(30, 13);
+        let x13 = out.console_of_kind(GpuErrorKind::GraphicsEngineException);
+        assert!(!x13.is_empty());
+        // Group by apid: each incident must cover > 1 node for multi-node
+        // jobs and span ≤ 5 s.
+        let mut by_apid: std::collections::HashMap<u64, Vec<&ConsoleEvent>> = Default::default();
+        for e in &x13 {
+            if let Some(a) = e.apid {
+                by_apid.entry(a).or_default().push(e);
+            }
+        }
+        let mut multi = 0;
+        for (apid, evs) in &by_apid {
+            let job = out.jobs.iter().find(|j| j.apid == *apid);
+            if let Some(job) = job {
+                let nodes: std::collections::HashSet<NodeId> =
+                    evs.iter().map(|e| e.node).collect();
+                if job.nodes.len() > 1 {
+                    assert!(nodes.len() > 1, "apid {apid} reported on one node only");
+                    multi += 1;
+                }
+                let lo = evs.iter().map(|e| e.time).min().unwrap();
+                let hi = evs.iter().map(|e| e.time).max().unwrap();
+                assert!(hi - lo <= calibration::APP_XID_NODE_SPREAD_SEC);
+            }
+        }
+        assert!(multi > 0, "no multi-node XID 13 incident observed");
+    }
+
+    #[test]
+    fn no_retirement_before_jan14_driver() {
+        // Full-window features need the real window; run 8 months.
+        let out = quick_run(240, 17);
+        let cut = calibration::retirement_xid_introduced();
+        for e in out.console_of_kind(GpuErrorKind::EccPageRetirement) {
+            assert!(e.time >= cut, "retirement record at {} < {cut}", e.time);
+        }
+        for r in &out.truth.retirements {
+            assert!(r.time >= cut);
+        }
+    }
+
+    #[test]
+    fn hot_spare_policy_pulls_repeat_offenders() {
+        // Crank DBEs by running long enough; with MTBF 160 h a 120-day
+        // window yields ~18 DBEs — repeat offenders are unlikely, so
+        // check the mechanism directly instead through config toggle.
+        let mut cfg = SimConfig::quick(120, 23);
+        cfg.enable_hot_spare_policy = true;
+        let out = Simulator::new(cfg).unwrap().run();
+        for s in &out.truth.swaps {
+            // Every swap was justified by the threshold.
+            assert!(s.old_card != s.new_card);
+        }
+        // Swaps only happen when some card hit 2 DBEs; consistency check:
+        let mut dbe_per_card: std::collections::HashMap<u32, u32> = Default::default();
+        for d in &out.truth.dbe {
+            *dbe_per_card.entry(d.card).or_default() += 1;
+        }
+        let repeat_cards = dbe_per_card.values().filter(|&&c| c >= 2).count();
+        assert!(out.truth.swaps.len() <= repeat_cards.max(1));
+    }
+
+    #[test]
+    fn toggles_suppress_their_streams() {
+        let mut cfg = SimConfig::quick(30, 29);
+        cfg.enable_dbe = false;
+        cfg.enable_otb = false;
+        cfg.enable_software = false;
+        let out = Simulator::new(cfg).unwrap().run();
+        assert!(out.truth.dbe.is_empty());
+        assert!(out.truth.otb.is_empty());
+        assert!(out
+            .console
+            .iter()
+            .all(|e| e.kind == GpuErrorKind::EccPageRetirement));
+        // SBEs still flow.
+        assert!(out.truth.sbe_by_card.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn job_records_cover_started_jobs() {
+        let out = quick_run(20, 31);
+        assert!(!out.jobs.is_empty());
+        // apids unique.
+        let mut apids: Vec<u64> = out.jobs.iter().map(|j| j.apid).collect();
+        apids.sort_unstable();
+        let n = apids.len();
+        apids.dedup();
+        assert_eq!(apids.len(), n);
+        // Every job record has a matching SBE delta.
+        assert_eq!(out.jobs.len(), out.job_sbe.len());
+    }
+
+    #[test]
+    fn otb_never_repeats_on_same_card() {
+        let out = quick_run(120, 37);
+        let mut seen = std::collections::HashSet::new();
+        for o in &out.truth.otb {
+            assert!(seen.insert(o.card), "card {} had two OTBs", o.card);
+        }
+        assert!(!out.truth.otb.is_empty(), "no OTB in 120 epidemic days");
+    }
+}

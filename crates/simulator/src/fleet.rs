@@ -1,0 +1,268 @@
+//! Fleet state: 18,688 production slots, the cards in them, and the
+//! spare pool the hot-spare policy swaps from.
+//!
+//! Card identity is decoupled from slot identity because the operators'
+//! replacement workflow moves cards: "we identify cards which incur
+//! double bit errors and put them out of the production use (such cards
+//! undergo further rigorous testing in a hot-spare cluster …)".
+
+use rand::Rng;
+use titan_faults::susceptibility::{CardSusceptibility, SbeAliasSampler};
+use titan_gpu::{CardSerial, GpuCard};
+use titan_stats::WeightedAlias;
+use titan_topology::{gpu_index_to_node, NodeId, ThermalModel, COMPUTE_NODES};
+
+/// The machine's card inventory and placement.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// Every card ever owned (production + spares), indexed by card id.
+    cards: Vec<GpuCard>,
+    /// GPU slot (dense compute index) → card id.
+    slot_card: Vec<u32>,
+    /// Card id → GPU slot (None = in the spare pool / returned).
+    card_slot: Vec<Option<u32>>,
+    /// Spare pool, LIFO.
+    spares: Vec<u32>,
+    /// Per-card static susceptibility (travels with the card).
+    pub susceptibility: CardSusceptibility,
+    /// Thermal model (property of the slot, not the card).
+    pub thermal: ThermalModel,
+    /// Cards that already had their off-the-bus failure (the defect does
+    /// not recur on a re-soldered card).
+    otb_done: Vec<bool>,
+    /// Cached weighted pickers, invalidated on swaps.
+    dbe_picker: Option<WeightedAlias>,
+    otb_picker: Option<WeightedAlias>,
+    sbe_picker: Option<SbeAliasSampler>,
+}
+
+impl Fleet {
+    /// Builds the fleet: one card per compute slot plus `n_spares`
+    /// spares, with susceptibility drawn from `rng`.
+    pub fn new<R: Rng + ?Sized>(n_spares: usize, rng: &mut R) -> Self {
+        let n_cards = COMPUTE_NODES + n_spares;
+        let cards: Vec<GpuCard> = (0..n_cards as u32)
+            .map(|i| GpuCard::new(CardSerial(i)))
+            .collect();
+        let slot_card: Vec<u32> = (0..COMPUTE_NODES as u32).collect();
+        let mut card_slot: Vec<Option<u32>> = (0..COMPUTE_NODES as u32).map(Some).collect();
+        card_slot.extend(std::iter::repeat(None).take(n_spares));
+        let spares: Vec<u32> = (COMPUTE_NODES as u32..n_cards as u32).collect();
+        let susceptibility = CardSusceptibility::generate(n_cards, rng);
+        Fleet {
+            cards,
+            slot_card,
+            card_slot,
+            spares,
+            susceptibility,
+            thermal: ThermalModel::default(),
+            otb_done: vec![false; n_cards],
+            dbe_picker: None,
+            otb_picker: None,
+            sbe_picker: None,
+        }
+    }
+
+    /// Number of cards ever owned.
+    pub fn n_cards(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Remaining spare cards.
+    pub fn n_spares(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Card id in `slot`.
+    pub fn card_at_slot(&self, slot: u32) -> u32 {
+        self.slot_card[slot as usize]
+    }
+
+    /// Current slot of `card`, if in production.
+    pub fn slot_of_card(&self, card: u32) -> Option<u32> {
+        self.card_slot[card as usize]
+    }
+
+    /// The node hosting `slot`.
+    pub fn node_of_slot(&self, slot: u32) -> NodeId {
+        gpu_index_to_node(slot)
+    }
+
+    /// Immutable card access.
+    pub fn card(&self, card: u32) -> &GpuCard {
+        &self.cards[card as usize]
+    }
+
+    /// Mutable card access.
+    pub fn card_mut(&mut self, card: u32) -> &mut GpuCard {
+        &mut self.cards[card as usize]
+    }
+
+    /// Marks a card's off-the-bus defect as expressed (and re-soldered).
+    pub fn mark_otb_done(&mut self, card: u32) {
+        self.otb_done[card as usize] = true;
+        self.otb_picker = None;
+    }
+
+    /// Swaps the card in `slot` out to the spare pool and installs a
+    /// spare. Returns `(old_card, new_card)`, or `None` when no spares
+    /// remain.
+    pub fn swap_out(&mut self, slot: u32) -> Option<(u32, u32)> {
+        let new_card = self.spares.pop()?;
+        let old_card = self.slot_card[slot as usize];
+        self.slot_card[slot as usize] = new_card;
+        self.card_slot[old_card as usize] = None;
+        self.card_slot[new_card as usize] = Some(slot);
+        self.cards[old_card as usize].move_to_hot_spare();
+        // Placement-sensitive pickers are stale now.
+        self.dbe_picker = None;
+        self.otb_picker = None;
+        self.sbe_picker = None;
+        Some((old_card, new_card))
+    }
+
+    /// Picks the slot struck by a DBE: thermal acceleration of the slot
+    /// (raised to the DBE class's stronger thermal exponent) × the
+    /// resident card's DBE proneness.
+    pub fn pick_dbe_slot<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u32 {
+        if self.dbe_picker.is_none() {
+            let weights: Vec<f64> = (0..COMPUTE_NODES as u32)
+                .map(|slot| {
+                    let node = gpu_index_to_node(slot);
+                    let card = self.slot_card[slot as usize];
+                    self.thermal
+                        .acceleration(node)
+                        .powf(titan_faults::calibration::DBE_THERMAL_EXPONENT)
+                        * self.susceptibility.dbe_weight(card as usize)
+                })
+                .collect();
+            self.dbe_picker = Some(WeightedAlias::new(&weights).expect("positive weights"));
+        }
+        self.dbe_picker.as_ref().expect("just built").sample(rng) as u32
+    }
+
+    /// Picks the slot struck by an off-the-bus failure: thermal only
+    /// (integration defect, not card electronics), excluding cards whose
+    /// defect already expressed.
+    pub fn pick_otb_slot<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u32> {
+        if self.otb_picker.is_none() {
+            let weights: Vec<f64> = (0..COMPUTE_NODES as u32)
+                .map(|slot| {
+                    let card = self.slot_card[slot as usize];
+                    if self.otb_done[card as usize] {
+                        0.0
+                    } else {
+                        self.thermal.acceleration(gpu_index_to_node(slot))
+                    }
+                })
+                .collect();
+            self.otb_picker = WeightedAlias::new(&weights);
+        }
+        self.otb_picker.as_ref().map(|p| p.sample(rng) as u32)
+    }
+
+    /// Picks the card struck by an SBE (susceptibility travels with the
+    /// card, wherever it sits). `None` when no card is susceptible.
+    pub fn pick_sbe_card<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u32> {
+        if self.sbe_picker.is_none() {
+            self.sbe_picker = SbeAliasSampler::new(&self.susceptibility);
+        }
+        self.sbe_picker.as_ref().map(|p| p.sample(rng) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fleet() -> Fleet {
+        let mut rng = StdRng::seed_from_u64(11);
+        Fleet::new(8, &mut rng)
+    }
+
+    #[test]
+    fn initial_placement_is_identity() {
+        let f = fleet();
+        assert_eq!(f.n_cards(), COMPUTE_NODES + 8);
+        assert_eq!(f.n_spares(), 8);
+        assert_eq!(f.card_at_slot(0), 0);
+        assert_eq!(f.slot_of_card(0), Some(0));
+        assert_eq!(f.slot_of_card(COMPUTE_NODES as u32), None); // spare
+    }
+
+    #[test]
+    fn swap_moves_card_to_hot_spare() {
+        let mut f = fleet();
+        let (old, new) = f.swap_out(100).unwrap();
+        assert_eq!(old, 100);
+        assert_eq!(f.card_at_slot(100), new);
+        assert_eq!(f.slot_of_card(old), None);
+        assert_eq!(f.slot_of_card(new), Some(100));
+        assert!(!f.card(old).in_production());
+        assert_eq!(f.n_spares(), 7);
+    }
+
+    #[test]
+    fn swap_exhausts_spares() {
+        let mut f = fleet();
+        for slot in 0..8 {
+            assert!(f.swap_out(slot).is_some());
+        }
+        assert!(f.swap_out(9).is_none());
+    }
+
+    #[test]
+    fn dbe_pick_prefers_top_cage() {
+        let mut f = fleet();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cage_counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let slot = f.pick_dbe_slot(&mut rng);
+            let cage = f.node_of_slot(slot).location().cage;
+            cage_counts[cage as usize] += 1;
+        }
+        assert!(
+            cage_counts[2] > cage_counts[0],
+            "top cage must dominate: {cage_counts:?}"
+        );
+        // Roughly the boosted thermal ratio (~1.9x), not wildly more.
+        let ratio = cage_counts[2] as f64 / cage_counts[0] as f64;
+        assert!((1.4..2.8).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn otb_pick_excludes_done_cards() {
+        let mut f = fleet();
+        let mut rng = StdRng::seed_from_u64(9);
+        let slot = f.pick_otb_slot(&mut rng).unwrap();
+        let card = f.card_at_slot(slot);
+        f.mark_otb_done(card);
+        for _ in 0..5_000 {
+            let s = f.pick_otb_slot(&mut rng).unwrap();
+            assert_ne!(f.card_at_slot(s), card, "re-picked a soldered card");
+        }
+    }
+
+    #[test]
+    fn sbe_pick_only_susceptible() {
+        let mut f = fleet();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5_000 {
+            let c = f.pick_sbe_card(&mut rng).unwrap();
+            assert!(f.susceptibility.sbe_weight(c as usize) > 0.0);
+        }
+    }
+
+    #[test]
+    fn swap_invalidates_pickers() {
+        let mut f = fleet();
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = f.pick_dbe_slot(&mut rng);
+        assert!(f.dbe_picker.is_some());
+        f.swap_out(0).unwrap();
+        assert!(f.dbe_picker.is_none());
+        assert!(f.sbe_picker.is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! The hot-spare cluster: stress testing for pulled cards.
+//!
+//! §3.1: "We identify cards which incur double bit errors and put them
+//! out of the production use (such cards undergo further rigorous
+//! testing in a hot-spare cluster before being returned to the vendor
+//! after encountering a threshold number of DBEs). We have returned the
+//! GPUs to the vendor after they were stress tested in the hot-spare
+//! cluster and GPU system failures were encountered. Such errors would
+//! have likely occurred in production, but we avoided that by moving
+//! error-encountering cards to the hot-spare cluster."
+//!
+//! The stress test runs the card under accelerated load: its *latent*
+//! DBE proneness (which the simulator knows, the operators do not)
+//! drives a Poisson error count over the burn-in. Cards that reproduce
+//! errors go back to the vendor; clean cards return to the spare pool.
+//! The errors observed during burn-in are exactly the paper's "errors
+//! that would have likely occurred in production".
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use titan_stats::PoissonCounter;
+
+/// Stress-test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressTestConfig {
+    /// Burn-in length, hours.
+    pub burn_in_hours: f64,
+    /// Load-acceleration factor over production duty cycle.
+    pub acceleration: f64,
+    /// Baseline per-card DBE rate per hour under production load (the
+    /// fleet rate divided across cards).
+    pub base_rate_per_hour: f64,
+    /// Errors during burn-in at/above which the card goes back to the
+    /// vendor.
+    pub fail_threshold: u32,
+}
+
+impl Default for StressTestConfig {
+    fn default() -> Self {
+        StressTestConfig {
+            // Two weeks of burn-in under margined voltage, elevated
+            // temperature and pathological access patterns — vendors'
+            // in-house stress tests reach effective acceleration factors
+            // in the hundreds over nominal duty cycles.
+            burn_in_hours: 14.0 * 24.0,
+            acceleration: 200.0,
+            // Fleet MTBF 160 h over 18,688 cards -> per-card ~3.3e-7/h;
+            // pulled cards are not average cards though — their dbe
+            // weight multiplies this.
+            base_rate_per_hour: 1.0 / (160.0 * 18_688.0),
+            fail_threshold: 1,
+        }
+    }
+}
+
+/// Outcome of one card's burn-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StressOutcome {
+    /// Errors reproduced during burn-in.
+    pub errors_reproduced: u32,
+    /// Whether the card is returned to the vendor.
+    pub returned_to_vendor: bool,
+}
+
+/// Runs the burn-in for a card with latent DBE-proneness multiplier
+/// `dbe_weight` (1.0 = fleet average; pulled cards are typically well
+/// above it, which is why they were pulled).
+pub fn stress_test<R: Rng + ?Sized>(
+    config: &StressTestConfig,
+    dbe_weight: f64,
+    rng: &mut R,
+) -> StressOutcome {
+    let mean =
+        config.base_rate_per_hour * dbe_weight * config.acceleration * config.burn_in_hours;
+    let errors = PoissonCounter::new(mean.max(0.0))
+        .expect("nonnegative mean")
+        .sample(rng) as u32;
+    StressOutcome {
+        errors_reproduced: errors,
+        returned_to_vendor: errors >= config.fail_threshold,
+    }
+}
+
+/// Expected burn-in error count for a card (the detection-power planning
+/// number: how long must burn-in be to catch a `weight`-times-worse
+/// card?).
+pub fn expected_errors(config: &StressTestConfig, dbe_weight: f64) -> f64 {
+    config.base_rate_per_hour * dbe_weight * config.acceleration * config.burn_in_hours
+}
+
+/// Burn-in hours needed to reproduce at least one error with probability
+/// `confidence` for a card `dbe_weight` times the fleet average.
+pub fn required_burn_in_hours(
+    config: &StressTestConfig,
+    dbe_weight: f64,
+    confidence: f64,
+) -> f64 {
+    // P(N >= 1) = 1 - exp(-rate * h) >= confidence.
+    let rate = config.base_rate_per_hour * dbe_weight * config.acceleration;
+    if rate <= 0.0 || !(0.0..1.0).contains(&confidence) {
+        return f64::INFINITY;
+    }
+    -(1.0 - confidence).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn average_card_rarely_fails_burn_in() {
+        let cfg = StressTestConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let fails = (0..10_000)
+            .filter(|_| stress_test(&cfg, 1.0, &mut rng).returned_to_vendor)
+            .count();
+        // Expected errors for an average card over burn-in ≈ 0.022, so
+        // roughly 2% false-return rate — a real cost of aggressive
+        // screening, but far from the lemons' near-certain reproduction.
+        assert!((50..500).contains(&fails), "{fails}");
+    }
+
+    #[test]
+    fn pathological_card_usually_fails() {
+        let cfg = StressTestConfig::default();
+        // A card 10,000x the fleet average (the kind that throws 2 DBEs
+        // in months) reproduces during accelerated burn-in most times.
+        let mut rng = StdRng::seed_from_u64(2);
+        let fails = (0..1_000)
+            .filter(|_| stress_test(&cfg, 10_000.0, &mut rng).returned_to_vendor)
+            .count();
+        assert!(fails > 950, "{fails}");
+    }
+
+    #[test]
+    fn expected_errors_scale_linearly() {
+        let cfg = StressTestConfig::default();
+        let e1 = expected_errors(&cfg, 100.0);
+        let e2 = expected_errors(&cfg, 200.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_burn_in_decreases_with_weight() {
+        let cfg = StressTestConfig::default();
+        let h_bad = required_burn_in_hours(&cfg, 10_000.0, 0.9);
+        let h_worse = required_burn_in_hours(&cfg, 100_000.0, 0.9);
+        assert!(h_worse < h_bad);
+        assert!(h_bad.is_finite());
+        // Degenerate inputs.
+        assert!(required_burn_in_hours(&cfg, 0.0, 0.9).is_infinite());
+        assert!(required_burn_in_hours(&cfg, 1.0, 1.5).is_infinite());
+    }
+
+    #[test]
+    fn threshold_respected() {
+        let cfg = StressTestConfig {
+            fail_threshold: 3,
+            ..StressTestConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let o = stress_test(&cfg, 1_000_000.0, &mut rng);
+            assert_eq!(o.returned_to_vendor, o.errors_reproduced >= 3);
+        }
+    }
+}

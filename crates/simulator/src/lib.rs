@@ -1,0 +1,48 @@
+//! # titan-sim
+//!
+//! The discrete-event fleet simulator: 18,688 GPU nodes over the study
+//! window, Jun 2013 – Feb 2015.
+//!
+//! This is the substrate that replaces the physical Titan. It composes
+//! every other substrate crate:
+//!
+//! ```text
+//!  titan-workload ──► job schedule ──┐
+//!  titan-faults  ──► fault drafts ──┤
+//!                                    ▼
+//!                              [ engine ]   (deterministic event loop)
+//!                                    │
+//!          ┌─────────────┬──────────┼──────────────┐
+//!          ▼             ▼          ▼              ▼
+//!   console events   job logs   nvidia-smi    ground truth
+//!   (titan-conlog)              snapshots     (tests only —
+//!                               (titan-nvsmi)  never analyzed)
+//! ```
+//!
+//! Faithfulness rules enforced here:
+//!
+//! * SBEs never reach the console log; they are only visible through
+//!   nvidia-smi snapshot diffs (paper §2.2).
+//! * A DBE crashes the application and reboots the node; with calibrated
+//!   probability the InfoROM write is lost first (Observation 2).
+//! * Application XIDs replicate across every node of the job within five
+//!   seconds (Observation 7).
+//! * Page retirement only exists after the Jan 2014 driver (Fig. 6) and
+//!   follows the 1-DBE / 2-SBE rule (§3.1).
+//! * Cards that hit the DBE threshold are pulled to the hot-spare cluster
+//!   at the next maintenance window (§3.1's operational policy).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod fleet;
+pub mod hotspare;
+pub mod output;
+
+pub use config::SimConfig;
+pub use engine::Simulator;
+pub use fleet::Fleet;
+pub use hotspare::{stress_test, StressOutcome, StressTestConfig};
+pub use output::{GroundTruth, SimOutput};

@@ -1,0 +1,178 @@
+//! Simulation outputs: the four observable data sources the analysis
+//! consumes, plus ground truth for verification only.
+
+use serde::{Deserialize, Serialize};
+use titan_conlog::time::SimTime;
+use titan_conlog::{format, Aprun, ConsoleEvent, JobRecord};
+use titan_gpu::pages::RetirementCause;
+use titan_gpu::MemoryStructure;
+use titan_nvsmi::{GpuSnapshot, JobEccDelta};
+use titan_topology::NodeId;
+
+/// Ground truth about one injected DBE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DbeTruth {
+    /// Strike time.
+    pub time: SimTime,
+    /// Node struck.
+    pub node: NodeId,
+    /// Card struck.
+    pub card: u32,
+    /// Structure struck.
+    pub structure: MemoryStructure,
+    /// Whether NVML persisted it.
+    pub persisted: bool,
+    /// Job crashed, if any.
+    pub crashed_apid: Option<u64>,
+}
+
+/// Ground truth about one off-the-bus failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OtbTruth {
+    /// Failure time.
+    pub time: SimTime,
+    /// Node.
+    pub node: NodeId,
+    /// Card.
+    pub card: u32,
+}
+
+/// Ground truth about one page retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetireTruth {
+    /// When the retirement condition was met.
+    pub time: SimTime,
+    /// Card.
+    pub card: u32,
+    /// Why.
+    pub cause: RetirementCause,
+    /// Whether a console record (XID 63) was emitted — the paper found 17
+    /// DBE pairs with *no* retirement record between them.
+    pub emitted: bool,
+}
+
+/// Ground truth about one hot-spare swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapTruth {
+    /// Swap execution time.
+    pub time: SimTime,
+    /// Slot serviced.
+    pub slot: u32,
+    /// Card removed.
+    pub old_card: u32,
+    /// Card installed.
+    pub new_card: u32,
+    /// Whether the removed card subsequently failed hot-spare stress
+    /// testing and was returned to the vendor.
+    pub returned_to_vendor: bool,
+}
+
+/// Everything the simulator knows that the analysis must *not* see.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Injected DBEs.
+    pub dbe: Vec<DbeTruth>,
+    /// Off-the-bus failures.
+    pub otb: Vec<OtbTruth>,
+    /// Page retirements.
+    pub retirements: Vec<RetireTruth>,
+    /// Hot-spare swaps.
+    pub swaps: Vec<SwapTruth>,
+    /// Accepted SBEs per card id.
+    pub sbe_by_card: Vec<u64>,
+    /// Accepted SBEs per slot (at strike-time placement).
+    pub sbe_by_slot: Vec<u64>,
+    /// Accepted SBEs per ECC-counted structure.
+    pub sbe_by_structure: Vec<u64>,
+    /// SBE drafts rejected by activity thinning.
+    pub sbe_rejected: u64,
+    /// Software incidents that found no running job to strike.
+    pub software_skipped: u64,
+}
+
+/// The observable outputs plus ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimOutput {
+    /// Console events, sorted by time (SEC-filtered critical events).
+    pub console: Vec<ConsoleEvent>,
+    /// Completed batch job records.
+    pub jobs: Vec<JobRecord>,
+    /// Per-job SBE deltas from the nvidia-smi prologue/epilogue framework.
+    pub job_sbe: Vec<JobEccDelta>,
+    /// Aprun segments inside each completed job (the ALPS log).
+    pub apruns: Vec<Aprun>,
+    /// End-of-study nvidia-smi snapshot of every production slot.
+    pub final_snapshots: Vec<GpuSnapshot>,
+    /// Jobs the scheduler never started.
+    pub schedule_dropped: usize,
+    /// Verification-only ground truth.
+    pub truth: GroundTruth,
+}
+
+impl SimOutput {
+    /// Renders the console log as text — the exact artifact the paper's
+    /// pipeline parsed on the SMW.
+    pub fn render_console_log(&self) -> String {
+        let mut s = String::with_capacity(self.console.len() * 96);
+        for ev in &self.console {
+            s.push_str(&format::render_line(ev));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders the job log.
+    pub fn render_job_log(&self) -> String {
+        let mut s = String::with_capacity(self.jobs.len() * 160);
+        for j in &self.jobs {
+            s.push_str(&j.render());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders the aprun (ALPS) log.
+    pub fn render_aprun_log(&self) -> String {
+        let mut s = String::with_capacity(self.apruns.len() * 48);
+        for a in &self.apruns {
+            s.push_str(&a.render());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Console events of one error kind.
+    pub fn console_of_kind(&self, kind: titan_gpu::GpuErrorKind) -> Vec<&ConsoleEvent> {
+        self.console.iter().filter(|e| e.kind == kind).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_gpu::GpuErrorKind;
+
+    #[test]
+    fn render_roundtrip_empty() {
+        let out = SimOutput::default();
+        assert_eq!(out.render_console_log(), "");
+        assert_eq!(out.render_job_log(), "");
+    }
+
+    #[test]
+    fn console_render_parses_back() {
+        let mut out = SimOutput::default();
+        out.console.push(ConsoleEvent {
+            time: 100,
+            node: NodeId(5),
+            kind: GpuErrorKind::DoubleBitError,
+            structure: Some(MemoryStructure::DeviceMemory),
+            page: Some(3),
+            apid: Some(77),
+        });
+        let text = out.render_console_log();
+        let (events, stats) = format::parse_stream(&text);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(events, out.console);
+    }
+}

@@ -1,0 +1,123 @@
+//! Bootstrap confidence intervals for correlation coefficients.
+//!
+//! The paper reports point estimates with p-values; a production
+//! reliability toolkit should also say how stable those coefficients are
+//! across resamples — particularly here, where a handful of offender
+//! cards dominate the SBE counts and a single resample can include or
+//! exclude them.
+
+use rand::Rng;
+
+use crate::correlation::spearman;
+
+/// A bootstrap interval for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Resamples used.
+    pub resamples: usize,
+}
+
+impl BootstrapInterval {
+    /// Interval width — the instability measure.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval excludes zero (a significance proxy).
+    pub fn excludes_zero(&self) -> bool {
+        self.lo > 0.0 || self.hi < 0.0
+    }
+}
+
+/// Percentile-bootstrap interval for the Spearman coefficient of paired
+/// data, at confidence `1 - alpha` (e.g. `alpha = 0.05` for 95%).
+/// Returns `None` when the full-sample coefficient is undefined.
+pub fn spearman_bootstrap<R: Rng + ?Sized>(
+    x: &[f64],
+    y: &[f64],
+    resamples: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Option<BootstrapInterval> {
+    let estimate = spearman(x, y)?.r;
+    let n = x.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut bx = vec![0.0; n];
+    let mut by = vec![0.0; n];
+    for _ in 0..resamples {
+        for i in 0..n {
+            let j = rng.gen_range(0..n);
+            bx[i] = x[j];
+            by[i] = y[j];
+        }
+        if let Some(r) = spearman(&bx, &by) {
+            stats.push(r.r);
+        }
+    }
+    if stats.is_empty() {
+        return None;
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite coefficients"));
+    let lo_idx = ((alpha / 2.0) * stats.len() as f64) as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * stats.len() as f64) as usize).min(stats.len() - 1);
+    Some(BootstrapInterval {
+        estimate,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        resamples: stats.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(808)
+    }
+
+    #[test]
+    fn tight_interval_for_strong_monotone_signal() {
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + 1.0).collect();
+        let b = spearman_bootstrap(&x, &y, 200, 0.05, &mut rng()).unwrap();
+        assert!((b.estimate - 1.0).abs() < 1e-9);
+        assert!(b.lo > 0.95, "lo {}", b.lo);
+        assert!(b.excludes_zero());
+        assert!(b.width() < 0.1);
+    }
+
+    #[test]
+    fn wide_interval_for_noise() {
+        let x: Vec<f64> = (0..60).map(|i| ((i * 7_919) % 101) as f64).collect();
+        let y: Vec<f64> = (0..60).map(|i| ((i * 104_729) % 97) as f64).collect();
+        let b = spearman_bootstrap(&x, &y, 300, 0.05, &mut rng()).unwrap();
+        assert!(b.estimate.abs() < 0.4);
+        assert!(!b.excludes_zero(), "{b:?}");
+        assert!(b.width() > 0.2);
+    }
+
+    #[test]
+    fn interval_brackets_estimate() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + i as f64 / 5.0).collect();
+        let y: Vec<f64> = (0..100).map(|i| i as f64 + ((i * 31) % 17) as f64).collect();
+        let b = spearman_bootstrap(&x, &y, 200, 0.1, &mut rng()).unwrap();
+        assert!(b.lo <= b.estimate + 0.1 && b.estimate - 0.1 <= b.hi, "{b:?}");
+        assert_eq!(b.resamples, 200);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut r = rng();
+        assert!(spearman_bootstrap(&[1.0], &[1.0], 50, 0.05, &mut r).is_none());
+        assert!(spearman_bootstrap(&[1.0, 1.0], &[2.0, 2.0], 50, 0.05, &mut r).is_none());
+    }
+}

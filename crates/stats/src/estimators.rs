@@ -1,0 +1,241 @@
+//! Reliability estimators: inter-arrival series, MTBF, exponential MLE,
+//! and burstiness indices.
+//!
+//! These implement the quantitative machinery behind Observation 1
+//! ("MTBF of double bit errors … approx. 160 hours") and Observation 6
+//! ("user application caused XID errors are bursty … driver related XID
+//! errors are not bursty").
+
+use crate::summary::Summary;
+
+/// Inter-arrival series derived from a sorted sequence of event timestamps
+/// (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterArrival {
+    gaps: Vec<f64>,
+}
+
+impl InterArrival {
+    /// Builds the series from event timestamps in seconds. Unsorted input
+    /// is sorted internally; duplicate timestamps yield zero gaps, which
+    /// are retained (co-reported events are real in console logs).
+    pub fn from_timestamps(ts: &[u64]) -> Self {
+        let mut t: Vec<u64> = ts.to_vec();
+        t.sort_unstable();
+        let gaps = t.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        InterArrival { gaps }
+    }
+
+    /// The gaps themselves, in seconds.
+    pub fn gaps(&self) -> &[f64] {
+        &self.gaps
+    }
+
+    /// Number of gaps (events − 1).
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// True when fewer than two events were provided.
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// Mean gap in seconds; `None` without at least one gap.
+    pub fn mean_seconds(&self) -> Option<f64> {
+        if self.gaps.is_empty() {
+            None
+        } else {
+            Some(Summary::of(&self.gaps).mean())
+        }
+    }
+
+    /// Coefficient of variation of the gaps. 1 ⇒ Poisson-like; ≫1 ⇒ bursty;
+    /// <1 ⇒ regular. `None` with fewer than two gaps.
+    pub fn cv(&self) -> Option<f64> {
+        if self.gaps.len() < 2 {
+            None
+        } else {
+            Some(Summary::of(&self.gaps).cv())
+        }
+    }
+}
+
+/// Mean time between failures, in hours, from raw event timestamps in
+/// seconds. `None` with fewer than two events.
+pub fn mtbf_hours(timestamps: &[u64]) -> Option<f64> {
+    InterArrival::from_timestamps(timestamps)
+        .mean_seconds()
+        .map(|s| s / 3600.0)
+}
+
+/// Maximum-likelihood rate of an exponential model over inter-arrival gaps
+/// (λ̂ = 1 / mean gap). Returns events-per-second. `None` when degenerate.
+pub fn exponential_mle(gaps: &[f64]) -> Option<f64> {
+    if gaps.is_empty() {
+        return None;
+    }
+    let mean = Summary::of(gaps).mean();
+    if mean <= 0.0 {
+        return None;
+    }
+    Some(1.0 / mean)
+}
+
+/// Burstiness index of Goh & Barabási: B = (σ−μ)/(σ+μ) over inter-arrival
+/// gaps. B ≈ 0 for Poisson arrivals, → 1 for extreme bursts, → −1 for a
+/// perfectly regular (periodic) signal. `None` with fewer than two gaps.
+pub fn burstiness(timestamps: &[u64]) -> Option<f64> {
+    let ia = InterArrival::from_timestamps(timestamps);
+    if ia.len() < 2 {
+        return None;
+    }
+    let s = Summary::of(ia.gaps());
+    let (mu, sigma) = (s.mean(), s.std_dev());
+    if mu + sigma == 0.0 {
+        return None;
+    }
+    Some((sigma - mu) / (sigma + mu))
+}
+
+/// Fano factor over fixed windows: variance/mean of per-window counts.
+/// 1 for a Poisson process; ≫1 for clustered arrivals. Used alongside
+/// [`burstiness`] when classifying XID streams (Observation 6).
+/// Returns `None` when the span covers fewer than two windows.
+pub fn fano_factor(timestamps: &[u64], window_seconds: u64) -> Option<f64> {
+    if timestamps.is_empty() || window_seconds == 0 {
+        return None;
+    }
+    let lo = *timestamps.iter().min().expect("nonempty");
+    let hi = *timestamps.iter().max().expect("nonempty");
+    let nwin = ((hi - lo) / window_seconds + 1) as usize;
+    if nwin < 2 {
+        return None;
+    }
+    let mut counts = vec![0.0f64; nwin];
+    for &t in timestamps {
+        counts[((t - lo) / window_seconds) as usize] += 1.0;
+    }
+    let s = Summary::of(&counts);
+    let mean = s.mean();
+    if mean == 0.0 {
+        return None;
+    }
+    Some(s.variance() / mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::Exponential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interarrival_from_unsorted() {
+        let ia = InterArrival::from_timestamps(&[30, 10, 20]);
+        assert_eq!(ia.gaps(), &[10.0, 10.0]);
+        assert_eq!(ia.len(), 2);
+    }
+
+    #[test]
+    fn mtbf_weekly_dbe() {
+        // One event per week for 10 weeks → MTBF = 168 h.
+        let week = 7 * 24 * 3600u64;
+        let ts: Vec<u64> = (0..10).map(|i| i * week).collect();
+        let m = mtbf_hours(&ts).unwrap();
+        assert!((m - 168.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mtbf_needs_two_events() {
+        assert!(mtbf_hours(&[]).is_none());
+        assert!(mtbf_hours(&[100]).is_none());
+    }
+
+    #[test]
+    fn exponential_mle_recovers_rate() {
+        let d = Exponential::new(0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let gaps: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let lam = exponential_mle(&gaps).unwrap();
+        assert!((lam - 0.01).abs() / 0.01 < 0.02, "lam {lam}");
+    }
+
+    #[test]
+    fn exponential_mle_degenerate() {
+        assert!(exponential_mle(&[]).is_none());
+        assert!(exponential_mle(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn burstiness_of_periodic_is_minus_one() {
+        let ts: Vec<u64> = (0..100).map(|i| i * 60).collect();
+        let b = burstiness(&ts).unwrap();
+        assert!((b + 1.0).abs() < 1e-9, "b {b}");
+    }
+
+    #[test]
+    fn burstiness_of_poisson_near_zero() {
+        let d = Exponential::new(1.0 / 100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut t = 0.0;
+        let ts: Vec<u64> = (0..20_000)
+            .map(|_| {
+                t += d.sample(&mut rng);
+                t as u64
+            })
+            .collect();
+        let b = burstiness(&ts).unwrap();
+        assert!(b.abs() < 0.05, "b {b}");
+    }
+
+    #[test]
+    fn burstiness_of_clusters_positive() {
+        // 20 bursts of 50 events within 10 s, bursts a day apart: XID-13 style.
+        let mut ts = Vec::new();
+        for burst in 0..20u64 {
+            let base = burst * 86_400;
+            for k in 0..50u64 {
+                ts.push(base + k / 5);
+            }
+        }
+        let b = burstiness(&ts).unwrap();
+        assert!(b > 0.5, "b {b}");
+    }
+
+    #[test]
+    fn fano_poisson_near_one() {
+        let d = Exponential::new(1.0 / 50.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut t = 0.0;
+        let ts: Vec<u64> = (0..20_000)
+            .map(|_| {
+                t += d.sample(&mut rng);
+                t as u64
+            })
+            .collect();
+        let f = fano_factor(&ts, 1000).unwrap();
+        assert!((f - 1.0).abs() < 0.15, "fano {f}");
+    }
+
+    #[test]
+    fn fano_clustered_much_greater_than_one() {
+        let mut ts = Vec::new();
+        for burst in 0..30u64 {
+            let base = burst * 100_000;
+            for k in 0..100u64 {
+                ts.push(base + k);
+            }
+        }
+        let f = fano_factor(&ts, 10_000).unwrap();
+        assert!(f > 10.0, "fano {f}");
+    }
+
+    #[test]
+    fn fano_edge_cases() {
+        assert!(fano_factor(&[], 10).is_none());
+        assert!(fano_factor(&[5], 10).is_none()); // single window
+        assert!(fano_factor(&[5, 6], 0).is_none());
+    }
+}

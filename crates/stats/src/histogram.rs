@@ -1,0 +1,223 @@
+//! Fixed-bin histograms used for the paper's monthly frequency figures
+//! (Figs. 2, 4, 6, 9–11) and the retirement-delay buckets of Fig. 8.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors constructing or filling a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistogramError {
+    /// `lo >= hi` or zero bins requested.
+    BadRange,
+    /// Edges for a custom-edge histogram were not strictly increasing.
+    EdgesNotIncreasing,
+}
+
+impl std::fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistogramError::BadRange => write!(f, "histogram range is empty or bin count is zero"),
+            HistogramError::EdgesNotIncreasing => {
+                write!(f, "histogram edges must be strictly increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+/// A histogram over explicit bin edges `e0 < e1 < … < ek`; bin *i* covers
+/// `[e_i, e_{i+1})`, with the last bin closed on the right. Values outside
+/// the range are counted separately as underflow/overflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Uniform-width histogram with `bins` bins over `[lo, hi]`.
+    pub fn uniform(lo: f64, hi: f64, bins: usize) -> Result<Self, HistogramError> {
+        if !(lo < hi) || bins == 0 {
+            return Err(HistogramError::BadRange);
+        }
+        let w = (hi - lo) / bins as f64;
+        let edges = (0..=bins).map(|i| lo + w * i as f64).collect();
+        Ok(Self::from_edges_unchecked(edges))
+    }
+
+    /// Histogram over caller-supplied edges (e.g. Fig. 8's irregular
+    /// delay buckets: ≤10 min, 10 min–6 h, …).
+    pub fn with_edges(edges: Vec<f64>) -> Result<Self, HistogramError> {
+        if edges.len() < 2 {
+            return Err(HistogramError::BadRange);
+        }
+        if edges.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(HistogramError::EdgesNotIncreasing);
+        }
+        Ok(Self::from_edges_unchecked(edges))
+    }
+
+    fn from_edges_unchecked(edges: Vec<f64>) -> Self {
+        let n = edges.len() - 1;
+        Histogram {
+            edges,
+            counts: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let lo = self.edges[0];
+        let hi = *self.edges.last().expect("edges nonempty");
+        if x < lo {
+            self.underflow += 1;
+            return;
+        }
+        if x > hi {
+            self.overflow += 1;
+            return;
+        }
+        if x == hi {
+            // Last bin is closed on the right.
+            let last = self.counts.len() - 1;
+            self.counts[last] += 1;
+            return;
+        }
+        // Binary search for the bin: largest i with edges[i] <= x.
+        let i = match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&x).expect("NaN edge"))
+        {
+            Ok(i) => i.min(self.counts.len() - 1),
+            Err(i) => i - 1,
+        };
+        self.counts[i] += 1;
+    }
+
+    /// Fills from a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin edges (`counts().len() + 1` of them).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Observations below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// (bin center, count) pairs, handy for rendering.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        self.edges
+            .windows(2)
+            .zip(&self.counts)
+            .map(|(w, &c)| ((w[0] + w[1]) / 2.0, c))
+            .collect()
+    }
+
+    /// Index of the fullest bin (first one on ties), or `None` when empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total() == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_construction() {
+        let h = Histogram::uniform(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.counts().len(), 5);
+        assert_eq!(h.edges(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn bad_ranges_rejected() {
+        assert_eq!(
+            Histogram::uniform(1.0, 1.0, 3).unwrap_err(),
+            HistogramError::BadRange
+        );
+        assert_eq!(
+            Histogram::uniform(0.0, 1.0, 0).unwrap_err(),
+            HistogramError::BadRange
+        );
+        assert_eq!(
+            Histogram::with_edges(vec![0.0, 0.0, 1.0]).unwrap_err(),
+            HistogramError::EdgesNotIncreasing
+        );
+        assert_eq!(
+            Histogram::with_edges(vec![0.0]).unwrap_err(),
+            HistogramError::BadRange
+        );
+    }
+
+    #[test]
+    fn binning_semantics() {
+        let mut h = Histogram::uniform(0.0, 10.0, 5).unwrap();
+        h.extend(&[0.0, 1.9, 2.0, 9.9, 10.0, -0.1, 10.1]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 2]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn irregular_edges_fig8_style() {
+        // Fig. 8 buckets in seconds: [0, 600), [600, 21600), [21600, 86400].
+        let mut h = Histogram::with_edges(vec![0.0, 600.0, 21_600.0, 86_400.0]).unwrap();
+        h.extend(&[30.0, 599.0, 600.0, 3_600.0, 50_000.0]);
+        assert_eq!(h.counts(), &[2, 2, 1]);
+    }
+
+    #[test]
+    fn centers_and_mode() {
+        let mut h = Histogram::uniform(0.0, 4.0, 2).unwrap();
+        h.extend(&[0.5, 0.6, 3.0]);
+        let c = h.centers();
+        assert_eq!(c, vec![(1.0, 2), (3.0, 1)]);
+        assert_eq!(h.mode_bin(), Some(0));
+        let empty = Histogram::uniform(0.0, 1.0, 2).unwrap();
+        assert_eq!(empty.mode_bin(), None);
+    }
+
+    #[test]
+    fn exact_edge_values_go_right_bin() {
+        let mut h = Histogram::uniform(0.0, 3.0, 3).unwrap();
+        h.extend(&[1.0, 2.0]);
+        assert_eq!(h.counts(), &[0, 1, 1]);
+    }
+}

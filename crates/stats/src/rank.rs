@@ -1,0 +1,103 @@
+//! Ranking with tie handling (average ranks), the backbone of the
+//! Spearman correlation the paper reports (Observations 11–13).
+//!
+//! Field-data series are full of ties — SBE counts are small integers and
+//! many jobs report zero — so mid-rank assignment is essential for the
+//! coefficients to land in the paper's bands.
+
+/// Assigns average (mid) ranks to `values`, 1-based, ties sharing the mean
+/// of the ranks they span. `NaN`s are not permitted.
+///
+/// ```
+/// let r = titan_stats::average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+/// assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in rank input")
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Ranks i+1 ..= j+1 (1-based) tie; assign their mean.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Returns the indices of the `k` largest values, descending. Ties broken by
+/// lower index first (deterministic). Used for the paper's "top-10 / top-50
+/// SBE offender" exclusions (Fig. 14, 15, and §4).
+pub fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("NaN in top_k input")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ties_is_permutation_rank() {
+        let r = average_ranks(&[30.0, 10.0, 20.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        let r = average_ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mixed_ties() {
+        let r = average_ranks(&[1.0, 2.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 3.0, 3.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(average_ranks(&[]).is_empty());
+        assert!(top_k_indices(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // Sum of ranks is always n(n+1)/2 regardless of ties.
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let s: f64 = average_ranks(&v).iter().sum();
+        assert!((s - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_basic() {
+        let v = [10.0, 50.0, 20.0, 50.0, 5.0];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&v, 3), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn top_k_larger_than_len() {
+        let v = [1.0, 2.0];
+        assert_eq!(top_k_indices(&v, 10), vec![1, 0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! # titan-topology
+//!
+//! Physical organization of the Titan supercomputer (Fig. 1 of the paper)
+//! as a typed, allocation-free coordinate system.
+//!
+//! Titan is a Cray XK7: the basic building block is a *node* (one AMD
+//! Opteron 6274 + one NVIDIA K20X). Four nodes form a *blade* (slot), two
+//! nodes within a blade share one Gemini router, eight blades form a
+//! *cage*, three cages form a *cabinet*, and 200 cabinets stand in 25 rows
+//! by 8 columns. That yields 19,200 node slots; 512 of them are service/IO
+//! nodes without GPUs, leaving the paper's 18,688 GPU compute nodes.
+//!
+//! The crate provides:
+//!
+//! * [`NodeId`] / [`Location`] — a bijection between flat slot indices and
+//!   physical coordinates, plus Cray `cX-Yc_s_n_` cnames ([`Location::cname`]).
+//! * [`torus`] — the Gemini 3-D torus (25 × 16 × 24 routers) and the
+//!   *folded* cabling order whose alternate-cabinet job striping the paper
+//!   observes in Fig. 12.
+//! * [`temperature`] — the intra-cabinet thermal gradient ("GPUs in the
+//!   uppermost cage are on average more than 10 °F hotter than the GPUs in
+//!   the lowermost cage").
+//! * [`grid`] — the 25 × 8 cabinet grid used by every spatial figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod grid;
+pub mod temperature;
+pub mod torus;
+
+pub use geometry::{Location, NodeId, ParseCnameError};
+pub use grid::CabinetGrid;
+pub use temperature::ThermalModel;
+pub use torus::{GeminiCoord, Torus};
+
+/// Cabinet rows on the machine-room floor.
+pub const ROWS: usize = 25;
+/// Cabinet columns on the machine-room floor.
+pub const COLS: usize = 8;
+/// Total cabinets (25 × 8).
+pub const CABINETS: usize = ROWS * COLS;
+/// Cages per cabinet, vertically stacked (cage 2 is the hottest, on top).
+pub const CAGES_PER_CABINET: usize = 3;
+/// Blades (slots) per cage.
+pub const BLADES_PER_CAGE: usize = 8;
+/// Nodes per blade.
+pub const NODES_PER_BLADE: usize = 4;
+/// Nodes per cage.
+pub const NODES_PER_CAGE: usize = BLADES_PER_CAGE * NODES_PER_BLADE;
+/// Nodes per cabinet.
+pub const NODES_PER_CABINET: usize = CAGES_PER_CABINET * NODES_PER_CAGE;
+/// Total node slots on the floor (19,200).
+pub const TOTAL_SLOTS: usize = CABINETS * NODES_PER_CABINET;
+/// Service/IO node slots (no GPU). 512 on the real machine.
+pub const SERVICE_NODES: usize = 512;
+/// GPU compute nodes — the paper's 18,688.
+pub const COMPUTE_NODES: usize = TOTAL_SLOTS - SERVICE_NODES;
+/// Gemini routers (two nodes each).
+pub const GEMINI_ROUTERS: usize = TOTAL_SLOTS / 2;
+
+// The constants must reproduce the paper's headline numbers.
+const _: () = assert!(COMPUTE_NODES == 18_688);
+const _: () = assert!(CABINETS == 200);
+const _: () = assert!(TOTAL_SLOTS == 19_200);
+const _: () = assert!(GEMINI_ROUTERS == 9_600);
+
+/// Number of cabinets that host service blades under our synthetic
+/// placement rule (see [`is_service_slot`]).
+const SERVICE_CABINETS: usize = SERVICE_NODES / NODES_PER_BLADE; // 128
+
+/// True when the slot is a service/IO node (no GPU).
+///
+/// On the real machine, service blades are scattered per the site's I/O
+/// plan, which is not public; we use a deterministic synthetic rule —
+/// cage 0, blade 0 of the first 128 cabinets in row-major order
+/// (128 × 4 = 512 slots) — documented in DESIGN.md as a substitution. The
+/// analyses never depend on *which* slots are service nodes, only that
+/// exactly 18,688 slots carry GPUs.
+pub fn is_service_slot(node: NodeId) -> bool {
+    let loc = node.location();
+    loc.cage == 0 && loc.blade == 0 && loc.cabinet_index() < SERVICE_CABINETS
+}
+
+/// Iterator over all compute (GPU-bearing) node ids in slot order.
+pub fn compute_nodes() -> impl Iterator<Item = NodeId> {
+    (0..TOTAL_SLOTS as u32)
+        .map(NodeId)
+        .filter(|n| !is_service_slot(*n))
+}
+
+/// Dense index of a compute node's GPU slot in `0..COMPUTE_NODES`, or
+/// `None` for a service slot. The inverse is [`gpu_index_to_node`].
+pub fn node_to_gpu_index(node: NodeId) -> Option<u32> {
+    if is_service_slot(node) {
+        return None;
+    }
+    let id = node.0 as usize;
+    let cab = id / NODES_PER_CABINET;
+    // Service slots preceding `id`: 4 per service cabinet fully before it,
+    // plus this cabinet's own 4 when it is a service cabinet (a non-service
+    // node in such a cabinet always sits after its blade-0 service slots).
+    let service_before = if cab < SERVICE_CABINETS {
+        cab * NODES_PER_BLADE + NODES_PER_BLADE
+    } else {
+        SERVICE_CABINETS * NODES_PER_BLADE
+    };
+    Some((id - service_before) as u32)
+}
+
+/// Inverse of [`node_to_gpu_index`].
+pub fn gpu_index_to_node(gpu: u32) -> NodeId {
+    debug_assert!((gpu as usize) < COMPUTE_NODES);
+    let gpu = gpu as usize;
+    const EARLY: usize = NODES_PER_CABINET - NODES_PER_BLADE; // 92 compute slots
+    const EARLY_TOTAL: usize = SERVICE_CABINETS * EARLY; // 11,776
+    if gpu < EARLY_TOTAL {
+        let cab = gpu / EARLY;
+        let within = gpu % EARLY;
+        NodeId((cab * NODES_PER_CABINET + within + NODES_PER_BLADE) as u32)
+    } else {
+        let rest = gpu - EARLY_TOTAL;
+        let cab = SERVICE_CABINETS + rest / NODES_PER_CABINET;
+        let within = rest % NODES_PER_CABINET;
+        NodeId((cab * NODES_PER_CABINET + within) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_counts() {
+        assert_eq!(compute_nodes().count(), COMPUTE_NODES);
+        assert_eq!(
+            (0..TOTAL_SLOTS as u32)
+                .filter(|&i| is_service_slot(NodeId(i)))
+                .count(),
+            SERVICE_NODES
+        );
+    }
+
+    #[test]
+    fn gpu_index_is_dense_bijection() {
+        let mut next = 0u32;
+        for node in compute_nodes() {
+            let g = node_to_gpu_index(node).expect("compute node has GPU");
+            assert_eq!(g, next, "gpu indices must be dense in slot order");
+            assert_eq!(gpu_index_to_node(g), node);
+            next += 1;
+        }
+        assert_eq!(next as usize, COMPUTE_NODES);
+    }
+
+    #[test]
+    fn service_slots_have_no_gpu_index() {
+        for i in 0..TOTAL_SLOTS as u32 {
+            let n = NodeId(i);
+            assert_eq!(node_to_gpu_index(n).is_none(), is_service_slot(n));
+        }
+    }
+}

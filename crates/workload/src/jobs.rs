@@ -1,0 +1,220 @@
+//! Job arrival and sizing.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use titan_conlog::time::SimTime;
+use titan_stats::LogNormal;
+
+use crate::users::{UserPopulation, UserProfile};
+
+/// One sized (but not yet placed) batch job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// ALPS application id (dense, increasing with submission order).
+    pub apid: u64,
+    /// Submitting user.
+    pub user: u32,
+    /// Requested node count.
+    pub nodes: u32,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Requested wall-clock seconds.
+    pub wall: u64,
+    /// Peak per-node GPU memory footprint, bytes.
+    pub mem_max_bytes: u64,
+    /// Mean GPU utilization while running (0..1).
+    pub gpu_util: f64,
+    /// Whether this is a crash-prone debug run (XID 13 fodder).
+    pub is_debug: bool,
+}
+
+impl JobSpec {
+    /// GPU core-hours the job will consume if it runs to completion:
+    /// nodes × wall-hours × utilization (the paper's core-hour metric is
+    /// allocation-hours scaled by activity).
+    pub fn gpu_core_hours(&self) -> f64 {
+        self.nodes as f64 * (self.wall as f64 / 3600.0) * self.gpu_util
+    }
+
+    /// Integrated memory consumption, byte-hours across nodes, assuming
+    /// the mean footprint is ~70% of peak.
+    pub fn total_memory_byte_hours(&self) -> f64 {
+        0.7 * self.mem_max_bytes as f64 * self.nodes as f64 * (self.wall as f64 / 3600.0)
+    }
+}
+
+/// Draws job sizes from a user's profile.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobSizer;
+
+/// Largest allocation the scheduler will grant (whole machine minus
+/// service margin).
+pub const MAX_JOB_NODES: u32 = 18_000;
+
+/// Wall-clock cap (Titan's queue limit was 24 h).
+pub const MAX_WALL_SECONDS: u64 = 24 * 3600;
+
+impl JobSizer {
+    /// Sizes one job for `user` submitted at `submit`.
+    pub fn size<R: Rng + ?Sized>(
+        &self,
+        apid: u64,
+        user: &UserProfile,
+        submit: SimTime,
+        rng: &mut R,
+    ) -> JobSpec {
+        let nodes = LogNormal::from_median(user.nodes_median, 0.7)
+            .expect("positive median")
+            .sample(rng)
+            .round()
+            .clamp(1.0, MAX_JOB_NODES as f64) as u32;
+        let wall = LogNormal::from_median(user.wall_median, 0.6)
+            .expect("positive median")
+            .sample(rng)
+            .round()
+            .clamp(60.0, MAX_WALL_SECONDS as f64) as u64;
+        let mem = LogNormal::from_median(user.mem_median, 0.3)
+            .expect("positive median")
+            .sample(rng)
+            .clamp(64.0 * 1024.0 * 1024.0, 6.0 * 1024.0 * 1024.0 * 1024.0)
+            as u64;
+        let is_debug = rng.gen::<f64>() < user.debug_fraction;
+        JobSpec {
+            apid,
+            user: user.id,
+            // Debug runs are small and short regardless of archetype.
+            nodes: if is_debug { nodes.min(64) } else { nodes },
+            submit,
+            wall: if is_debug { wall.min(1800) } else { wall },
+            mem_max_bytes: mem,
+            gpu_util: (user.gpu_util + 0.1 * (rng.gen::<f64>() - 0.5)).clamp(0.05, 1.0),
+            is_debug,
+        }
+    }
+
+    /// Generates the full submission stream: `jobs_per_day` mean arrivals,
+    /// users picked by activity weight. Returns specs sorted by submit
+    /// time with dense apids.
+    pub fn generate_stream<R: Rng + ?Sized>(
+        &self,
+        population: &UserPopulation,
+        jobs_per_day: f64,
+        window: SimTime,
+        rng: &mut R,
+    ) -> Vec<JobSpec> {
+        let user_picker =
+            titan_stats::WeightedAlias::new(&population.activity_weights()).expect("users exist");
+        let rate = jobs_per_day / 86_400.0;
+        let exp = titan_stats::Exponential::new(rate).expect("positive rate");
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        let mut apid = 1_000_000u64; // ALPS apids start high on real systems
+        loop {
+            t += exp.sample(rng);
+            if t >= window as f64 {
+                break;
+            }
+            let user = population.profile(user_picker.sample(rng) as u32);
+            out.push(self.size(apid, user, t as SimTime, rng));
+            apid += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::users::UserPopulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream(jobs_per_day: f64, days: u64) -> Vec<JobSpec> {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let pop = UserPopulation::generate(300, &mut rng);
+        JobSizer.generate_stream(&pop, jobs_per_day, days * 86_400, &mut rng)
+    }
+
+    #[test]
+    fn volume_matches_rate() {
+        let jobs = stream(100.0, 100);
+        assert!((9_000..11_000).contains(&jobs.len()), "{}", jobs.len());
+    }
+
+    #[test]
+    fn stream_sorted_and_dense_apids() {
+        let jobs = stream(50.0, 30);
+        assert!(jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+        assert!(jobs.windows(2).all(|w| w[1].apid == w[0].apid + 1));
+    }
+
+    #[test]
+    fn bounds_respected() {
+        for j in stream(100.0, 60) {
+            assert!(j.nodes >= 1 && j.nodes <= MAX_JOB_NODES);
+            assert!(j.wall >= 60 && j.wall <= MAX_WALL_SECONDS);
+            assert!(j.mem_max_bytes <= 6 * 1024 * 1024 * 1024);
+            assert!(j.gpu_util > 0.0 && j.gpu_util <= 1.0);
+            if j.is_debug {
+                assert!(j.nodes <= 64);
+                assert!(j.wall <= 1800);
+            }
+        }
+    }
+
+    #[test]
+    fn core_hours_formula() {
+        let j = JobSpec {
+            apid: 1,
+            user: 0,
+            nodes: 100,
+            submit: 0,
+            wall: 7200,
+            mem_max_bytes: 1 << 30,
+            gpu_util: 0.5,
+            is_debug: false,
+        };
+        assert!((j.gpu_core_hours() - 100.0).abs() < 1e-9);
+        let tm = j.total_memory_byte_hours();
+        assert!((tm - 0.7 * (1u64 << 30) as f64 * 100.0 * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig21_shape_memory_heavy_jobs_use_below_average_core_hours() {
+        let jobs = stream(200.0, 200);
+        let mean_ch: f64 =
+            jobs.iter().map(|j| j.gpu_core_hours()).sum::<f64>() / jobs.len() as f64;
+        // Top-decile by max memory.
+        let mut by_mem: Vec<&JobSpec> = jobs.iter().collect();
+        by_mem.sort_by_key(|j| std::cmp::Reverse(j.mem_max_bytes));
+        let top = &by_mem[..jobs.len() / 10];
+        let top_ch: f64 =
+            top.iter().map(|j| j.gpu_core_hours()).sum::<f64>() / top.len() as f64;
+        assert!(
+            top_ch < mean_ch,
+            "memory-heavy jobs should be below the core-hour mean: {top_ch} vs {mean_ch}"
+        );
+    }
+
+    #[test]
+    fn fig21_shape_long_wall_jobs_can_be_small() {
+        let jobs = stream(200.0, 200);
+        let mut by_wall: Vec<&JobSpec> = jobs.iter().collect();
+        by_wall.sort_by_key(|j| std::cmp::Reverse(j.wall));
+        let longest = &by_wall[..jobs.len() / 20];
+        let small_and_long = longest.iter().filter(|j| j.nodes < 100).count();
+        assert!(
+            small_and_long as f64 / longest.len() as f64 > 0.5,
+            "most of the longest jobs should be small-node capacity runs"
+        );
+    }
+
+    #[test]
+    fn fig21_shape_core_hours_correlate_with_nodes() {
+        let jobs = stream(200.0, 200);
+        let nodes: Vec<f64> = jobs.iter().map(|j| j.nodes as f64).collect();
+        let ch: Vec<f64> = jobs.iter().map(|j| j.gpu_core_hours()).collect();
+        let r = titan_stats::spearman(&nodes, &ch).unwrap();
+        assert!(r.r > 0.5, "nodes↔core-hours Spearman {}", r.r);
+    }
+}

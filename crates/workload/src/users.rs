@@ -1,0 +1,253 @@
+//! The user population.
+//!
+//! Observation 13: "UserID seems to a better proxy for identifying which
+//! users/codes may be getting affected by SBE occurrences" — because a
+//! user runs the same few codes with stable resource shapes. We encode
+//! that with *archetypes*: a user's archetype pins the distributions all
+//! their jobs draw from.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use titan_stats::{LogNormal, Pareto};
+
+/// Workload archetypes, chosen to jointly produce the Fig. 21 panels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UserArchetype {
+    /// INCITE-style capability runs: very large node counts, moderate
+    /// wall times, moderate memory. Dominates GPU core-hours.
+    Capability,
+    /// Ensemble/capacity users: small node counts, *long* wall clocks
+    /// (the paper: "some jobs with smaller node counts may actually be
+    /// the longest running jobs").
+    Capacity,
+    /// Memory-bound analytics: small-to-medium node counts, *maximal*
+    /// per-node memory, below-average core-hours ("jobs with the highest
+    /// maximum and total memory use less than the average GPU core
+    /// hours").
+    MemoryIntensive,
+    /// Debug/development: tiny, short, frequent, crash-prone — the source
+    /// of the bursty XID 13 population.
+    Debug,
+}
+
+impl UserArchetype {
+    /// All archetypes with their population mix.
+    pub const MIX: [(UserArchetype, f64); 4] = [
+        (UserArchetype::Capability, 0.12),
+        (UserArchetype::Capacity, 0.35),
+        (UserArchetype::MemoryIntensive, 0.20),
+        (UserArchetype::Debug, 0.33),
+    ];
+}
+
+/// One user's generation profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// User id (dense).
+    pub id: u32,
+    /// Archetype.
+    pub archetype: UserArchetype,
+    /// Relative submission rate (jobs/day share) — heavy-tailed: a few
+    /// power users submit most jobs.
+    pub activity_weight: f64,
+    /// Median node count for this user's jobs.
+    pub nodes_median: f64,
+    /// Median wall-clock seconds.
+    pub wall_median: f64,
+    /// Median per-node GPU memory footprint, bytes.
+    pub mem_median: f64,
+    /// Mean GPU utilization while running (0..1).
+    pub gpu_util: f64,
+    /// Probability a given job is a crash-prone debug run.
+    pub debug_fraction: f64,
+}
+
+/// The whole population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserPopulation {
+    profiles: Vec<UserProfile>,
+}
+
+/// 6 GB K20X framebuffer — the memory-draw ceiling.
+const MEM_CAP: f64 = 6.0 * 1024.0 * 1024.0 * 1024.0;
+
+impl UserPopulation {
+    /// Generates `n_users` users with the archetype mix.
+    pub fn generate<R: Rng + ?Sized>(n_users: usize, rng: &mut R) -> Self {
+        let activity = Pareto::new(1.0, 1.2).expect("valid");
+        let mut profiles = Vec::with_capacity(n_users);
+        for id in 0..n_users as u32 {
+            let archetype = pick_archetype(rng);
+            let jitter = |rng: &mut R, median: f64, sigma: f64| {
+                LogNormal::from_median(median, sigma)
+                    .expect("positive median")
+                    .sample(rng)
+            };
+            let (nodes_median, wall_median, mem_median, gpu_util, debug_fraction) =
+                match archetype {
+                    UserArchetype::Capability => (
+                        jitter(rng, 1500.0, 0.5).min(18_000.0),
+                        jitter(rng, 4.0 * 3600.0, 0.4),
+                        jitter(rng, 1.5e9, 0.3).min(MEM_CAP),
+                        0.85,
+                        0.05,
+                    ),
+                    UserArchetype::Capacity => (
+                        jitter(rng, 60.0, 0.6),
+                        jitter(rng, 16.0 * 3600.0, 0.5),
+                        jitter(rng, 1.0e9, 0.4).min(MEM_CAP),
+                        0.70,
+                        0.08,
+                    ),
+                    UserArchetype::MemoryIntensive => (
+                        jitter(rng, 150.0, 0.5),
+                        jitter(rng, 2.5 * 3600.0, 0.4),
+                        jitter(rng, 5.2e9, 0.1).min(MEM_CAP),
+                        0.45,
+                        0.10,
+                    ),
+                    UserArchetype::Debug => (
+                        jitter(rng, 12.0, 0.8),
+                        jitter(rng, 900.0, 0.7),
+                        jitter(rng, 0.5e9, 0.5).min(MEM_CAP),
+                        0.30,
+                        0.60,
+                    ),
+                };
+            profiles.push(UserProfile {
+                id,
+                archetype,
+                activity_weight: activity.sample(rng),
+                nodes_median,
+                wall_median,
+                mem_median,
+                gpu_util,
+                debug_fraction,
+            });
+        }
+        UserPopulation { profiles }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Profile of user `id`.
+    pub fn profile(&self, id: u32) -> &UserProfile {
+        &self.profiles[id as usize]
+    }
+
+    /// All profiles.
+    pub fn profiles(&self) -> &[UserProfile] {
+        &self.profiles
+    }
+
+    /// Activity weights (submission-rate shares).
+    pub fn activity_weights(&self) -> Vec<f64> {
+        self.profiles.iter().map(|p| p.activity_weight).collect()
+    }
+}
+
+fn pick_archetype<R: Rng + ?Sized>(rng: &mut R) -> UserArchetype {
+    let mut x = rng.gen::<f64>();
+    for &(a, f) in UserArchetype::MIX.iter() {
+        x -= f;
+        if x <= 0.0 {
+            return a;
+        }
+    }
+    UserArchetype::MIX[0].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn pop(n: usize) -> UserPopulation {
+        let mut rng = StdRng::seed_from_u64(77);
+        UserPopulation::generate(n, &mut rng)
+    }
+
+    #[test]
+    fn archetype_mix_roughly_matches() {
+        let p = pop(5_000);
+        let mut counts: HashMap<UserArchetype, usize> = HashMap::new();
+        for u in p.profiles() {
+            *counts.entry(u.archetype).or_default() += 1;
+        }
+        for &(a, f) in UserArchetype::MIX.iter() {
+            let got = counts[&a] as f64 / 5_000.0;
+            assert!((got - f).abs() < 0.03, "{a:?}: {got} vs {f}");
+        }
+    }
+
+    #[test]
+    fn archetype_shapes_separate() {
+        let p = pop(2_000);
+        let mean = |a: UserArchetype, f: fn(&UserProfile) -> f64| {
+            let v: Vec<f64> = p
+                .profiles()
+                .iter()
+                .filter(|u| u.archetype == a)
+                .map(f)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        // Capability runs far larger than capacity.
+        assert!(
+            mean(UserArchetype::Capability, |u| u.nodes_median)
+                > 10.0 * mean(UserArchetype::Capacity, |u| u.nodes_median)
+        );
+        // Capacity runs far longer than memory-intensive.
+        assert!(
+            mean(UserArchetype::Capacity, |u| u.wall_median)
+                > 3.0 * mean(UserArchetype::MemoryIntensive, |u| u.wall_median)
+        );
+        // Memory-intensive owns the memory ceiling.
+        assert!(
+            mean(UserArchetype::MemoryIntensive, |u| u.mem_median)
+                > 2.0 * mean(UserArchetype::Capability, |u| u.mem_median)
+        );
+        // Debug users crash most.
+        assert!(
+            mean(UserArchetype::Debug, |u| u.debug_fraction)
+                > 4.0 * mean(UserArchetype::Capability, |u| u.debug_fraction)
+        );
+    }
+
+    #[test]
+    fn memory_never_exceeds_framebuffer() {
+        let p = pop(3_000);
+        for u in p.profiles() {
+            assert!(u.mem_median <= MEM_CAP);
+            assert!(u.gpu_util > 0.0 && u.gpu_util <= 1.0);
+        }
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        let p = pop(2_000);
+        let mut w = p.activity_weights();
+        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let total: f64 = w.iter().sum();
+        let top40: f64 = w[..40].iter().sum();
+        // Top 2% of users submit a disproportionate share.
+        assert!(top40 / total > 0.15, "top-40 share {}", top40 / total);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = pop(100);
+        let b = pop(100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! Regenerates every table and figure of the paper from a full-window
+//! (Jun'13–Feb'15) simulation and writes them under `out/`.
+//!
+//! ```text
+//! cargo run --release --example figures [seed]
+//! ```
+//!
+//! Produces `out/figNN_*.{txt,csv}`, `out/expectations.md`, and
+//! `out/figures.json` (the raw figure data).
+
+use std::fs;
+use std::path::Path;
+
+use titan_gpu_reliability::expectations::{evaluate_all, render_markdown};
+use titan_gpu_reliability::render::{grid_csv, monthly_csv, series_csv, Render};
+use titan_gpu_reliability::{Study, StudyConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x7174_414E);
+    let out = Path::new("out");
+    fs::create_dir_all(out).expect("create out/");
+
+    println!("simulating the full Jun'13–Feb'15 window (seed {seed:#x})…");
+    let mut config = StudyConfig::default();
+    config.sim.seed = seed;
+    let study = Study::new(config).run();
+    println!(
+        "  {} console events, {} jobs, {} snapshots",
+        study.data.console.len(),
+        study.data.jobs.len(),
+        study.data.snapshots.len()
+    );
+
+    println!("computing figures…");
+    let f = study.figures();
+
+    let write = |name: &str, content: String| {
+        fs::write(out.join(name), content).unwrap_or_else(|e| panic!("write {name}: {e}"));
+    };
+
+    // Monthly frequency figures.
+    write("fig02_dbe_monthly.txt", f.fig02_dbe_monthly.render());
+    write("fig02_dbe_monthly.csv", monthly_csv(&f.fig02_dbe_monthly));
+    write("fig04_otb_monthly.txt", f.fig04_otb_monthly.render());
+    write("fig04_otb_monthly.csv", monthly_csv(&f.fig04_otb_monthly));
+    write("fig06_retire_monthly.txt", f.fig06_retire_monthly.render());
+    write("fig06_retire_monthly.csv", monthly_csv(&f.fig06_retire_monthly));
+    for s in &f.fig09_xid_monthly {
+        let xid = s.kind.xid().map(|x| x.0).unwrap_or(0);
+        write(&format!("fig09_xid{xid:02}_monthly.txt"), s.render());
+        write(&format!("fig09_xid{xid:02}_monthly.csv"), monthly_csv(s));
+    }
+    write("fig10_xid13_monthly.txt", f.fig10_xid13_monthly.render());
+    write("fig10_xid13_monthly.csv", monthly_csv(&f.fig10_xid13_monthly));
+    for s in &f.fig11_uchalt_monthly {
+        let xid = s.kind.xid().map(|x| x.0).unwrap_or(0);
+        write(&format!("fig11_xid{xid}_monthly.txt"), s.render());
+    }
+
+    // Spatial figures.
+    write("fig03a_dbe_grid.txt", f.fig03_dbe_grid.render());
+    write("fig03a_dbe_grid.csv", grid_csv(&f.fig03_dbe_grid));
+    write("fig03b_dbe_cage.txt", {
+        let (all, distinct) = &f.fig03_dbe_cage;
+        format!("All DBEs:\n{}\nDistinct cards:\n{}", all.render(), distinct.render())
+    });
+    write("fig05_otb_grid.txt", f.fig05_otb_grid.render());
+    write("fig07_retire_grid.txt", f.fig07_retire_grid.render());
+    write(
+        "fig12_xid13_spatial.txt",
+        format!(
+            "UNFILTERED (top):\n{}\n5s-FILTERED (middle):\n{}\nCHILDREN <5s (bottom):\n{}",
+            f.fig12_xid13_spatial.unfiltered.render(),
+            f.fig12_xid13_spatial.filtered.render(),
+            f.fig12_xid13_spatial.children.render()
+        ),
+    );
+
+    // Fig. 8.
+    let d = &f.fig08_delays;
+    write(
+        "fig08_retire_after_dbe.txt",
+        format!(
+            "retirement delay after DBE:\n  <=10min   : {}\n  10min-6h  : {}\n  later     : {}\n  no preceding DBE (pure 2-SBE): {}\n  DBE pairs without retirement : {}\n  raw delays (s): {:?}\n",
+            d.within_10min, d.min10_to_6h, d.later, d.no_preceding_dbe,
+            d.dbe_pairs_without_retirement, d.delays
+        ),
+    );
+
+    // Fig. 13.
+    write("fig13_heatmap_top.txt", f.fig13_heatmap.render());
+    write(
+        "fig13_heatmap_bottom.txt",
+        f.fig13_heatmap.without_diagonal().render(),
+    );
+
+    // Figs. 14–15.
+    let o = &f.fig14_15_offenders;
+    for level in &o.levels {
+        write(
+            &format!("fig14_sbe_grid_top{}_removed.txt", level.removed),
+            level.grid.render(),
+        );
+        write(
+            &format!("fig15_sbe_cage_top{}_removed.txt", level.removed),
+            format!(
+                "SBE totals by cage:\n{}\nDistinct cards by cage:\n{}",
+                level.cage_totals.render(),
+                level.cage_distinct.render()
+            ),
+        );
+    }
+
+    // Figs. 16–19.
+    for (panel, name) in f
+        .fig16_19_correlation
+        .all_jobs
+        .iter()
+        .zip(["fig16_maxmem", "fig17_totalmem", "fig18_nodes", "fig19_corehours"])
+    {
+        write(
+            &format!("{name}.csv"),
+            series_csv(&panel.metric_norm, &panel.sbe_norm),
+        );
+        write(
+            &format!("{name}.txt"),
+            format!(
+                "{} vs SBE  Spearman {:?}  Pearson {:?}\n",
+                panel.metric.label(),
+                panel.spearman.map(|r| (r.r, r.p_value)),
+                panel.pearson.map(|r| (r.r, r.p_value)),
+            ),
+        );
+    }
+
+    // Fig. 20.
+    let u = &f.fig20_user;
+    write(
+        "fig20_user.txt",
+        format!(
+            "user-level Spearman: all {:?}, excluding top-10 offenders {:?}\nusers: {}\n",
+            u.spearman_all.map(|r| r.r),
+            u.spearman_excluding_top10.map(|r| r.r),
+            u.rows.len()
+        ),
+    );
+    write("fig20_user.csv", {
+        let mut s = String::from("user,core_hours,sbe,jobs\n");
+        for r in &u.rows {
+            s.push_str(&format!("{},{},{},{}\n", r.user, r.core_hours, r.sbe, r.jobs));
+        }
+        s
+    });
+
+    // Fig. 21.
+    let w = &f.fig21_workload;
+    write(
+        "fig21_workload.txt",
+        format!(
+            "jobs {}\nSpearman(core-hours, nodes) {:?}\nmem-heavy core-hour ratio {:.3}\nmem-heavy node ratio {:.3}\nlongest-jobs-small fraction {:.3}\n",
+            w.n_jobs,
+            w.corehours_nodes_spearman,
+            w.memheavy_corehours_ratio,
+            w.memheavy_nodes_ratio,
+            w.longest_jobs_small_fraction
+        ),
+    );
+
+    // Raw data + the expectation registry.
+    write(
+        "figures.json",
+        serde_json::to_string_pretty(&f).expect("figures serialize"),
+    );
+    let exps = evaluate_all(&f);
+    write("expectations.md", render_markdown(&exps));
+
+    println!("\npaper-shape verdicts:");
+    let mut pass = 0;
+    let mut weak = 0;
+    let mut fail = 0;
+    for e in &exps {
+        println!("  [{}] {:<6} {}", e.verdict, e.id, e.measured);
+        match e.verdict {
+            titan_gpu_reliability::Verdict::Pass => pass += 1,
+            titan_gpu_reliability::Verdict::Weak => weak += 1,
+            titan_gpu_reliability::Verdict::Fail => fail += 1,
+        }
+    }
+    println!("\n{pass} PASS / {weak} WEAK / {fail} FAIL — artifacts in out/");
+}

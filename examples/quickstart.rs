@@ -1,0 +1,62 @@
+//! Quickstart: simulate two months of Titan operation and print the
+//! headline reliability findings.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use titan_gpu_reliability::render::Render;
+use titan_gpu_reliability::{Study, StudyConfig};
+
+fn main() {
+    // 60 days, fixed seed — runs in a few seconds.
+    let config = StudyConfig::quick(60, 2015);
+    println!("simulating {} days of Titan operation…", 60);
+    let study = Study::new(config).run();
+
+    println!(
+        "console events: {}   jobs completed: {}   parse skips: {}",
+        study.data.console.len(),
+        study.data.jobs.len(),
+        study.data.console_parse.skipped,
+    );
+
+    let figures = study.figures();
+
+    // Observation 1: double-bit-error MTBF.
+    match figures.fig02_mtbf_hours {
+        Some(h) => println!("\nDBE MTBF: {h:.0} hours (paper: ≈160 h)"),
+        None => println!("\ntoo few DBEs in this short window for an MTBF"),
+    }
+    println!("{}", figures.fig02_dbe_monthly.render());
+
+    // Observation 10: the SBE offender skew.
+    let o = &figures.fig14_15_offenders;
+    println!(
+        "SBE-affected cards: {} ({:.1}% of fleet; paper: <5%)",
+        o.cards_with_sbe,
+        o.affected_fraction * 100.0
+    );
+    println!(
+        "top-10 offender cards carry {:.0}% of all SBEs",
+        o.top10_share * 100.0
+    );
+
+    // Observation 2: the logging gap.
+    let acc = &figures.fig03_accounting;
+    println!(
+        "\nDBEs: console log {} vs nvidia-smi {} (nvidia-smi undercounts: {})",
+        acc.console_dbe,
+        acc.nvsmi_dbe,
+        acc.nvsmi_undercounts()
+    );
+
+    // A first look at the checked expectations. Epoch-dependent checks
+    // (page retirement from Jan'14, the Jun'14 driver update, Fig. 8's
+    // retirement statistics) need the full 21-month window — run the
+    // `figures` example for the complete 24/24 PASS registry.
+    println!("\npaper-shape checks (60-day window; epoch checks need the full window):");
+    for e in titan_gpu_reliability::evaluate_all(&figures) {
+        println!("  [{}] {:<6} {}", e.verdict, e.id, e.measured);
+    }
+}
