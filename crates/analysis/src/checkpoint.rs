@@ -272,7 +272,7 @@ mod tests {
         );
         let best = sweep
             .iter()
-            .max_by(|a, b| a.1.efficiency.partial_cmp(&b.1.efficiency).unwrap())
+            .max_by(|a, b| a.1.efficiency.total_cmp(&b.1.efficiency))
             .unwrap()
             .0;
         // The best interval in the sweep is within 2x of Young's.

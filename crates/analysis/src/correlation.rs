@@ -147,7 +147,7 @@ pub fn job_sbe_correlations(
 
 fn panel(rows: &[(&JobRecord, f64)], metric: JobMetric) -> SortedSeries {
     let mut pairs: Vec<(f64, f64)> = rows.iter().map(|(j, s)| (metric.of(j), *s)).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite metrics"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
     let sp = spearman(&xs, &ys);

@@ -73,7 +73,7 @@ pub fn user_level_correlation(
             row.jobs += 1;
         }
         let mut rows: Vec<UserRow> = by_user.into_values().collect();
-        rows.sort_by(|a, b| a.core_hours.partial_cmp(&b.core_hours).expect("finite"));
+        rows.sort_by(|a, b| a.core_hours.total_cmp(&b.core_hours));
         rows
     };
 

@@ -52,7 +52,7 @@ pub fn workload_characterization(jobs: &[JobRecord]) -> WorkloadCharacterization
 
     let order_by = |key: &[f64]| -> Vec<usize> {
         let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by(|&a, &b| key[a].partial_cmp(&key[b]).expect("finite"));
+        idx.sort_by(|&a, &b| key[a].total_cmp(&key[b]));
         idx
     };
     let pick = |src: &[f64], order: &[usize]| -> Vec<f64> {

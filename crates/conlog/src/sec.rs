@@ -12,7 +12,7 @@
 //! [`SecAction`]s: alerts, duplicate suppression, and threshold alarms
 //! (e.g. the site's pull-after-DBE policy for GPU cards).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use titan_gpu::GpuErrorKind;
@@ -121,9 +121,9 @@ pub fn rules_from_json(text: &str) -> Result<Vec<SecRule>, RuleFileError> {
 #[derive(Debug, Clone)]
 pub struct SecEngine {
     rules: Vec<SecRule>,
-    last_seen: HashMap<(NodeId, GpuErrorKind), SimTime>,
-    node_counts: HashMap<(NodeId, GpuErrorKind), u32>,
-    fleet_windows: HashMap<GpuErrorKind, Vec<SimTime>>,
+    last_seen: BTreeMap<(NodeId, GpuErrorKind), SimTime>,
+    node_counts: BTreeMap<(NodeId, GpuErrorKind), u32>,
+    fleet_windows: BTreeMap<GpuErrorKind, Vec<SimTime>>,
     /// Suppressed-duplicate tally, exposed for test/ops introspection.
     pub suppressed: u64,
 }
@@ -133,9 +133,9 @@ impl SecEngine {
     pub fn new(rules: Vec<SecRule>) -> Self {
         SecEngine {
             rules,
-            last_seen: HashMap::new(),
-            node_counts: HashMap::new(),
-            fleet_windows: HashMap::new(),
+            last_seen: BTreeMap::new(),
+            node_counts: BTreeMap::new(),
+            fleet_windows: BTreeMap::new(),
             suppressed: 0,
         }
     }

@@ -228,7 +228,7 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-12);
         let (top, _) = SBE_STRUCTURE_MIX
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         assert_eq!(*top, titan_gpu::MemoryStructure::L2Cache);
     }

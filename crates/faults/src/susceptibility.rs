@@ -173,7 +173,7 @@ mod tests {
     fn offenders_dominate_weight() {
         let s = build(18_688);
         let mut w: Vec<f64> = s.sbe_weights().to_vec();
-        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        w.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = w.iter().sum();
         let top10: f64 = w[..10].iter().sum();
         let top50: f64 = w[..50].iter().sum();
@@ -187,7 +187,7 @@ mod tests {
         assert!(s.dbe_weight(0) > 0.0);
         // The bulk sits near LogNormal(0, 0.4): median ≈ 1.
         let mut w: Vec<f64> = (0..s.len()).map(|i| s.dbe_weight(i)).collect();
-        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        w.sort_by(|a, b| a.total_cmp(b));
         let median = w[w.len() / 2];
         assert!((median - 1.0).abs() < 0.1, "median {median}");
         // A small lemon tail exists, far above the bulk.
@@ -201,7 +201,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let heavy = {
             let w = s.sbe_weights();
-            (0..w.len()).max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap()).unwrap()
+            (0..w.len()).max_by(|&a, &b| w[a].total_cmp(&w[b])).unwrap()
         };
         let mut heavy_hits = 0;
         for _ in 0..5_000 {
@@ -231,7 +231,7 @@ mod tests {
         // Compare empirical frequency to weight for the 5 heaviest cards.
         let total_w = s.total_sbe_weight();
         let mut heavy: Vec<usize> = s.susceptible_cards();
-        heavy.sort_by(|&a, &b| s.sbe_weight(b).partial_cmp(&s.sbe_weight(a)).unwrap());
+        heavy.sort_by(|&a, &b| s.sbe_weight(b).total_cmp(&s.sbe_weight(a)));
         for &c in &heavy[..5] {
             let expected = s.sbe_weight(c) / total_w;
             let got = *counts.get(&c).unwrap_or(&0) as f64 / N as f64;

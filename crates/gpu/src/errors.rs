@@ -37,7 +37,9 @@ pub enum ErrorCategory {
 }
 
 /// Every GPU-related error event the study tracks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum GpuErrorKind {
     /// Single bit error, corrected by SECDED. No XID; invisible to the
     /// console log (nvidia-smi only).

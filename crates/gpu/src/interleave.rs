@@ -120,7 +120,7 @@ pub fn derived_dbe_split(clusters: &ClusterDistribution) -> Vec<(MemoryStructure
         .zip(&weights)
         .map(|(&s, &w)| (s, if total > 0.0 { w / total } else { 0.0 }))
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
     out
 }
 

@@ -12,7 +12,7 @@
 //! onwards — the fleet simulator gates retirement behind the driver epoch,
 //! which is what makes Fig. 6 empty before Jan'14.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -65,7 +65,7 @@ pub const SBE_RETIRE_THRESHOLD: u32 = 2;
 /// entry array per card (there are 18,688 cards).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PageRetirement {
-    sbe_counts: HashMap<PageAddress, u32>,
+    sbe_counts: BTreeMap<PageAddress, u32>,
     retired: Vec<(PageAddress, RetirementCause)>,
 }
 

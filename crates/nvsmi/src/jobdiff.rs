@@ -7,7 +7,7 @@
 //! a per aprun basis instead it is collected on a job basis since the
 //! nvidia-smi output is run before and after the job script."
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use titan_gpu::MemoryStructure;
@@ -50,7 +50,7 @@ impl JobEccDelta {
 /// Pairs pre/post snapshots per job.
 #[derive(Debug, Clone, Default)]
 pub struct JobSnapshotFramework {
-    pre: HashMap<u64, Vec<GpuSnapshot>>,
+    pre: BTreeMap<u64, Vec<GpuSnapshot>>,
 }
 
 impl JobSnapshotFramework {

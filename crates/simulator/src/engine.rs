@@ -598,7 +598,7 @@ impl Simulator {
         // dedicated substream so the main workload stream is untouched.
         {
             let mut aprun_rng = streams.substream(StreamTag::Workload, 1);
-            let is_debug: std::collections::HashMap<u64, bool> = schedule
+            let is_debug: std::collections::BTreeMap<u64, bool> = schedule
                 .jobs
                 .iter()
                 .map(|j| (j.spec.apid, j.spec.is_debug))

@@ -63,7 +63,7 @@ pub fn spearman_bootstrap<R: Rng + ?Sized>(
     if stats.is_empty() {
         return None;
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite coefficients"));
+    stats.sort_by(|a, b| a.total_cmp(b));
     let lo_idx = ((alpha / 2.0) * stats.len() as f64) as usize;
     let hi_idx = (((1.0 - alpha / 2.0) * stats.len() as f64) as usize).min(stats.len() - 1);
     Some(BootstrapInterval {

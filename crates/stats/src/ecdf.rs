@@ -9,11 +9,12 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds the ECDF; `NaN`s are rejected by panicking (inputs come from
-    /// our own counters and must be clean).
+    /// Builds the ECDF. `NaN`s sort to the top end under the IEEE total
+    /// order instead of panicking mid-sort; inputs come from our own
+    /// counters and are expected to be clean.
     pub fn new(values: &[f64]) -> Self {
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted }
     }
 

@@ -34,6 +34,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
 }
 
 impl Histogram {
@@ -66,11 +67,19 @@ impl Histogram {
             counts: vec![0; n],
             underflow: 0,
             overflow: 0,
+            nan: 0,
         }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. `NaN`s are counted separately (they belong
+    /// to no bin) rather than panicking — histogram inputs are often
+    /// derived ratios where 0/0 can slip through.
     pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        let x = x + 0.0; // normalize -0.0 so it lands with +0.0 edges
         let lo = self.edges[0];
         let hi = *self.edges.last().expect("edges nonempty");
         if x < lo {
@@ -88,10 +97,7 @@ impl Histogram {
             return;
         }
         // Binary search for the bin: largest i with edges[i] <= x.
-        let i = match self
-            .edges
-            .binary_search_by(|e| e.partial_cmp(&x).expect("NaN edge"))
-        {
+        let i = match self.edges.binary_search_by(|e| e.total_cmp(&x)) {
             Ok(i) => i.min(self.counts.len() - 1),
             Err(i) => i - 1,
         };
@@ -113,6 +119,11 @@ impl Histogram {
     /// Bin edges (`counts().len() + 1` of them).
     pub fn edges(&self) -> &[f64] {
         &self.edges
+    }
+
+    /// `NaN` observations, which belong to no bin.
+    pub fn nan(&self) -> u64 {
+        self.nan
     }
 
     /// Observations below the first edge.
@@ -219,5 +230,25 @@ mod tests {
         let mut h = Histogram::uniform(0.0, 3.0, 3).unwrap();
         h.extend(&[1.0, 2.0]);
         assert_eq!(h.counts(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn nan_is_counted_not_panicked() {
+        let mut h = Histogram::uniform(0.0, 3.0, 3).unwrap();
+        h.extend(&[f64::NAN, 1.5, f64::NAN]);
+        assert_eq!(h.nan(), 2);
+        assert_eq!(h.counts(), &[0, 1, 0]);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn negative_zero_lands_in_first_bin() {
+        // -0.0 == 0.0 numerically but sorts below it in the IEEE total
+        // order; push must normalize it or the bin search underflows.
+        let mut h = Histogram::uniform(0.0, 2.0, 2).unwrap();
+        h.push(-0.0);
+        assert_eq!(h.counts(), &[1, 0]);
+        assert_eq!(h.underflow(), 0);
     }
 }

@@ -15,11 +15,7 @@
 pub fn average_ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .expect("NaN in rank input")
-    });
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -42,12 +38,7 @@ pub fn average_ranks(values: &[f64]) -> Vec<f64> {
 /// SBE offender" exclusions (Fig. 14, 15, and §4).
 pub fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .expect("NaN in top_k input")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }

@@ -237,7 +237,7 @@ mod tests {
         let d = LogNormal::from_median(100.0, 0.5).unwrap();
         let mut r = rng();
         let mut v: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
         let med = v[v.len() / 2];
         assert!((med - 100.0).abs() < 5.0, "median {med}");
         let mean = Summary::of(&v).mean();
@@ -249,7 +249,7 @@ mod tests {
         let d = Pareto::new(1.0, 1.1).unwrap();
         let mut r = rng();
         let mut v: Vec<f64> = (0..10_000).map(|_| d.sample(&mut r)).collect();
-        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = v.iter().sum();
         let top10: f64 = v[..10].iter().sum();
         // With alpha=1.1 the top-10 of 10k draws should carry a large share.

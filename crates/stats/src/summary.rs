@@ -141,7 +141,7 @@ impl Summary {
 /// [`quantile_sorted`].
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     quantile_sorted(&v, q)
 }
 

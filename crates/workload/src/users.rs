@@ -237,7 +237,7 @@ mod tests {
     fn activity_is_heavy_tailed() {
         let p = pop(2_000);
         let mut w = p.activity_weights();
-        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        w.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = w.iter().sum();
         let top40: f64 = w[..40].iter().sum();
         // Top 2% of users submit a disproportionate share.

@@ -1,0 +1,733 @@
+//! titan-lint: the workspace's determinism & panic-safety static
+//! analysis, run as `cargo xtask lint`.
+//!
+//! The whole reproduction rests on "same seed ⇒ same Observations
+//! 1–14", so the rules target the ways Rust code silently loses that
+//! property (see DETERMINISM.md for the handbook):
+//!
+//! - **D1** — wall-clock / entropy sources (`SystemTime::now`,
+//!   `Instant::now`, `thread_rng`, `from_entropy`, `rand::random`)
+//!   are forbidden anywhere in simulation crates.
+//! - **D2** — `HashMap`/`HashSet` in non-test code of simulation
+//!   crates: hash iteration order is seeded per process, so any
+//!   iteration leaks nondeterminism. Use `BTreeMap`/`BTreeSet`, or
+//!   justify get-only usage with a `// lint: sorted-iter` comment.
+//! - **D3** — `partial_cmp()` + `unwrap`/`expect` inside a comparator
+//!   (`sort_by`, `max_by`, `min_by`, `binary_search_by`): panics on
+//!   NaN and imposes no total order. Use `f64::total_cmp`.
+//! - **P1** — a ratcheting `.unwrap()` / `panic!` budget per crate,
+//!   persisted in `crates/xtask/lint-baseline.toml`; counts may only
+//!   go down.
+//!
+//! The scanner is std-only and line/token-based by design: it must run
+//! before any dependency resolution (CI runs it on a cold checkout) and
+//! its findings must be cheap to recompute on every push.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates under `crates/` holding simulation state or feeding it —
+/// the D1/D2 scope. Analysis-side crates (`stats`, `analysis`,
+/// `bench`, `xtask`) may use wall-clock and hashed containers; they
+/// consume sim output, they don't produce it.
+pub const SIM_CRATE_DIRS: &[&str] = &[
+    "core", "simulator", "faults", "gpu", "workload", "topology", "conlog", "nvsmi",
+];
+
+/// Lint rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Wall-clock/entropy source in a simulation crate.
+    D1,
+    /// Unordered hash container in non-test simulation code.
+    D2,
+    /// NaN-unsafe float comparator.
+    D3,
+    /// Unwrap/panic budget regression.
+    P1,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::P1 => "P1",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number (0 for crate-level findings like P1).
+    pub line: usize,
+    pub rule: Rule,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{}:{}: [{}] {} (hint: {})",
+                self.file, self.line, self.rule, self.message, self.hint
+            )
+        } else {
+            write!(f, "{}: [{}] {} (hint: {})", self.file, self.rule, self.message, self.hint)
+        }
+    }
+}
+
+/// D1 forbidden tokens and their reported names.
+const D1_TOKENS: &[(&str, &str)] = &[
+    ("SystemTime::now", "SystemTime::now()"),
+    ("Instant::now", "Instant::now()"),
+    ("thread_rng", "thread_rng()"),
+    ("from_entropy", "from_entropy()"),
+    ("rand::random", "rand::random()"),
+];
+
+/// Comparator call sites D3 inspects.
+const D3_CONTEXTS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    pub findings: Vec<Finding>,
+    /// Non-test `.unwrap()` + `panic!` count (the P1 input).
+    pub unwrap_panic: usize,
+}
+
+/// Per-line view after comment/string stripping and test tracking.
+struct Line<'a> {
+    raw: &'a str,
+    /// Comments and string literal bodies blanked out.
+    code: String,
+    /// True inside a `#[cfg(test)]`-gated item.
+    in_test: bool,
+}
+
+/// Scans one source file. `sim_scope` turns on D1/D2; D3 and the P1
+/// count always run.
+pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool) -> FileScan {
+    let lines = preprocess(text);
+    let mut out = FileScan::default();
+
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+
+        // D1: anywhere in sim crates, test code included — a test that
+        // consults the wall clock flakes just as surely.
+        if sim_scope {
+            for (token, name) in D1_TOKENS {
+                if line.code.contains(token) {
+                    out.findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        rule: Rule::D1,
+                        message: format!("{name} is a nondeterminism source"),
+                        hint: "derive all randomness from the seeded RngStreams; take \
+                               time from the simulation clock"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+
+        // D2: non-test sim code only, with the sorted-iter escape hatch.
+        if sim_scope && !line.in_test {
+            for token in ["HashMap", "HashSet"] {
+                if line.code.contains(token) && !justified(&lines, i) {
+                    out.findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        rule: Rule::D2,
+                        message: format!("{token} in simulation code iterates in seeded hash order"),
+                        hint: "use BTreeMap/BTreeSet, or justify get-only use with \
+                               `// lint: sorted-iter`"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+
+        // D3: everywhere, tests included — a NaN panic in a test
+        // comparator hides the regression it was written to catch.
+        if line.code.contains("partial_cmp") {
+            let ctx_lo = i.saturating_sub(3);
+            let in_comparator = lines[ctx_lo..=i]
+                .iter()
+                .any(|l| D3_CONTEXTS.iter().any(|c| l.code.contains(c)));
+            let ctx_hi = (i + 3).min(lines.len());
+            let unwrapped = lines[i..ctx_hi]
+                .iter()
+                .any(|l| l.code.contains(".unwrap()") || l.code.contains(".expect("));
+            if in_comparator && unwrapped {
+                out.findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    rule: Rule::D3,
+                    message: "partial_cmp().unwrap() comparator panics on NaN and is not a \
+                              total order"
+                        .to_string(),
+                    hint: "use f64::total_cmp (flip operands to keep direction)".to_string(),
+                });
+            }
+        }
+
+        // P1 input: non-test unwrap/panic density.
+        if !line.in_test {
+            out.unwrap_panic += line.code.matches(".unwrap()").count();
+            out.unwrap_panic += line.code.matches("panic!").count();
+        }
+    }
+    out
+}
+
+/// The D2 escape hatch: `// lint: sorted-iter` on the same line or the
+/// line directly above.
+fn justified(lines: &[Line], i: usize) -> bool {
+    let has = |l: &Line| l.raw.contains("// lint: sorted-iter");
+    has(&lines[i]) || (i > 0 && has(&lines[i - 1]))
+}
+
+/// Strips comments/strings and tracks `#[cfg(test)]` regions.
+fn preprocess(text: &str) -> Vec<Line<'_>> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    let mut depth: i32 = 0;
+    // Depth at which each active #[cfg(test)] region opened.
+    let mut test_regions: Vec<i32> = Vec::new();
+    // A #[cfg(test)] was seen and its item's `{` is still ahead.
+    let mut test_armed = false;
+
+    for raw in text.lines() {
+        let code = strip_line(raw, &mut in_block_comment);
+        let in_test_before = !test_regions.is_empty();
+
+        if code.contains("#[cfg(test)]") {
+            test_armed = true;
+        }
+
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if test_armed {
+                        test_regions.push(depth);
+                        test_armed = false;
+                    }
+                }
+                '}' => {
+                    if test_regions.last() == Some(&depth) {
+                        test_regions.pop();
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] use ...;` gates a braceless item.
+                ';' if test_armed && depth >= 0 => test_armed = false,
+                _ => {}
+            }
+        }
+
+        // A line is test code if it was inside a region OR opened one
+        // (the `mod tests {` line itself, and its attribute line, are
+        // exempt from D2 — they declare the region).
+        let in_test = in_test_before || !test_regions.is_empty() || test_armed;
+        out.push(Line { raw, code, in_test });
+    }
+    out
+}
+
+/// Blanks string literals, char literals, and comments from a line,
+/// leaving structure (braces) intact. Raw strings and multi-line
+/// strings are not handled — the workspace style avoids both, and a
+/// miss only risks a false positive, never a false negative.
+fn strip_line(raw: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let bytes: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            '"' => {
+                // Skip the string body.
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push_str("\"\"");
+            }
+            '\'' => {
+                // Char literal or lifetime. `'a'`-style literals are
+                // skipped; lifetimes (`'a`) pass through.
+                if bytes.get(i + 1) == Some(&'\\') {
+                    // e.g. '\n', '\\', '\u{..}'
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else if bytes.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+// --- workspace walking -----------------------------------------------------
+
+/// A crate to scan: name, root dir, and whether D1/D2 apply.
+#[derive(Debug, Clone)]
+pub struct CrateTarget {
+    pub name: String,
+    pub src_dir: PathBuf,
+    pub sim_scope: bool,
+}
+
+/// Finds the workspace root by walking up from `start` to a Cargo.toml
+/// containing `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Enumerates the crates titan-lint covers: every `crates/*` member
+/// with a `src/` tree (xtask itself excluded — it is build tooling and
+/// its sources quote the forbidden tokens), plus the root façade.
+pub fn workspace_targets(root: &Path) -> std::io::Result<Vec<CrateTarget>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort(); // deterministic scan order
+    for dir in dirs {
+        let dirname = dir.file_name().unwrap_or_default().to_string_lossy().to_string();
+        if dirname == "xtask" {
+            continue;
+        }
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        out.push(CrateTarget {
+            name: crate_name(&dir.join("Cargo.toml")).unwrap_or(dirname.clone()),
+            src_dir: src,
+            sim_scope: SIM_CRATE_DIRS.contains(&dirname.as_str()),
+        });
+    }
+    // The root façade package (examples + CLI). Not a sim crate: it
+    // only renders what the sim produced.
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        out.push(CrateTarget {
+            name: crate_name(&root.join("Cargo.toml")).unwrap_or("root".into()),
+            src_dir: root_src,
+            sim_scope: false,
+        });
+    }
+    Ok(out)
+}
+
+/// Reads `name = "..."` from a manifest's `[package]` section.
+fn crate_name(manifest: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+        } else if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Recursively lists `.rs` files under `dir`, sorted for determinism.
+pub fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let p = entry?.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+// --- baseline --------------------------------------------------------------
+
+/// The committed unwrap/panic budgets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// crate name → allowed non-test unwrap/panic count.
+    pub budgets: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses the minimal TOML subset the baseline file uses
+    /// (`[budgets]` section of `"name" = count` lines).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut budgets = BTreeMap::new();
+        let mut in_budgets = false;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_budgets = line == "[budgets]";
+                continue;
+            }
+            if !in_budgets {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint-baseline.toml:{}: expected `name = count`", n + 1))?;
+            let key = k.trim().trim_matches('"').to_string();
+            let count: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("lint-baseline.toml:{}: bad count `{}`", n + 1, v.trim()))?;
+            budgets.insert(key, count);
+        }
+        Ok(Baseline { budgets })
+    }
+
+    /// Renders the committed form of the baseline.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# titan-lint P1 baseline: non-test `.unwrap()` + `panic!` count per crate.\n\
+             # The budget ratchets: counts may only go down. After removing unwraps,\n\
+             # run `cargo xtask lint --update-baseline` to lock in the improvement.\n\
+             \n[budgets]\n",
+        );
+        for (name, count) in &self.budgets {
+            out.push_str(&format!("\"{name}\" = {count}\n"));
+        }
+        out
+    }
+}
+
+/// Compares measured counts against the baseline; returns P1 findings
+/// (regressions and missing entries) and improvement notes.
+pub fn check_baseline(
+    baseline: &Baseline,
+    counts: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    let mut findings = Vec::new();
+    let mut notes = Vec::new();
+    for (name, &count) in counts {
+        match baseline.budgets.get(name) {
+            None => findings.push(Finding {
+                file: format!("crates/xtask/lint-baseline.toml ({name})"),
+                line: 0,
+                rule: Rule::P1,
+                message: format!("crate `{name}` has no unwrap/panic budget (measured {count})"),
+                hint: "run `cargo xtask lint --update-baseline` and commit the file".to_string(),
+            }),
+            Some(&budget) if count > budget => findings.push(Finding {
+                file: format!("crates/xtask/lint-baseline.toml ({name})"),
+                line: 0,
+                rule: Rule::P1,
+                message: format!(
+                    "unwrap/panic count in `{name}` rose from {budget} to {count}"
+                ),
+                hint: "replace the new .unwrap()/panic! with error returns; the budget \
+                       only ratchets down"
+                    .to_string(),
+            }),
+            Some(&budget) if count < budget => notes.push(format!(
+                "`{name}` improved: {budget} → {count} unwrap/panic; run \
+                 `cargo xtask lint --update-baseline` to ratchet the budget down"
+            )),
+            _ => {}
+        }
+    }
+    (findings, notes)
+}
+
+// --- report ----------------------------------------------------------------
+
+/// Full lint result for one run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub notes: Vec<String>,
+    /// Measured per-crate unwrap/panic counts.
+    pub counts: BTreeMap<String, usize>,
+    pub files_scanned: usize,
+}
+
+/// Runs the full lint over a workspace root. `baseline` is the parsed
+/// committed baseline (empty if the file does not exist yet).
+pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for target in workspace_targets(root)? {
+        let mut crate_count = 0usize;
+        for file in rust_files(&target.src_dir)? {
+            let text = std::fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let scan = scan_file(&rel, &text, target.sim_scope);
+            report.findings.extend(scan.findings);
+            crate_count += scan.unwrap_panic;
+            report.files_scanned += 1;
+        }
+        report.counts.insert(target.name, crate_count);
+    }
+    let (p1, notes) = check_baseline(baseline, &report.counts);
+    report.findings.extend(p1);
+    report.notes = notes;
+    Ok(report)
+}
+
+/// Renders findings as a JSON array (machine-readable `--format json`).
+pub fn render_json(report: &LintReport) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    }
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"hint\": \"{}\"}}{}\n",
+            esc(&f.file),
+            f.line,
+            f.rule,
+            esc(&f.message),
+            esc(&f.hint),
+            if i + 1 < report.findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"unwrap_panic_counts\": {\n");
+    let n = report.counts.len();
+    for (i, (name, count)) in report.counts.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            esc(name),
+            count,
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str, sim: bool) -> Vec<Rule> {
+        scan_file("test.rs", text, sim).findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn d1_flags_entropy_sources_in_sim_scope_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n\
+                   fn g() { let mut r = rand::thread_rng(); }\n";
+        assert_eq!(findings(src, true), vec![Rule::D1, Rule::D1]);
+        assert!(findings(src, false).is_empty());
+    }
+
+    #[test]
+    fn d1_applies_inside_test_modules_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let t = SystemTime::now(); }\n}\n";
+        assert_eq!(findings(src, true), vec![Rule::D1]);
+    }
+
+    #[test]
+    fn d2_flags_hash_containers_outside_tests() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { m: HashMap<u32, u32> }\n";
+        assert_eq!(findings(src, true), vec![Rule::D2, Rule::D2]);
+        assert!(findings(src, false).is_empty());
+    }
+
+    #[test]
+    fn d2_exempts_cfg_test_modules() {
+        let src = "struct S;\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashSet;\n\
+                       fn f() { let s: HashSet<u32> = HashSet::new(); }\n\
+                   }\n\
+                   fn after() { let m = std::collections::HashMap::<u8, u8>::new(); }\n";
+        // Only the HashMap *after* the test module fires.
+        let scan = scan_file("test.rs", src, true);
+        assert_eq!(scan.findings.len(), 1);
+        assert_eq!(scan.findings[0].line, 7);
+    }
+
+    #[test]
+    fn d2_escape_hatch_same_or_previous_line() {
+        let same = "let m: HashMap<u32, u32> = HashMap::new(); // lint: sorted-iter\n";
+        assert!(findings(same, true).is_empty());
+        let prev = "// lint: sorted-iter — get-only, never iterated\n\
+                    let m: HashMap<u32, u32> = HashMap::new();\n";
+        assert!(findings(prev, true).is_empty());
+        let unjustified = "let m: HashMap<u32, u32> = HashMap::new();\n";
+        assert_eq!(findings(unjustified, true), vec![Rule::D2]);
+    }
+
+    #[test]
+    fn d2_ignores_comments_and_strings() {
+        let src = "// a HashMap would be wrong here\n\
+                   let msg = \"HashSet iteration order\";\n";
+        assert!(findings(src, true).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_nan_unsafe_comparators() {
+        let one_line = "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        assert_eq!(findings(one_line, false), vec![Rule::D3]);
+        let multi = "xs.sort_by(|a, b| {\n\
+                         a.partial_cmp(b)\n\
+                             .expect(\"NaN\")\n\
+                     });\n";
+        assert_eq!(findings(multi, false), vec![Rule::D3]);
+        let binary = "edges.binary_search_by(|e| e.partial_cmp(&x).expect(\"NaN edge\"));\n";
+        assert_eq!(findings(binary, false), vec![Rule::D3]);
+    }
+
+    #[test]
+    fn d3_allows_total_cmp_and_bare_partial_cmp() {
+        let total = "xs.sort_by(|a, b| a.total_cmp(b));\n";
+        assert!(findings(total, false).is_empty());
+        // partial_cmp without unwrap/expect (e.g. returning an Option)
+        // is not a panic site.
+        let bare = "let o = a.partial_cmp(&b);\n";
+        assert!(findings(bare, false).is_empty());
+    }
+
+    #[test]
+    fn p1_counts_non_test_unwrap_and_panic() {
+        let src = "fn f() { x.unwrap(); panic!(\"boom\"); }\n\
+                   fn g() { y.unwrap_or(0); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { z.unwrap(); panic!(); }\n\
+                   }\n";
+        let scan = scan_file("test.rs", src, false);
+        // unwrap_or must not count; the test module must not count.
+        assert_eq!(scan.unwrap_panic, 2);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_ratchet() {
+        let mut baseline = Baseline::default();
+        baseline.budgets.insert("titan-stats".into(), 5);
+        baseline.budgets.insert("titan-sim".into(), 0);
+        let text = baseline.render();
+        assert_eq!(Baseline::parse(&text).unwrap(), baseline);
+
+        // Regression fails.
+        let mut counts = BTreeMap::new();
+        counts.insert("titan-stats".to_string(), 6);
+        counts.insert("titan-sim".to_string(), 0);
+        let (findings, notes) = check_baseline(&baseline, &counts);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::P1);
+        assert!(notes.is_empty());
+
+        // Improvement passes with a ratchet note.
+        counts.insert("titan-stats".to_string(), 3);
+        let (findings, notes) = check_baseline(&baseline, &counts);
+        assert!(findings.is_empty());
+        assert_eq!(notes.len(), 1);
+
+        // Unknown crate requires a baseline entry.
+        counts.insert("titan-new".to_string(), 0);
+        let (findings, _) = check_baseline(&baseline, &counts);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn json_output_is_parseable_shape() {
+        let mut report = LintReport::default();
+        report.findings.push(Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: Rule::D2,
+            message: "m".into(),
+            hint: "h \"quoted\"".into(),
+        });
+        report.counts.insert("c".into(), 2);
+        let json = render_json(&report);
+        assert!(json.contains("\"rule\": \"D2\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"c\": 2"));
+    }
+}

@@ -1,0 +1,150 @@
+//! `cargo xtask` — workspace task runner. The one task so far is
+//! `lint`, the titan-lint determinism & panic-safety pass (see lib.rs
+//! and DETERMINISM.md).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{find_workspace_root, run_lint, Baseline};
+
+const USAGE: &str = "\
+usage: cargo xtask <task>
+
+tasks:
+  lint [--format json] [--update-baseline]
+        Run the titan-lint determinism & panic-safety pass over all
+        workspace crates. Exits 1 on any violation.
+
+        --format json       machine-readable findings on stdout
+        --update-baseline   rewrite crates/xtask/lint-baseline.toml with
+                            the measured unwrap/panic counts (P1 ratchet)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            eprint!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut update_baseline = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("xtask lint: --format takes `json` or `text`, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // CARGO_MANIFEST_DIR points at crates/xtask when run via the cargo
+    // alias; fall back to the cwd for a bare `./xtask` invocation.
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = find_workspace_root(&start) else {
+        eprintln!("xtask lint: no workspace root found above {}", start.display());
+        return ExitCode::FAILURE;
+    };
+
+    let baseline_path = root.join("crates/xtask/lint-baseline.toml");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Baseline::default(),
+    };
+
+    let report = match run_lint(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if update_baseline {
+        let new = Baseline { budgets: report.counts.clone() };
+        for (name, &count) in &new.budgets {
+            if let Some(&old) = baseline.budgets.get(name) {
+                if count > old {
+                    eprintln!(
+                        "xtask lint: warning: raising `{name}` budget {old} -> {count}; \
+                         the ratchet is meant to go down"
+                    );
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline_path, new.render()) {
+            eprintln!("xtask lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask lint: wrote {}", baseline_path.display());
+    }
+
+    // With a fresh baseline, P1 findings from this run are stale; the
+    // D-rule findings still stand.
+    let findings: Vec<_> = if update_baseline {
+        report.findings.iter().filter(|f| f.rule != xtask::Rule::P1).collect()
+    } else {
+        report.findings.iter().collect()
+    };
+
+    if json {
+        let shown = xtask::LintReport {
+            findings: findings.iter().map(|f| (*f).clone()).collect(),
+            notes: report.notes.clone(),
+            counts: report.counts.clone(),
+            files_scanned: report.files_scanned,
+        };
+        print!("{}", xtask::render_json(&shown));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        for note in &report.notes {
+            eprintln!("note: {note}");
+        }
+        eprintln!(
+            "xtask lint: {} file(s) scanned, {} violation(s)",
+            report.files_scanned,
+            findings.len()
+        );
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end tests for `cargo xtask lint` against a synthetic
+//! workspace written to CARGO_TARGET_TMPDIR: injected violations must be
+//! found, clean trees must pass, and the P1 baseline must ratchet.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::{check_baseline, run_lint, Baseline, Rule};
+
+fn mkdirs(p: &Path) {
+    fs::create_dir_all(p).expect("mkdir");
+}
+
+/// Lays out a minimal workspace: root Cargo.toml with [workspace], one
+/// sim-scope crate (`simulator`) and one analysis-scope crate (`stats`).
+fn scaffold(name: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clean slate");
+    }
+    for krate in ["simulator", "stats"] {
+        mkdirs(&root.join("crates").join(krate).join("src"));
+        fs::write(
+            root.join("crates").join(krate).join("Cargo.toml"),
+            format!("[package]\nname = \"{krate}\"\n"),
+        )
+        .unwrap();
+        fs::write(
+            root.join("crates").join(krate).join("src/lib.rs"),
+            "pub fn ok() {}\n",
+        )
+        .unwrap();
+    }
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .unwrap();
+    root
+}
+
+fn lint(root: &Path, baseline: &Baseline) -> Vec<(Rule, String)> {
+    run_lint(root, baseline)
+        .expect("scan")
+        .findings
+        .into_iter()
+        .map(|f| (f.rule, format!("{}:{}", f.file, f.line)))
+        .collect()
+}
+
+fn zero_baseline() -> Baseline {
+    let mut b = Baseline::default();
+    b.budgets.insert("simulator".into(), 0);
+    b.budgets.insert("stats".into(), 0);
+    b
+}
+
+#[test]
+fn clean_workspace_passes() {
+    let root = scaffold("lint_clean");
+    assert!(lint(&root, &zero_baseline()).is_empty());
+}
+
+#[test]
+fn injected_d1_violation_fails_in_sim_crate_only() {
+    let root = scaffold("lint_d1");
+    let src = "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    fs::write(root.join("crates/simulator/src/clock.rs"), src).unwrap();
+    let found = lint(&root, &zero_baseline());
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].0, Rule::D1);
+    assert!(found[0].1.ends_with("clock.rs:1"), "got {}", found[0].1);
+
+    // The same code in the analysis-scope crate is allowed: stats may
+    // time itself, the simulation may not.
+    let root2 = scaffold("lint_d1_stats");
+    fs::write(root2.join("crates/stats/src/clock.rs"), src).unwrap();
+    assert!(lint(&root2, &zero_baseline()).is_empty());
+}
+
+#[test]
+fn injected_d2_violation_fails_unless_justified() {
+    let root = scaffold("lint_d2");
+    fs::write(
+        root.join("crates/simulator/src/state.rs"),
+        "use std::collections::HashMap;\npub struct S { m: HashMap<u32, u32> }\n",
+    )
+    .unwrap();
+    let found = lint(&root, &zero_baseline());
+    assert_eq!(found.iter().filter(|(r, _)| *r == Rule::D2).count(), 2);
+
+    // The escape hatch silences it.
+    fs::write(
+        root.join("crates/simulator/src/state.rs"),
+        "use std::collections::HashMap; // lint: sorted-iter\n\
+         // lint: sorted-iter — get-only cache, never iterated\n\
+         pub struct S { m: HashMap<u32, u32> }\n",
+    )
+    .unwrap();
+    assert!(lint(&root, &zero_baseline()).is_empty());
+}
+
+#[test]
+fn injected_d3_violation_fails_in_any_crate() {
+    let root = scaffold("lint_d3");
+    fs::write(
+        root.join("crates/stats/src/sortit.rs"),
+        "pub fn s(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+    )
+    .unwrap();
+    // Budget the unwrap so only the D3 fires — the comparator is the
+    // defect here, not the panic count.
+    let mut b = zero_baseline();
+    b.budgets.insert("stats".into(), 1);
+    let found = lint(&root, &b);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].0, Rule::D3);
+}
+
+#[test]
+fn p1_budget_ratchets() {
+    let root = scaffold("lint_p1");
+    fs::write(
+        root.join("crates/stats/src/risky.rs"),
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+
+    // Against a zero budget: regression, fails.
+    let found = lint(&root, &zero_baseline());
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].0, Rule::P1);
+
+    // Against a matching budget: passes.
+    let mut b = zero_baseline();
+    b.budgets.insert("stats".into(), 1);
+    assert!(lint(&root, &b).is_empty());
+
+    // After removing the unwrap, the run passes and reports the ratchet
+    // opportunity; --update-baseline (modeled here by re-rendering the
+    // measured counts) locks in the lower budget.
+    fs::write(
+        root.join("crates/stats/src/risky.rs"),
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+    )
+    .unwrap();
+    let report = run_lint(&root, &b).expect("scan");
+    assert!(report.findings.is_empty());
+    assert_eq!(report.notes.len(), 1, "improvement should be noted");
+    let updated = Baseline { budgets: report.counts.clone() };
+    assert_eq!(updated.budgets["stats"], 0);
+
+    // The updated baseline round-trips through its TOML form and now
+    // rejects a reintroduction.
+    let reparsed = Baseline::parse(&updated.render()).unwrap();
+    let mut counts = report.counts.clone();
+    counts.insert("stats".into(), 1);
+    let (regressions, _) = check_baseline(&reparsed, &counts);
+    assert_eq!(regressions.len(), 1);
+}
+
+#[test]
+fn missing_baseline_entry_is_reported() {
+    let root = scaffold("lint_missing_entry");
+    let b = Baseline::default(); // no budgets at all
+    let found = lint(&root, &b);
+    // One P1 per crate: budgets must exist even at zero, so that a new
+    // crate cannot silently join with unwraps in it.
+    assert_eq!(found.iter().filter(|(r, _)| *r == Rule::P1).count(), 2);
+}
+
+#[test]
+fn test_modules_are_exempt_from_d2_and_p1_but_not_d1() {
+    let root = scaffold("lint_test_mod");
+    fs::write(
+        root.join("crates/simulator/src/thing.rs"),
+        "pub fn ok() {}\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             use std::collections::HashMap;\n\
+             #[test]\n\
+             fn t() {\n\
+                 let m: HashMap<u32, u32> = HashMap::new();\n\
+                 assert!(m.is_empty());\n\
+                 let _ = std::time::SystemTime::now();\n\
+             }\n\
+         }\n",
+    )
+    .unwrap();
+    let found = lint(&root, &zero_baseline());
+    // Only the D1 (wall clock in a sim-crate test still flakes).
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].0, Rule::D1);
+}

@@ -1,0 +1,32 @@
+//! Workspace façade for the Titan GPU reliability reproduction.
+//!
+//! Re-exports the study API from `titan-reliability` at the crate root
+//! and every domain crate as a module, so examples and downstream code
+//! need a single dependency:
+//!
+//! ```no_run
+//! use titan_gpu_reliability::{Study, StudyConfig};
+//!
+//! let study = Study::new(StudyConfig::quick(60, 2015)).run();
+//! let figures = study.figures();
+//! for e in titan_gpu_reliability::evaluate_all(&figures) {
+//!     assert_ne!(e.verdict.to_string(), "FAIL");
+//! }
+//! ```
+
+// The study layer, flattened to the root like `titan_reliability` itself.
+pub use titan_reliability::{
+    evaluate_all, full_report, Expectation, Figures, Study, StudyConfig, StudyData, Verdict,
+};
+pub use titan_reliability::{expectations, figures, render, report, study};
+
+// Domain crates, one module each.
+pub use titan_analysis as analysis;
+pub use titan_conlog as conlog;
+pub use titan_faults as faults;
+pub use titan_gpu as gpu;
+pub use titan_nvsmi as nvsmi;
+pub use titan_sim as sim;
+pub use titan_stats as stats;
+pub use titan_topology as topology;
+pub use titan_workload as workload;

@@ -1,0 +1,194 @@
+//! `titan-repro` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! titan-repro taxonomy                      Tables 1 & 2 (XID taxonomy)
+//! titan-repro run   [--days N] [--seed S]   simulate and print the report
+//! titan-repro check [--days N] [--seed S]   evaluate paper-shape checks;
+//!                                           exit 1 on any FAIL
+//! titan-repro logs  [--days N] [--seed S] --out DIR
+//!                                           write console/job/aprun logs
+//! ```
+//!
+//! Without `--days` the full Jun'13–Feb'15 window runs (about two
+//! minutes in release). Everything is seed-deterministic: the same
+//! seed and window produce byte-identical output.
+
+use std::process::ExitCode;
+
+use titan_gpu_reliability::gpu::{ErrorCategory, GpuErrorKind};
+use titan_gpu_reliability::sim::Simulator;
+use titan_gpu_reliability::{evaluate_all, full_report, Study, StudyConfig, Verdict};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "taxonomy" => taxonomy(&args[1..]),
+        "run" => run(&args[1..]),
+        "check" => check(&args[1..]),
+        "logs" => logs(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: titan-repro <command> [options]
+
+commands:
+  taxonomy                          print Tables 1 & 2 (the XID taxonomy)
+  run   [--days N] [--seed S]       simulate and print the full report
+  check [--days N] [--seed S]       run the paper-shape checks; exit 1 on FAIL
+  logs  [--days N] [--seed S] --out DIR
+                                    write console.log / job.log / aprun.log
+
+Without --days the full 21-month study window runs (~2 min in release).";
+
+/// Parsed common options.
+struct Opts {
+    days: Option<u64>,
+    seed: Option<u64>,
+    out: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        days: None,
+        seed: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--days" => {
+                let v = it.next().ok_or("--days needs a value")?;
+                opts.days = Some(
+                    v.parse()
+                        .map_err(|_| format!("--days: `{v}` is not a non-negative integer"))?,
+                );
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("--seed: `{v}` is not a non-negative integer"))?,
+                );
+            }
+            "--out" => {
+                opts.out = Some(it.next().ok_or("--out needs a directory")?.clone());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Builds a validated study config from the common options.
+fn study_config(opts: &Opts) -> Result<StudyConfig, String> {
+    let mut config = match opts.days {
+        Some(days) => StudyConfig::quick(days, opts.seed.unwrap_or(0x7174_414E)),
+        None => StudyConfig::default(),
+    };
+    if let Some(seed) = opts.seed {
+        config.sim.seed = seed;
+    }
+    config
+        .sim
+        .validate()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    Ok(config)
+}
+
+fn taxonomy(args: &[String]) -> Result<ExitCode, String> {
+    if !args.is_empty() {
+        return Err(format!("taxonomy takes no options\n{USAGE}"));
+    }
+    println!("Table 1 — hardware (and ambiguous) GPU errors:");
+    for k in GpuErrorKind::ALL {
+        if matches!(
+            k.category(),
+            ErrorCategory::Hardware | ErrorCategory::Ambiguous
+        ) {
+            print_kind(k);
+        }
+    }
+    println!();
+    println!("Table 2 — software/firmware (and ambiguous) GPU errors:");
+    for k in GpuErrorKind::ALL {
+        if matches!(
+            k.category(),
+            ErrorCategory::SoftwareFirmware | ErrorCategory::Ambiguous
+        ) {
+            print_kind(k);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_kind(k: GpuErrorKind) {
+    let xid = match k.xid() {
+        Some(x) => format!("XID {:>3}", x.0),
+        None => "no XID ".to_string(),
+    };
+    println!("  {xid}  {}", k.description());
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let config = study_config(&opts)?;
+    let study = Study::new(config).run();
+    println!("{}", full_report(&study));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn check(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let config = study_config(&opts)?;
+    let study = Study::new(config).run();
+    let figures = study.figures();
+    let (mut pass, mut weak, mut fail) = (0u32, 0u32, 0u32);
+    for e in evaluate_all(&figures) {
+        println!("[{}] {:<6} {}", e.verdict, e.id, e.measured);
+        match e.verdict {
+            Verdict::Pass => pass += 1,
+            Verdict::Weak => weak += 1,
+            Verdict::Fail => fail += 1,
+        }
+    }
+    println!("{pass} PASS / {weak} WEAK / {fail} FAIL");
+    if fail > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn logs(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let out_dir = opts.out.clone().ok_or("logs requires --out DIR")?;
+    let config = study_config(&opts)?;
+    let sim = Simulator::new(config.sim)?;
+    let output = sim.run();
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
+    let write = |name: &str, text: String| -> Result<(), String> {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+        Ok(())
+    };
+    write("console.log", output.render_console_log())?;
+    write("job.log", output.render_job_log())?;
+    write("aprun.log", output.render_aprun_log())?;
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,79 @@
+//! Offline stand-in for `bytes`: just `BytesMut`, backed by `Vec<u8>`.
+//! The workspace uses it as a growable byte buffer, not for zero-copy
+//! splitting, so a plain vector matches the observable behavior.
+
+/// Growable byte buffer with the subset of `bytes::BytesMut` this
+/// workspace touches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Consumes into the underlying vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BytesMut;
+
+    #[test]
+    fn acts_like_a_vec() {
+        let mut b = BytesMut::with_capacity(8);
+        assert!(b.is_empty());
+        b.extend_from_slice(b"ab");
+        b.extend_from_slice(b"c");
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], b"abc");
+        assert_eq!(std::str::from_utf8(&b).unwrap(), "abc");
+    }
+}

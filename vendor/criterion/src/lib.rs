@@ -1,0 +1,165 @@
+//! Offline stand-in for `criterion`. Benches compile and run with the
+//! same source: each registered closure is timed over a small fixed
+//! iteration count and a one-line result is printed. No statistics, no
+//! HTML reports — just enough to keep `cargo bench` (and `cargo test
+//! --benches`) working without the registry.
+//!
+//! Timing uses `std::time::Instant`, which is fine here: benches are
+//! measurement tools, not simulation code, and live outside the crates
+//! `cargo xtask lint` holds to the no-wall-clock rule.
+
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box` call sites.
+pub use std::hint::black_box;
+
+/// Iterations per bench in the stand-in.
+const ITERS: u32 = 10;
+
+/// Top-level bench registry handle.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Group of related benches; configuration methods are accepted and
+/// ignored (the stand-in has no sampling to configure).
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bench identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a parameter value (`group/param` naming).
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Throughput annotation; accepted and ignored.
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Per-bench timing handle.
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..ITERS {
+            let start = Instant::now();
+            black_box(f());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.total_nanos / b.iters as u128
+    } else {
+        0
+    };
+    println!("bench {name}: {mean} ns/iter (n={})", b.iters);
+}
+
+/// Declares a bench group: `criterion_group!(benches, f1, f2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

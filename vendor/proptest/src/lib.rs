@@ -1,0 +1,502 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Same macro surface (`proptest!`, `prop_assert!`, `prop_assert_eq!`)
+//! and the combinators this workspace's test suites use, but generation
+//! is driven by a deterministic per-test RNG seeded from the test's
+//! module path and name — no entropy, no wall clock, so the suite obeys
+//! the same determinism rules `cargo xtask lint` enforces on the
+//! simulator itself. No shrinking: a failing case panics with the
+//! values embedded in the assertion message.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration; only the case count is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default (256) is overkill for a sequential stand-in;
+        // 64 keeps full-workspace `cargo test` fast while still walking
+        // a meaningful slice of each property's input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator: xoshiro-style mixing seeded from the test
+/// name, so every `cargo test` run replays the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 2],
+}
+
+impl TestRng {
+    /// Seeds from the test's fully qualified name (FNV-1a).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // SplitMix64 expansion of the hash into two nonzero words.
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next() | 1, next()],
+        }
+    }
+
+    /// Next raw 64-bit word (xoroshiro128++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, mut s1] = self.state;
+        let result = s0
+            .wrapping_add(s1)
+            .rotate_left(17)
+            .wrapping_add(s0);
+        s1 ^= s0;
+        self.state = [s0.rotate_left(49) ^ s1 ^ (s1 << 21), s1.rotate_left(28)];
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` (128-bit widening multiply, no
+    /// modulo bias worth caring about at test scale).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator. `Value` matches the real proptest's associated
+/// type so `impl Strategy<Value = T>` signatures compile unchanged.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F, O> Strategy for Map<S, F>
+where
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+// --- integer / float ranges ------------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+// --- `any` -----------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-balanced; "weird" floats are exercised by
+        // dedicated NaN tests, not by blanket `any`.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// Strategy for the whole domain of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// --- string patterns -------------------------------------------------------
+
+/// A `&str` is treated as a regex-ish pattern. Only the shape the
+/// workspace uses is understood: `\PC{lo,hi}` (printable chars,
+/// length range); anything else falls back to length 0..=16.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repeat(self).unwrap_or((0, 16));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        // Mostly ASCII printable, with occasional multibyte printable
+        // characters so parsers meet real UTF-8.
+        const EXTRA: [char; 8] = ['é', 'λ', '→', '█', '🦀', 'Ω', '»', '✓'];
+        (0..len)
+            .map(|_| {
+                if rng.below(16) == 0 {
+                    EXTRA[rng.below(EXTRA.len() as u64) as usize]
+                } else {
+                    (0x20 + rng.below(0x5f) as u8) as char
+                }
+            })
+            .collect()
+    }
+}
+
+/// Extracts the trailing `{lo,hi}` repetition from a pattern.
+fn parse_repeat(pat: &str) -> Option<(usize, usize)> {
+    let open = pat.rfind('{')?;
+    let close = pat.rfind('}')?;
+    let body = pat.get(open + 1..close)?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// --- prop:: combinator modules --------------------------------------------
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{Range, Strategy, TestRng};
+
+        /// `Vec` strategy with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// `prop::collection::vec(elem, lo..hi)`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.new_value(rng);
+                (0..len).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// `Option` strategy over an inner strategy.
+        pub struct OptionStrategy<S>(S);
+
+        /// `prop::option::of(inner)` — `None` about a quarter of the time.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.new_value(rng))
+                }
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniform pick from a fixed set.
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// `prop::sample::select(choices)`.
+        pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+            assert!(!choices.is_empty(), "select over empty set");
+            Select(choices)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn new_value(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::{ProptestConfig, TestRng};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+// --- macros ----------------------------------------------------------------
+
+/// Assertion inside a property; panics with the case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("property failed: {} ({})", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            panic!(
+                "property failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            panic!(
+                "property failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            );
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` deterministic draws.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                let ($($arg,)+) = (
+                    $($crate::Strategy::new_value(&($strat), &mut rng),)+
+                );
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("x::y");
+        let mut b = crate::TestRng::for_test("x::y");
+        let mut c = crate::TestRng::for_test("x::z");
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            let v = (3u64..10).new_value(&mut rng);
+            assert!((3..10).contains(&v));
+            let f = (0.0f64..1e6).new_value(&mut rng);
+            assert!((0.0..1e6).contains(&f));
+            let neg = (-5i32..5).new_value(&mut rng);
+            assert!((-5..5).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn string_pattern_lengths() {
+        let mut rng = crate::TestRng::for_test("strings");
+        for _ in 0..200 {
+            let s = "\\PC{0,24}".new_value(&mut rng);
+            assert!(s.chars().count() <= 24);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_plumbing(v in prop::collection::vec(0u32..100, 0..10), b in any::<bool>()) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|x| *x < 100), "value out of range");
+            let _ = b;
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

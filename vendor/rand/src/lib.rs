@@ -1,0 +1,348 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crate registry, so the workspace vendors
+//! the exact API surface it uses: [`Rng`], [`SeedableRng`], and
+//! [`rngs::StdRng`]. The generator is xoshiro256\*\* seeded through a
+//! SplitMix64 expansion — deterministic across platforms and releases,
+//! which is the property the fleet simulator actually depends on
+//! (upstream `StdRng` explicitly does *not* promise stream stability
+//! between versions; this one does).
+//!
+//! Not implemented (unused here, and deliberately so — the determinism
+//! lint forbids them in simulation crates): `thread_rng`, `from_entropy`,
+//! the `random()` free function, and the `distributions` module. The
+//! workspace builds its samplers from first principles in `titan-stats`.
+
+/// Low-level generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics when the range is empty, matching upstream `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p not in [0,1]: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, spreading it over the full
+    /// state with SplitMix64 (the standard seeding recipe).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64_next(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One SplitMix64 step: advances `state` and returns the mixed output.
+fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types samplable from a generator's standard distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for i32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision (the upstream
+    /// `Standard` recipe).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over half-open / inclusive intervals.
+/// Mirrors upstream's `SampleUniform` so the blanket range impls below
+/// stay generic — that genericity is what lets type inference flow from
+/// the use site into integer range literals (`rng.gen_range(0..n) + u64`).
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Maps a uniform `u64` onto `[0, span)` by 128-bit widening multiply
+/// (Lemire's method without the rejection step; the bias is < span/2^64,
+/// far below anything a simulation could observe).
+fn bounded_u64<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                low.wrapping_add(bounded_u64(span, rng) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(bounded_u64(span + 1, rng) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        assert!(low < high, "gen_range: empty range");
+        low + f64::sample_standard(rng) * (high - low)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        assert!(low <= high, "gen_range: empty range");
+        low + f64::sample_standard(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+        assert!(low < high, "gen_range: empty range");
+        low + f32::sample_standard(rng) * (high - low)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+        assert!(low <= high, "gen_range: empty range");
+        low + f32::sample_standard(rng) * (high - low)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256\*\*.
+    ///
+    /// Unlike upstream `StdRng` (ChaCha12, stream-unstable across rand
+    /// releases), this generator's output is a fixed function of the seed
+    /// forever — a hard requirement for replaying the Titan fleet
+    /// bit-for-bit from a committed seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Small-state generator alias; same engine as [`StdRng`] here.
+    pub type SmallRng = StdRng;
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain).
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // An all-zero state is the one fixed point of the engine;
+            // never admit it (can only arise from a hostile from_seed).
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: u64 = StdRng::seed_from_u64(7).gen();
+        let b: u64 = StdRng::seed_from_u64(7).gen();
+        let c: u64 = StdRng::seed_from_u64(8).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let k = r.gen_range(3u32..10);
+            assert!((3..10).contains(&k));
+            let k = r.gen_range(0u64..=5);
+            assert!(k <= 5);
+        }
+    }
+
+    #[test]
+    fn mean_is_half() {
+        let mut r = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let s: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        assert!((s / n as f64 - 0.5).abs() < 0.005);
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for `rayon`: the combinators this workspace uses
+//! (`into_par_iter().chunks().map().reduce()`, `rayon::join`,
+//! `rayon::current_num_threads`) with sequential execution. Results are
+//! identical to the parallel versions because the workspace only uses
+//! associative, order-insensitive reductions — and a sequential
+//! fallback is itself the most deterministic schedule possible.
+
+/// Runs both closures and returns their results. Sequential: `a` then
+/// `b`, matching rayon's same-thread fast path.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Thread-pool width used for chunk sizing; 1 in the sequential stand-in.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// The sequential pipeline. Combinator types implement only this trait
+/// (never `Iterator`), so method calls stay unambiguous; the underlying
+/// std iterator is reached through `into_seq`.
+pub trait ParallelIterator: Sized {
+    type Item;
+    type Inner: Iterator<Item = Self::Item>;
+
+    fn into_seq(self) -> Self::Inner;
+
+    /// Groups items into `Vec` chunks of at most `size`.
+    fn chunks(self, size: usize) -> Chunks<Self::Inner> {
+        assert!(size > 0, "chunk size must be positive");
+        Chunks {
+            inner: self.into_seq(),
+            size,
+        }
+    }
+
+    fn map<F, O>(self, f: F) -> SeqIter<std::iter::Map<Self::Inner, F>>
+    where
+        F: FnMut(Self::Item) -> O,
+    {
+        SeqIter(self.into_seq().map(f))
+    }
+
+    fn filter<F>(self, f: F) -> SeqIter<std::iter::Filter<Self::Inner, F>>
+    where
+        F: FnMut(&Self::Item) -> bool,
+    {
+        SeqIter(self.into_seq().filter(f))
+    }
+
+    /// Folds every item into the identity with `op`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.into_seq().fold(identity(), op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.into_seq().sum()
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_seq().collect()
+    }
+}
+
+/// Wraps a std iterator as a `ParallelIterator`.
+pub struct SeqIter<I>(pub I);
+
+impl<I: Iterator> ParallelIterator for SeqIter<I> {
+    type Item = I::Item;
+    type Inner = I;
+    fn into_seq(self) -> I {
+        self.0
+    }
+}
+
+/// `chunks` adapter; implements only `ParallelIterator`.
+pub struct Chunks<I> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator> ParallelIterator for Chunks<I> {
+    type Item = Vec<I::Item>;
+    type Inner = ChunksIter<I>;
+    fn into_seq(self) -> ChunksIter<I> {
+        ChunksIter {
+            inner: self.inner,
+            size: self.size,
+        }
+    }
+}
+
+/// The std-iterator side of `chunks`.
+pub struct ChunksIter<I> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator> Iterator for ChunksIter<I> {
+    type Item = Vec<I::Item>;
+    fn next(&mut self) -> Option<Vec<I::Item>> {
+        let chunk: Vec<I::Item> = self.inner.by_ref().take(self.size).collect();
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = SeqIter<std::ops::Range<usize>>;
+    fn into_par_iter(self) -> Self::Iter {
+        SeqIter(self)
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = SeqIter<std::vec::IntoIter<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        SeqIter(self.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_map_reduce() {
+        let total = (0..100usize)
+            .into_par_iter()
+            .chunks(7)
+            .map(|c| c.into_iter().sum::<usize>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crate registry, so the workspace vendors a
+//! minimal serde: a concrete [`Value`] tree instead of the
+//! serializer-visitor machinery, plus `#[derive(Serialize, Deserialize)]`
+//! macros (see `serde_derive`) that generate `Value` conversions matching
+//! serde's external JSON representation (structs as objects, unit enum
+//! variants as strings, data-carrying variants as single-key objects,
+//! newtypes transparent).
+//!
+//! `serde_json` in `vendor/serde_json` prints and parses this tree, so
+//! existing `to_string_pretty`/`from_str` call sites round-trip
+//! unchanged.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed/serializable JSON-like document tree.
+///
+/// Numbers keep their integer/float identity so `u64` survives the round
+/// trip exactly (a single `f64` repr would corrupt ids above 2^53).
+/// Objects preserve insertion order, which keeps output deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Field lookup on an object; missing fields and non-objects return
+    /// `Null`, letting `Option` fields deserialize as `None`.
+    pub fn get_field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(o) => o
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// The value as an array of exactly `n` elements.
+    pub fn as_array_n(&self, n: usize, what: &str) -> Result<&[Value], DeError> {
+        match self {
+            Value::Array(a) if a.len() == n => Ok(a),
+            Value::Array(a) => Err(DeError(format!(
+                "{what}: expected {n} elements, got {}",
+                a.len()
+            ))),
+            other => Err(DeError(format!("{what}: expected array, got {other:?}"))),
+        }
+    }
+
+    /// The value as an object's key/value slice.
+    pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], DeError> {
+        match self {
+            Value::Object(o) => Ok(o),
+            other => Err(DeError(format!("{what}: expected object, got {other:?}"))),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// --- scalar impls ----------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::UInt(n) => n,
+                    Value::Int(n) if n >= 0 => n as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    ref other => {
+                        return Err(DeError(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::Int(n) => n,
+                    Value::UInt(n) if n <= i64::MAX as u64 => n as i64,
+                    Value::Float(f) if f.fract() == 0.0 => f as i64,
+                    ref other => {
+                        return Err(DeError(format!("expected integer, got {other:?}")))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(n) => Ok(n as $t),
+                    Value::Int(n) => Ok(n as $t),
+                    ref other => Err(DeError(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError(format!("expected single-char string, got {other:?}"))),
+        }
+    }
+}
+
+// --- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let a = v.as_array_n(N, "array")?;
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(a) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const N: usize = [$(stringify!($t)),+].len();
+                let a = v.as_array_n(N, "tuple")?;
+                Ok(($($t::from_value(&a[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Renders a map key: strings pass through, integer keys use their
+/// decimal form (serde_json requires string keys in objects).
+fn key_to_string(k: &Value) -> Result<String, DeError> {
+    match k {
+        Value::Str(s) => Ok(s.clone()),
+        Value::UInt(n) => Ok(n.to_string()),
+        Value::Int(n) => Ok(n.to_string()),
+        other => Err(DeError(format!("unsupported map key {other:?}"))),
+    }
+}
+
+/// Parses a map key back into the value a key type deserializes from.
+fn key_from_string(s: &str) -> Value {
+    if let Ok(n) = s.parse::<u64>() {
+        Value::UInt(n)
+    } else if let Ok(n) = s.parse::<i64>() {
+        Value::Int(n)
+    } else {
+        Value::Str(s.to_string())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut o = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = key_to_string(&k.to_value()).expect("map key must be string-like");
+            o.push((key, v.to_value()));
+        }
+        Value::Object(o)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let mut out = BTreeMap::new();
+        for (k, item) in v.as_object("map")? {
+            out.insert(K::from_value(&key_from_string(k))?, V::from_value(item)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort by rendered key: hash iteration order must never leak
+        // into serialized output.
+        let mut o: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_to_string(&k.to_value()).expect("map key must be string-like"),
+                    v.to_value(),
+                )
+            })
+            .collect();
+        o.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(o)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let mut out = HashMap::with_hasher(S::default());
+        for (k, item) in v.as_object("map")? {
+            out.insert(K::from_value(&key_from_string(k))?, V::from_value(item)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input by walking the raw `TokenStream` (the
+//! container has no registry, so `syn`/`quote` are unavailable) and
+//! emits `serde::Serialize` / `serde::Deserialize` impls over the
+//! vendored `serde::Value` tree. The generated representation matches
+//! serde's external JSON form for the shapes this workspace uses:
+//!
+//! - named struct        -> object of fields
+//! - newtype struct      -> transparent inner value
+//! - tuple struct (n>1)  -> array
+//! - unit struct         -> null
+//! - unit enum variant   -> `"Variant"`
+//! - newtype variant     -> `{"Variant": inner}`
+//! - tuple variant (n>1) -> `{"Variant": [..]}`
+//! - struct variant      -> `{"Variant": {..}}`
+//!
+//! Generics and `#[serde(...)]` attributes are not supported; the
+//! macro panics with a clear message if it meets either.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Parsed shape of the item the derive is attached to.
+enum Item {
+    /// `struct Name { fields }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T, ...);`
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { variants }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes and visibility.
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive({name}): generic types are not supported by the vendored serde_derive");
+    }
+
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level_commas(g.stream())
+                        .iter()
+                        .filter(|c| !c.is_empty())
+                        .count(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("derive({name}): unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("derive({name}): unexpected enum body {other:?}"),
+        },
+        other => panic!("derive: cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility prefix.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on commas at angle-bracket depth zero.
+/// Bracketed groups arrive as single `Group` trees, so only `<`/`>`
+/// puncts need depth tracking (good enough for ordinary field types).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    let mut depth: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(t);
+    }
+    out
+}
+
+/// Field names of a named-fields body (`a: T, b: U, ...`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("derive: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let shape = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(
+                        split_top_level_commas(g.stream())
+                            .iter()
+                            .filter(|c| !c.is_empty())
+                            .count(),
+                    )
+                }
+                // `None` or `= discriminant` (ignored): unit variant.
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// --- codegen ---------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     ::serde::Value::Object(vec![{body}])\
+                   }}\
+                 }}"
+            );
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     ::serde::Serialize::to_value(&self.0)\
+                   }}\
+                 }}"
+            );
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut body = String::new();
+            for i in 0..*arity {
+                let _ = write!(body, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     ::serde::Value::Array(vec![{body}])\
+                   }}\
+                 }}"
+            );
+        }
+        Item::UnitStruct { name } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![\
+                               (\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut inner = String::new();
+                        for b in &binds {
+                            let _ = write!(inner, "::serde::Serialize::to_value({b}),");
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                               (\"{vn}\".to_string(), ::serde::Value::Array(vec![{inner}]))]),",
+                            binds.join(",")
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                inner,
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![\
+                               (\"{vn}\".to_string(), ::serde::Value::Object(vec![{inner}]))]),",
+                            fields.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     match self {{ {arms} }}\
+                   }}\
+                 }}"
+            );
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\"))?,"
+                );
+            }
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\
+                     Ok({name} {{ {body} }})\
+                   }}\
+                 }}"
+            );
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\
+                   }}\
+                 }}"
+            );
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut body = String::new();
+            for i in 0..*arity {
+                let _ = write!(body, "::serde::Deserialize::from_value(&a[{i}])?,");
+            }
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\
+                     let a = v.as_array_n({arity}, \"{name}\")?;\
+                     Ok({name}({body}))\
+                   }}\
+                 }}"
+            );
+        }
+        Item::UnitStruct { name } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(_v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\
+                     Ok({name})\
+                   }}\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .collect();
+
+            let mut arms = String::new();
+            if !unit.is_empty() {
+                let mut inner = String::new();
+                for v in &unit {
+                    let vn = &v.name;
+                    let _ = write!(inner, "\"{vn}\" => Ok({name}::{vn}),");
+                }
+                let _ = write!(
+                    arms,
+                    "::serde::Value::Str(s) => match s.as_str() {{\
+                       {inner}\
+                       other => Err(::serde::DeError(format!(\
+                         \"unknown {name} variant {{other:?}}\"))),\
+                     }},"
+                );
+            }
+            if !data.is_empty() {
+                let mut inner = String::new();
+                for v in &data {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Tuple(1) => {
+                            let _ = write!(
+                                inner,
+                                "\"{vn}\" => Ok({name}::{vn}(\
+                                   ::serde::Deserialize::from_value(inner)?)),"
+                            );
+                        }
+                        VariantShape::Tuple(n) => {
+                            let mut elems = String::new();
+                            for i in 0..*n {
+                                let _ = write!(
+                                    elems,
+                                    "::serde::Deserialize::from_value(&a[{i}])?,"
+                                );
+                            }
+                            let _ = write!(
+                                inner,
+                                "\"{vn}\" => {{\
+                                   let a = inner.as_array_n({n}, \"{name}::{vn}\")?;\
+                                   Ok({name}::{vn}({elems}))\
+                                 }},"
+                            );
+                        }
+                        VariantShape::Named(fields) => {
+                            let mut body = String::new();
+                            for f in fields {
+                                let _ = write!(
+                                    body,
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                       inner.get_field(\"{f}\"))?,"
+                                );
+                            }
+                            let _ = write!(inner, "\"{vn}\" => Ok({name}::{vn} {{ {body} }}),");
+                        }
+                        VariantShape::Unit => unreachable!(),
+                    }
+                }
+                let _ = write!(
+                    arms,
+                    "::serde::Value::Object(o) if o.len() == 1 => {{\
+                       let (tag, inner) = &o[0];\
+                       let _ = inner;\
+                       match tag.as_str() {{\
+                         {inner}\
+                         other => Err(::serde::DeError(format!(\
+                           \"unknown {name} variant {{other:?}}\"))),\
+                       }}\
+                     }},"
+                );
+            }
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\
+                     match v {{\
+                       {arms}\
+                       other => Err(::serde::DeError(format!(\
+                         \"cannot deserialize {name} from {{other:?}}\"))),\
+                     }}\
+                   }}\
+                 }}"
+            );
+        }
+    }
+    s
+}
