@@ -105,8 +105,8 @@ mod tests {
         ];
         // Snapshot fleet persisted only one DBE.
         let mut card = GpuCard::new(CardSerial(0));
-        card.apply_dbe(MemoryStructure::DeviceMemory, None, true);
-        card.apply_dbe(MemoryStructure::DeviceMemory, None, false);
+        card.apply_dbe(MemoryStructure::DeviceMemory, None, true, true);
+        card.apply_dbe(MemoryStructure::DeviceMemory, None, false, true);
         let snaps = vec![GpuSnapshot::take(NodeId(0), &card, 0)];
         let acc = dbe_accounting(&events, &snaps);
         assert_eq!(acc.console_dbe, 3);

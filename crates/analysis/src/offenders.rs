@@ -129,7 +129,7 @@ mod tests {
     fn snap(node: NodeId, sbe: u64) -> GpuSnapshot {
         let mut card = GpuCard::new(CardSerial(node.0));
         for _ in 0..sbe {
-            card.apply_sbe(MemoryStructure::L2Cache, None);
+            card.apply_sbe(MemoryStructure::L2Cache, None, true);
         }
         card.inforom.flush_sbe();
         GpuSnapshot::take(node, &card, 0)

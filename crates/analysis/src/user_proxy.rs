@@ -131,7 +131,7 @@ mod tests {
     fn snap(node: u32, sbe: u64) -> GpuSnapshot {
         let mut card = GpuCard::new(CardSerial(node));
         for _ in 0..sbe {
-            card.apply_sbe(MemoryStructure::L2Cache, None);
+            card.apply_sbe(MemoryStructure::L2Cache, None, true);
         }
         GpuSnapshot::take(NodeId(node), &card, 0)
     }

@@ -1,0 +1,126 @@
+//! `bench_pr2` — machine-readable performance snapshot for the PR 2
+//! trajectory: single-run wall time + events/sec, and replication
+//! scaling (threaded vs sequential multi-seed fan-out).
+//!
+//! ```text
+//! cargo run --release -p titan-bench --bin bench_pr2 -- [--quick] [--out BENCH_PR2.json]
+//! ```
+//!
+//! `--quick` shrinks the windows so CI can afford the run; the JSON
+//! schema is identical, with `"mode"` marking which one produced it.
+//! The speedup number is only meaningful on multi-core hosts —
+//! `host_threads` is recorded so a reader can tell.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use titan_reliability::StudyConfig;
+use titan_runner::{replicate, run_seed, ReplicateOptions};
+use titan_sim::{SimConfig, Simulator};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_PR2.json");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}` (expected --quick, --out FILE)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match emit(quick, &out_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_pr2: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn emit(quick: bool, out_path: &str) -> Result<(), String> {
+    let seed = 0xBE4C;
+    // Single-run measurement: the full study window unless --quick.
+    let single_cfg = if quick {
+        SimConfig::quick(30, seed)
+    } else {
+        SimConfig::default()
+    };
+    let single_days = single_cfg.window / 86_400;
+    let sim = Simulator::new(single_cfg)?;
+    let t0 = Instant::now();
+    let output = sim.run();
+    let single_wall = t0.elapsed().as_secs_f64();
+
+    // "Events" = everything the loop dequeued that left a trace: job
+    // starts+ends, every console line, and every SBE draw (accepted or
+    // thinned). An honest floor on heap traffic, stable across PRs.
+    let sbe_total: u64 = output.truth.sbe_by_card.iter().sum();
+    let events = output.console.len() as u64
+        + 2 * output.jobs.len() as u64
+        + sbe_total
+        + output.truth.sbe_rejected;
+    let events_per_sec = events as f64 / single_wall.max(1e-9);
+
+    // Replication scaling: the same seed set sequentially and threaded.
+    // Short windows even in full mode — scaling is a ratio, it does not
+    // need the 21-month window the wall-time number above uses.
+    let rep_days = if quick { 10 } else { 60 };
+    let rep_seeds = 4u64;
+    let base = StudyConfig::quick(rep_days, seed);
+    let mut seq_opts = ReplicateOptions::consecutive(base.clone(), seed, rep_seeds, 1);
+    seq_opts.skip_expectations = true;
+    let t1 = Instant::now();
+    let seq = replicate(&seq_opts)?;
+    let seq_wall = t1.elapsed().as_secs_f64();
+
+    let par_threads = titan_runner::recommended_threads().min(rep_seeds as usize).max(1);
+    let mut par_opts = ReplicateOptions::consecutive(base.clone(), seed, rep_seeds, par_threads);
+    par_opts.skip_expectations = true;
+    let t2 = Instant::now();
+    let par = replicate(&par_opts)?;
+    let par_wall = t2.elapsed().as_secs_f64();
+
+    // Byte-identity across widths, and against a direct run.
+    let digests_match = seq.runs == par.runs
+        && seq
+            .runs
+            .iter()
+            .all(|r| run_seed(&base, r.seed, true).output_digest == r.output_digest);
+    if !digests_match {
+        return Err("replication digests diverged between thread widths".into());
+    }
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"mode\": \"{mode}\",\n  \"host_threads\": {host_threads},\n  \
+         \"single_run\": {{\n    \"window_days\": {single_days},\n    \"seed\": {seed},\n    \
+         \"wall_seconds\": {single_wall:.3},\n    \"events\": {events},\n    \
+         \"events_per_sec\": {events_per_sec:.0},\n    \
+         \"console_events\": {console},\n    \"jobs\": {jobs},\n    \
+         \"sbe_total\": {sbe_total}\n  }},\n  \
+         \"replication\": {{\n    \"window_days\": {rep_days},\n    \"seeds\": {rep_seeds},\n    \
+         \"sequential_wall_seconds\": {seq_wall:.3},\n    \
+         \"parallel_threads\": {par_threads},\n    \
+         \"parallel_wall_seconds\": {par_wall:.3},\n    \
+         \"speedup\": {speedup:.2},\n    \"digests_match\": true\n  }}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+        console = output.console.len(),
+        jobs = output.jobs.len(),
+        speedup = seq_wall / par_wall.max(1e-9),
+    );
+    std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("{json}");
+    println!("wrote {out_path}");
+    Ok(())
+}

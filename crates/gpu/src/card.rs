@@ -70,27 +70,45 @@ impl GpuCard {
     /// Applies a corrected SBE in `structure`; if it struck device memory,
     /// page-retirement bookkeeping runs too (only device-memory pages are
     /// retirable). Returns the retirement decision.
-    pub fn apply_sbe(&mut self, structure: MemoryStructure, page: Option<PageAddress>) -> RetireDecision {
+    ///
+    /// `retirement_active` gates the dynamic-page-retirement state itself:
+    /// before the Jan'14 driver shipped the feature, the driver kept no
+    /// per-page bookkeeping at all, so a pre-cutover error must leave the
+    /// card's page table untouched — not merely suppress the XID 63
+    /// record downstream. ECC counters persist either way; they predate
+    /// retirement by years.
+    pub fn apply_sbe(
+        &mut self,
+        structure: MemoryStructure,
+        page: Option<PageAddress>,
+        retirement_active: bool,
+    ) -> RetireDecision {
         self.inforom.record_sbe(structure);
         match (structure, page) {
-            (MemoryStructure::DeviceMemory, Some(p)) => self.retirement.record_sbe(p),
+            (MemoryStructure::DeviceMemory, Some(p)) if retirement_active => {
+                self.retirement.record_sbe(p)
+            }
             _ => RetireDecision::None,
         }
     }
 
     /// Applies a DBE. `inforom_persisted` is false when the node crashed
     /// before the NVML write (Observation 2). Returns the retirement
-    /// decision for device-memory strikes.
+    /// decision for device-memory strikes; `retirement_active` gates the
+    /// page-retirement state as in [`GpuCard::apply_sbe`].
     pub fn apply_dbe(
         &mut self,
         structure: MemoryStructure,
         page: Option<PageAddress>,
         inforom_persisted: bool,
+        retirement_active: bool,
     ) -> RetireDecision {
         self.lifetime_dbe += 1;
         self.inforom.record_dbe(structure, inforom_persisted);
         match (structure, page) {
-            (MemoryStructure::DeviceMemory, Some(p)) => self.retirement.record_dbe(p),
+            (MemoryStructure::DeviceMemory, Some(p)) if retirement_active => {
+                self.retirement.record_dbe(p)
+            }
             _ => RetireDecision::None,
         }
     }
@@ -131,7 +149,7 @@ mod tests {
     #[test]
     fn dbe_on_device_memory_retires_page() {
         let mut c = GpuCard::new(CardSerial(1));
-        let d = c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(10)), true);
+        let d = c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(10)), true, true);
         assert_eq!(d, RetireDecision::Retired(RetirementCause::DoubleBitError));
         assert_eq!(c.lifetime_dbe, 1);
         assert_eq!(c.inforom.aggregate_dbe(MemoryStructure::DeviceMemory), 1);
@@ -140,7 +158,7 @@ mod tests {
     #[test]
     fn dbe_on_register_file_does_not_retire() {
         let mut c = GpuCard::new(CardSerial(1));
-        let d = c.apply_dbe(MemoryStructure::RegisterFile, None, true);
+        let d = c.apply_dbe(MemoryStructure::RegisterFile, None, true, true);
         assert_eq!(d, RetireDecision::None);
         assert_eq!(c.lifetime_dbe, 1);
         assert_eq!(c.retirement.retired_pages().len(), 0);
@@ -149,7 +167,7 @@ mod tests {
     #[test]
     fn unpersisted_dbe_still_counts_lifetime() {
         let mut c = GpuCard::new(CardSerial(1));
-        c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(3)), false);
+        c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(3)), false, true);
         assert_eq!(c.lifetime_dbe, 1);
         assert_eq!(c.inforom.aggregate_dbe(MemoryStructure::DeviceMemory), 0);
         // The page still retires — retirement happens in the driver before
@@ -161,11 +179,11 @@ mod tests {
     fn sbe_pair_retires_via_card_api() {
         let mut c = GpuCard::new(CardSerial(9));
         assert_eq!(
-            c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(77))),
+            c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(77)), true),
             RetireDecision::None
         );
         assert_eq!(
-            c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(77))),
+            c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(77)), true),
             RetireDecision::Retired(RetirementCause::MultipleSingleBitErrors)
         );
     }
@@ -175,12 +193,43 @@ mod tests {
         let mut c = GpuCard::new(CardSerial(9));
         for _ in 0..10 {
             assert_eq!(
-                c.apply_sbe(MemoryStructure::L2Cache, Some(PageAddress(1))),
+                c.apply_sbe(MemoryStructure::L2Cache, Some(PageAddress(1)), true),
                 RetireDecision::None
             );
         }
         assert_eq!(c.retirement.retired_pages().len(), 0);
         assert_eq!(c.inforom.volatile_sbe(MemoryStructure::L2Cache), 10);
+    }
+
+    /// Regression: with retirement inactive (pre-Jan'14 driver), errors
+    /// must leave the page table untouched while ECC counters still
+    /// accumulate — previously the state mutated unconditionally.
+    #[test]
+    fn inactive_retirement_leaves_page_state_untouched() {
+        let mut c = GpuCard::new(CardSerial(2));
+        let d = c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(10)), true, false);
+        assert_eq!(d, RetireDecision::None);
+        for _ in 0..5 {
+            assert_eq!(
+                c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(10)), false),
+                RetireDecision::None
+            );
+        }
+        assert_eq!(c.retirement.retired_pages().len(), 0);
+        // The counters are older than the retirement feature.
+        assert_eq!(c.lifetime_dbe, 1);
+        assert_eq!(c.inforom.aggregate_dbe(MemoryStructure::DeviceMemory), 1);
+        assert_eq!(c.inforom.volatile_sbe(MemoryStructure::DeviceMemory), 5);
+        // Once the driver ships, the same page retires normally: the
+        // pre-cutover strikes left no half-recorded SBE pair behind.
+        assert_eq!(
+            c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(10)), true),
+            RetireDecision::None
+        );
+        assert_eq!(
+            c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(10)), true),
+            RetireDecision::Retired(RetirementCause::MultipleSingleBitErrors)
+        );
     }
 
     #[test]

@@ -124,16 +124,16 @@ mod tests {
         let mut c0 = GpuCard::new(CardSerial(0));
         let mut c1 = GpuCard::new(CardSerial(1));
         // Pre-existing history on c0 that must NOT count.
-        c0.apply_sbe(MemoryStructure::L2Cache, None);
+        c0.apply_sbe(MemoryStructure::L2Cache, None, true);
         c0.inforom.flush_sbe();
 
         fw.record_pre(99, vec![snap(10, &c0, 100), snap(11, &c1, 100)]);
         assert_eq!(fw.pending(), 1);
 
         // During the job: two SBEs on c0, one on c1.
-        c0.apply_sbe(MemoryStructure::L2Cache, None);
-        c0.apply_sbe(MemoryStructure::DeviceMemory, None);
-        c1.apply_sbe(MemoryStructure::RegisterFile, None);
+        c0.apply_sbe(MemoryStructure::L2Cache, None, true);
+        c0.apply_sbe(MemoryStructure::DeviceMemory, None, true);
+        c1.apply_sbe(MemoryStructure::RegisterFile, None, true);
 
         let d = fw
             .complete(99, &[snap(10, &c0, 200), snap(11, &c1, 200)])
@@ -167,7 +167,7 @@ mod tests {
     fn crash_reset_saturates_to_zero() {
         let mut fw = JobSnapshotFramework::new();
         let mut c = GpuCard::new(CardSerial(0));
-        c.apply_sbe(MemoryStructure::L2Cache, None);
+        c.apply_sbe(MemoryStructure::L2Cache, None, true);
         fw.record_pre(1, vec![snap(0, &c, 10)]);
         // Crash loses the volatile SBE.
         c.inforom.driver_reload(false);
@@ -179,7 +179,7 @@ mod tests {
     fn flush_between_snapshots_not_double_counted() {
         let mut fw = JobSnapshotFramework::new();
         let mut c = GpuCard::new(CardSerial(0));
-        c.apply_sbe(MemoryStructure::L2Cache, None);
+        c.apply_sbe(MemoryStructure::L2Cache, None, true);
         fw.record_pre(1, vec![snap(0, &c, 10)]);
         // The same error flushes from volatile to aggregate mid-job:
         // total distinct errors unchanged.

@@ -132,11 +132,11 @@ mod tests {
 
     fn snapshot() -> GpuSnapshot {
         let mut c = GpuCard::new(CardSerial(321));
-        c.apply_sbe(MemoryStructure::L2Cache, None);
-        c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(5)));
-        c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(5)));
+        c.apply_sbe(MemoryStructure::L2Cache, None, true);
+        c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(5)), true);
+        c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(5)), true);
         c.inforom.flush_sbe();
-        c.apply_dbe(MemoryStructure::RegisterFile, None, true);
+        c.apply_dbe(MemoryStructure::RegisterFile, None, true, true);
         GpuSnapshot::take(NodeId(777), &c, 123_456)
     }
 

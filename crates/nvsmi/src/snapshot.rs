@@ -112,11 +112,11 @@ mod tests {
 
     fn card_with_history() -> GpuCard {
         let mut c = GpuCard::new(CardSerial(7));
-        c.apply_sbe(MemoryStructure::L2Cache, None);
-        c.apply_sbe(MemoryStructure::L2Cache, None);
-        c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(3)));
+        c.apply_sbe(MemoryStructure::L2Cache, None, true);
+        c.apply_sbe(MemoryStructure::L2Cache, None, true);
+        c.apply_sbe(MemoryStructure::DeviceMemory, Some(PageAddress(3)), true);
         c.inforom.flush_sbe();
-        c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(9)), true);
+        c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(9)), true, true);
         c
     }
 
@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn unpersisted_dbe_invisible_to_snapshot() {
         let mut c = GpuCard::new(CardSerial(1));
-        c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(1)), false);
+        c.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(1)), false, true);
         let s = GpuSnapshot::take(NodeId(0), &c, 0);
         assert_eq!(s.total_dbe(), 0, "lost InfoROM write must not appear");
         assert_eq!(c.lifetime_dbe, 1, "ground truth still knows");
@@ -151,9 +151,9 @@ mod tests {
     #[test]
     fn observation2_inversion_detectable() {
         let mut c = GpuCard::new(CardSerial(2));
-        c.apply_sbe(MemoryStructure::DeviceMemory, None);
+        c.apply_sbe(MemoryStructure::DeviceMemory, None, true);
         c.inforom.driver_reload(false); // crash loses the SBE
-        c.apply_dbe(MemoryStructure::DeviceMemory, None, true);
+        c.apply_dbe(MemoryStructure::DeviceMemory, None, true, true);
         let s = GpuSnapshot::take(NodeId(0), &c, 0);
         assert!(s.dbe_exceeds_sbe());
     }
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn volatile_vs_aggregate_split() {
         let mut c = GpuCard::new(CardSerial(3));
-        c.apply_sbe(MemoryStructure::L2Cache, None);
+        c.apply_sbe(MemoryStructure::L2Cache, None, true);
         let s = GpuSnapshot::take(NodeId(0), &c, 0);
         // Pending-flush errors appear in both the volatile counter and
         // NVML's reported aggregate...

@@ -1,0 +1,453 @@
+//! Multi-seed replication: the statistical-confidence engine.
+//!
+//! The paper's conclusions rest on 21 months × 18,688 GPUs of field
+//! data; our substitute is a calibrated simulator, so confidence has to
+//! come from *replications* — many seeds per configuration — the way
+//! later field studies report rates with confidence intervals across
+//! populations. [`replicate`] fans N seeds out over a thread pool (one
+//! whole simulation per task — parallelism never reaches inside a run,
+//! see DETERMINISM.md), merges the per-seed summaries **in seed order**,
+//! and reports mean / 95% CI bands plus per-expectation verdict
+//! distributions, so EXPERIMENTS.md can check intervals instead of
+//! points.
+//!
+//! Determinism contract: for a fixed seed list the report is
+//! byte-identical at any thread width, and each per-seed digest equals
+//! the digest of a plain sequential [`Study`] run of that seed.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use titan_reliability::{evaluate_all, Expectation, Study, StudyConfig, Verdict};
+use titan_sim::SimOutput;
+use titan_stats::Summary;
+
+/// z-value for a two-sided 95% interval under the normal approximation.
+/// With the handful-of-seeds replication counts used here the Student-t
+/// correction would widen bands slightly; the registry's pass bands are
+/// an order of magnitude wider than that correction.
+const Z95: f64 = 1.96;
+
+/// Recommended fan-out width: the pool's configured width — the
+/// `TITAN_NUM_THREADS` override when set, else available parallelism.
+pub fn recommended_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// What to replicate and how wide to fan out.
+#[derive(Debug, Clone)]
+pub struct ReplicateOptions {
+    /// Base study configuration; its `sim.seed` is overridden per seed.
+    pub base: StudyConfig,
+    /// Master seeds, one simulation each. Order defines report order.
+    pub seeds: Vec<u64>,
+    /// Worker threads (1 = fully sequential, still the same results).
+    pub threads: usize,
+    /// When true, skip the per-seed expectation registry (figures are
+    /// by far the dominant cost when the window is short).
+    pub skip_expectations: bool,
+}
+
+impl ReplicateOptions {
+    /// `count` consecutive seeds derived from `base_seed`, ready to fan
+    /// out over `threads`.
+    pub fn consecutive(base: StudyConfig, base_seed: u64, count: u64, threads: usize) -> Self {
+        ReplicateOptions {
+            base,
+            seeds: (0..count).map(|i| base_seed.wrapping_add(i)).collect(),
+            threads,
+            skip_expectations: false,
+        }
+    }
+}
+
+/// One seed's compressed outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeedRun {
+    /// The master seed.
+    pub seed: u64,
+    /// FNV-1a digest of the full serialized `SimOutput` plus all three
+    /// rendered logs — the byte-identity fingerprint replication tests
+    /// compare against sequential runs.
+    pub output_digest: u64,
+    /// Scalar fleet metrics (see [`seed_metrics`] for the catalogue).
+    pub metrics: BTreeMap<String, f64>,
+    /// The full expectation registry for this seed (empty when
+    /// `skip_expectations` was set).
+    pub expectations: Vec<Expectation>,
+}
+
+/// Mean / spread / 95% CI of one metric across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricBand {
+    /// Replication count.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (NaN when n < 2).
+    pub std_dev: f64,
+    /// 95% CI lower bound (normal approximation; equals `mean` at n = 1).
+    pub ci_lo: f64,
+    /// 95% CI upper bound.
+    pub ci_hi: f64,
+    /// Per-seed values, in seed order.
+    pub per_seed: Vec<f64>,
+}
+
+impl MetricBand {
+    fn of(per_seed: Vec<f64>) -> Self {
+        let s = Summary::of(&per_seed);
+        let n = s.count();
+        let half = if n >= 2 {
+            Z95 * s.std_dev() / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        MetricBand {
+            n,
+            mean: s.mean(),
+            std_dev: s.std_dev(),
+            ci_lo: s.mean() - half,
+            ci_hi: s.mean() + half,
+            per_seed,
+        }
+    }
+
+    /// Whether `value` lies inside the 95% band.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.ci_lo && value <= self.ci_hi
+    }
+}
+
+/// One expectation's verdict distribution across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerdictBand {
+    /// Experiment id (e.g. "F2").
+    pub id: String,
+    /// The paper's claim.
+    pub paper: String,
+    /// Seeds that passed.
+    pub pass: u32,
+    /// Seeds that were weak.
+    pub weak: u32,
+    /// Seeds that failed.
+    pub fail: u32,
+    /// Interval verdict: Pass when a majority of seeds pass and none
+    /// fail; Weak when no seed fails; Fail otherwise. Stricter than any
+    /// single-seed check — one failing replication fails the band.
+    pub overall: Verdict,
+    /// A representative measured string (first seed's).
+    pub sample_measured: String,
+}
+
+/// The merged multi-seed report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationReport {
+    /// Worker threads used (informational; never affects content).
+    pub threads: usize,
+    /// Study window in days.
+    pub window_days: u64,
+    /// Per-seed outcomes, in seed order.
+    pub runs: Vec<SeedRun>,
+    /// Mean/CI bands per metric, keyed by metric name.
+    pub metrics: BTreeMap<String, MetricBand>,
+    /// Per-expectation verdict distributions, registry order.
+    pub expectations: Vec<VerdictBand>,
+}
+
+/// Runs one seed sequentially and summarizes it. This is the exact code
+/// a replication worker runs; the determinism test compares its digest
+/// against threaded output.
+pub fn run_seed(base: &StudyConfig, seed: u64, skip_expectations: bool) -> SeedRun {
+    let mut config = base.clone();
+    config.sim.seed = seed;
+    let study = Study::new(config).run();
+    let expectations = if skip_expectations {
+        Vec::new()
+    } else {
+        evaluate_all(&study.figures())
+    };
+    SeedRun {
+        seed,
+        output_digest: output_digest(&study.sim),
+        metrics: seed_metrics(&study.sim),
+        expectations,
+    }
+}
+
+/// Fans the seeds out over `threads` workers and merges in seed order.
+///
+/// Each worker runs one *whole* simulation; results are gathered by
+/// input index and folded in seed order, so the report is byte-identical
+/// at any thread width (the same guarantee the vendored pool makes for
+/// every `map`/`reduce`, see `rayon::scope_map`).
+pub fn replicate(opts: &ReplicateOptions) -> Result<ReplicationReport, String> {
+    if opts.seeds.is_empty() {
+        return Err("replicate: need at least one seed".into());
+    }
+    if opts.threads == 0 {
+        return Err("replicate: need at least one thread".into());
+    }
+    {
+        let mut sorted = opts.seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != opts.seeds.len() {
+            return Err("replicate: duplicate seeds (replications must be independent)".into());
+        }
+    }
+    opts.base.sim.validate()?;
+
+    let base = &opts.base;
+    let skip = opts.skip_expectations;
+    let runs: Vec<SeedRun> = rayon::scope_map(opts.seeds.clone(), opts.threads, |seed| {
+        run_seed(base, seed, skip)
+    });
+
+    Ok(merge(runs, opts.threads, base.sim.window / 86_400))
+}
+
+/// Merges per-seed runs (already in seed order) into the report.
+fn merge(runs: Vec<SeedRun>, threads: usize, window_days: u64) -> ReplicationReport {
+    // Metric bands: every metric name present in any run; a run missing
+    // a name contributes 0 (metrics are counts).
+    let mut names: Vec<String> = Vec::new();
+    for r in &runs {
+        for k in r.metrics.keys() {
+            if !names.contains(k) {
+                names.push(k.clone());
+            }
+        }
+    }
+    names.sort_unstable();
+    let mut metrics = BTreeMap::new();
+    for name in names {
+        let per_seed: Vec<f64> = runs
+            .iter()
+            .map(|r| r.metrics.get(&name).copied().unwrap_or(0.0))
+            .collect();
+        metrics.insert(name, MetricBand::of(per_seed));
+    }
+
+    // Verdict bands, in the first run's registry order. The registry is
+    // deterministic, so every seed reports the same ids in the same
+    // order; assert-by-lookup keeps a drifting registry from silently
+    // misaligning counts.
+    let mut expectations = Vec::new();
+    if let Some(first) = runs.first() {
+        for e in &first.expectations {
+            let (mut pass, mut weak, mut fail) = (0u32, 0u32, 0u32);
+            for r in &runs {
+                let v = r
+                    .expectations
+                    .iter()
+                    .find(|x| x.id == e.id)
+                    .map(|x| x.verdict);
+                match v {
+                    Some(Verdict::Pass) => pass += 1,
+                    Some(Verdict::Weak) => weak += 1,
+                    _ => fail += 1,
+                }
+            }
+            let overall = if fail > 0 {
+                Verdict::Fail
+            } else if weak > pass {
+                Verdict::Weak
+            } else {
+                Verdict::Pass
+            };
+            expectations.push(VerdictBand {
+                id: e.id.clone(),
+                paper: e.paper.clone(),
+                pass,
+                weak,
+                fail,
+                overall,
+                sample_measured: e.measured.clone(),
+            });
+        }
+    }
+
+    ReplicationReport {
+        threads,
+        window_days,
+        runs,
+        metrics,
+        expectations,
+    }
+}
+
+/// Scalar fleet metrics extracted from one run's output.
+pub fn seed_metrics(sim: &SimOutput) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    m.insert("console_events".into(), sim.console.len() as f64);
+    m.insert("jobs_completed".into(), sim.jobs.len() as f64);
+    m.insert("dbe_count".into(), sim.truth.dbe.len() as f64);
+    m.insert("otb_count".into(), sim.truth.otb.len() as f64);
+    m.insert("retirements".into(), sim.truth.retirements.len() as f64);
+    m.insert(
+        "retirements_emitted".into(),
+        sim.truth.retirements.iter().filter(|r| r.emitted).count() as f64,
+    );
+    m.insert("swaps".into(), sim.truth.swaps.len() as f64);
+    m.insert(
+        "sbe_total".into(),
+        sim.truth.sbe_by_card.iter().sum::<u64>() as f64,
+    );
+    m
+}
+
+/// FNV-1a digest of the full serialized output plus all rendered logs —
+/// any byte of divergence between two runs changes it.
+pub fn output_digest(sim: &SimOutput) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let json = serde_json::to_string(sim).unwrap_or_default();
+    eat(json.as_bytes());
+    eat(sim.render_console_log().as_bytes());
+    eat(sim.render_job_log().as_bytes());
+    eat(sim.render_aprun_log().as_bytes());
+    h
+}
+
+/// Human-readable report table for the CLI.
+pub fn render_report(report: &ReplicationReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "replication: {} seeds x {} days, {} threads",
+        report.runs.len(),
+        report.window_days,
+        report.threads
+    );
+    let _ = writeln!(s, "\nper-seed digests:");
+    for r in &report.runs {
+        let _ = writeln!(s, "  seed {:>6}  {:016x}", r.seed, r.output_digest);
+    }
+    let _ = writeln!(s, "\nmetric bands (mean [95% CI]):");
+    for (name, b) in &report.metrics {
+        let _ = writeln!(
+            s,
+            "  {name:<22} {:>12.1}  [{:>12.1}, {:>12.1}]  sd {:.1}",
+            b.mean,
+            b.ci_lo,
+            b.ci_hi,
+            if b.std_dev.is_nan() { 0.0 } else { b.std_dev }
+        );
+    }
+    if !report.expectations.is_empty() {
+        let _ = writeln!(s, "\nexpectation verdicts across seeds (pass/weak/fail):");
+        for v in &report.expectations {
+            let _ = writeln!(
+                s,
+                "  [{}] {:<6} {}/{}/{}  {}",
+                v.overall, v.id, v.pass, v.weak, v.fail, v.paper
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(days: u64, n: u64, threads: usize) -> ReplicateOptions {
+        let mut o =
+            ReplicateOptions::consecutive(StudyConfig::quick(days, 0), 100, n, threads);
+        // Figures are the dominant cost; the runner's own tests exercise
+        // fan-out and merge, not the registry.
+        o.skip_expectations = true;
+        o
+    }
+
+    /// The tentpole determinism guarantee: a threaded replicate run is
+    /// byte-identical to N sequential runs, per seed.
+    #[test]
+    fn threaded_replicate_matches_sequential_per_seed() {
+        let threaded = replicate(&opts(10, 4, 3)).unwrap();
+        let sequential = replicate(&opts(10, 4, 1)).unwrap();
+        assert_eq!(threaded.runs, sequential.runs);
+        assert_eq!(threaded.metrics, sequential.metrics);
+        // And each per-seed digest equals a direct single-study run.
+        let base = StudyConfig::quick(10, 0);
+        for r in &threaded.runs {
+            let solo = run_seed(&base, r.seed, true);
+            assert_eq!(r, &solo, "seed {} diverged from sequential", r.seed);
+        }
+    }
+
+    #[test]
+    fn report_is_in_seed_order_and_seeds_differ() {
+        let rep = replicate(&opts(10, 3, 2)).unwrap();
+        let seeds: Vec<u64> = rep.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![100, 101, 102]);
+        // Different seeds must not produce identical outputs.
+        let digests: std::collections::BTreeSet<u64> =
+            rep.runs.iter().map(|r| r.output_digest).collect();
+        assert_eq!(digests.len(), 3);
+    }
+
+    #[test]
+    fn bands_cover_their_samples() {
+        let rep = replicate(&opts(10, 4, 2)).unwrap();
+        let dbe = &rep.metrics["dbe_count"];
+        assert_eq!(dbe.n, 4);
+        assert_eq!(dbe.per_seed.len(), 4);
+        let mn = dbe.per_seed.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = dbe
+            .per_seed
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(dbe.mean >= mn && dbe.mean <= mx);
+        assert!(dbe.ci_lo <= dbe.mean && dbe.mean <= dbe.ci_hi);
+    }
+
+    #[test]
+    fn single_seed_band_degenerates_to_point() {
+        let rep = replicate(&opts(10, 1, 1)).unwrap();
+        let b = &rep.metrics["console_events"];
+        assert_eq!(b.n, 1);
+        assert_eq!(b.ci_lo, b.mean);
+        assert_eq!(b.ci_hi, b.mean);
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        let mut o = opts(10, 2, 2);
+        o.seeds = vec![];
+        assert!(replicate(&o).is_err());
+        let mut o = opts(10, 2, 0);
+        o.threads = 0;
+        assert!(replicate(&o).is_err());
+        let mut o = opts(10, 2, 2);
+        o.seeds = vec![5, 5];
+        assert!(replicate(&o).is_err());
+    }
+
+    #[test]
+    fn expectation_bands_aggregate_verdicts() {
+        let mut o = opts(12, 2, 2);
+        o.skip_expectations = false;
+        let rep = replicate(&o).unwrap();
+        assert!(!rep.expectations.is_empty());
+        for v in &rep.expectations {
+            assert_eq!(v.pass + v.weak + v.fail, 2, "{} counts", v.id);
+            if v.fail > 0 {
+                assert_eq!(v.overall, Verdict::Fail);
+            }
+        }
+        let rendered = render_report(&rep);
+        assert!(rendered.contains("expectation verdicts"));
+        assert!(rendered.contains("metric bands"));
+    }
+}

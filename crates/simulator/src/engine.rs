@@ -3,6 +3,11 @@
 //! All stochastic choices are drawn from per-subsystem RNG streams, and
 //! events are ordered by `(time, sequence)`, so a given [`SimConfig`]
 //! always produces bit-identical output.
+//!
+//! The loop is strictly single-threaded by design: parallelism in this
+//! workspace only ever runs *across* independent simulations (see the
+//! replication runner in `titan-runner` and DETERMINISM.md), never
+//! inside one. titan-lint rule D4 enforces this mechanically.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -26,11 +31,12 @@ use crate::config::SimConfig;
 use crate::fleet::Fleet;
 use crate::output::{DbeTruth, OtbTruth, RetireTruth, SimOutput, SwapTruth};
 
-/// Sentinel: no job on this node.
+/// Sentinel: no job on this node / job not active.
 const NO_JOB: u32 = u32::MAX;
 
-/// One schedulable event.
-#[derive(Debug, Clone, PartialEq)]
+/// One schedulable event. Every payload is plain-old-data, so the event
+/// loop reads it by copy — no per-event clone on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
     JobStart(u32),
     JobEnd(u32),
@@ -61,9 +67,13 @@ enum Ev {
     RetireRecord {
         card: u32,
     },
-    /// Hot-spare maintenance swap for `slot`.
+    /// Hot-spare maintenance swap for `slot`, scheduled because `card`
+    /// (the occupant at schedule time) crossed the pull threshold. The
+    /// card id travels with the event so the fire-time check can tell a
+    /// stale schedule from a live one.
     Swap {
         slot: u32,
+        card: u32,
     },
 }
 
@@ -76,6 +86,133 @@ struct JobState {
     /// `MemoryStructure::ECC_COUNTED` order. Present only while running.
     pre_sbe: Option<Vec<[u64; 5]>>,
     actual_end: SimTime,
+}
+
+/// Runtime job bookkeeping: per-job state, node occupancy, and the
+/// active set with O(1) membership updates (`active_pos` tracks each
+/// job's index in `active`, so ending a job is a `swap_remove` instead
+/// of an O(active) scan).
+#[derive(Debug)]
+struct JobTable {
+    state: Vec<JobState>,
+    /// Node → running job (NO_JOB when idle).
+    node_job: Vec<u32>,
+    /// Currently running jobs.
+    active: Vec<u32>,
+    /// Job → index in `active` (NO_JOB when not active).
+    active_pos: Vec<u32>,
+    /// Recycled pre-SBE snapshot buffers (one allocation per concurrent
+    /// job, reused across the whole run).
+    spare_pre: Vec<Vec<[u64; 5]>>,
+}
+
+impl JobTable {
+    fn new(n_jobs: usize) -> Self {
+        JobTable {
+            state: vec![JobState::default(); n_jobs],
+            node_job: vec![NO_JOB; TOTAL_SLOTS],
+            active: Vec::new(),
+            active_pos: vec![NO_JOB; n_jobs],
+            spare_pre: Vec::new(),
+        }
+    }
+
+    /// Marks job `j` started: occupies its nodes and snapshots the
+    /// reported SBE counters (the nvidia-smi prologue).
+    fn start(&mut self, j: u32, job: &ScheduledJob, fleet: &Fleet) {
+        let st = &mut self.state[j as usize];
+        st.started = true;
+        st.actual_end = job.end;
+        let mut pre = self.spare_pre.pop().unwrap_or_default();
+        pre.clear();
+        pre.reserve(job.nodes.len());
+        for n in &job.nodes {
+            self.node_job[n.0 as usize] = j;
+            pre.push(reported_sbe_vector(fleet, *n));
+        }
+        st.pre_sbe = Some(pre);
+        self.active_pos[j as usize] = self.active.len() as u32;
+        self.active.push(j);
+    }
+
+    /// Ends job `j` at `t` (normal completion or crash), producing the
+    /// job record and the nvidia-smi prologue/epilogue SBE delta.
+    fn end(
+        &mut self,
+        j: u32,
+        t: SimTime,
+        schedule: &WorkloadSchedule,
+        fleet: &Fleet,
+        out: &mut SimOutput,
+    ) {
+        let st = &mut self.state[j as usize];
+        if !st.started || st.ended {
+            return;
+        }
+        st.ended = true;
+        st.actual_end = t;
+        let job: &ScheduledJob = &schedule.jobs[j as usize];
+        for n in &job.nodes {
+            if self.node_job[n.0 as usize] == j {
+                self.node_job[n.0 as usize] = NO_JOB;
+            }
+        }
+        // O(1) active-set removal.
+        let pos = self.active_pos[j as usize] as usize;
+        self.active_pos[j as usize] = NO_JOB;
+        self.active.swap_remove(pos);
+        if let Some(&moved) = self.active.get(pos) {
+            self.active_pos[moved as usize] = pos as u32;
+        }
+
+        // nvidia-smi epilogue: per-node SBE delta.
+        let pre = st.pre_sbe.take().unwrap_or_default();
+        let mut per_node_sbe = Vec::with_capacity(job.nodes.len());
+        let mut per_structure_sbe = vec![0u64; 5];
+        for (n, before) in job.nodes.iter().zip(&pre) {
+            let after = reported_sbe_vector(fleet, *n);
+            let mut node_total = 0;
+            for i in 0..5 {
+                let d = after[i].saturating_sub(before[i]);
+                node_total += d;
+                per_structure_sbe[i] += d;
+            }
+            per_node_sbe.push((*n, node_total));
+        }
+        self.spare_pre.push(pre);
+        out.job_sbe.push(JobEccDelta {
+            apid: job.spec.apid,
+            per_node_sbe,
+            per_structure_sbe,
+        });
+
+        // Job log record with *actual* runtime.
+        let wall = t.saturating_sub(job.start);
+        let frac = if job.spec.wall == 0 {
+            0.0
+        } else {
+            wall as f64 / job.spec.wall as f64
+        };
+        out.jobs.push(JobRecord {
+            apid: job.spec.apid,
+            user: job.spec.user,
+            nodes: job.nodes.clone(),
+            start: job.start,
+            end: t,
+            gpu_core_hours: job.spec.gpu_core_hours() * frac.min(1.0),
+            max_memory_bytes: job.spec.mem_max_bytes,
+            total_memory_byte_hours: job.spec.total_memory_byte_hours() * frac.min(1.0),
+        });
+    }
+
+    fn job_at(&self, node: NodeId) -> Option<u32> {
+        let j = self.node_job[node.0 as usize];
+        (j != NO_JOB).then_some(j)
+    }
+
+    fn apid_at(&self, schedule: &WorkloadSchedule, node: NodeId) -> Option<u64> {
+        self.job_at(node).map(|j| schedule.jobs[j as usize].spec.apid)
+    }
 }
 
 /// The fleet simulator.
@@ -108,8 +245,9 @@ impl Simulator {
             WorkloadSchedule::generate(&cfg.schedule, &mut rng)
         };
 
-        let mut heap: BinaryHeap<Reverse<(SimTime, u8, u64)>> = BinaryHeap::new();
-        let mut payloads: Vec<Ev> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(SimTime, u8, u64)>> =
+            BinaryHeap::with_capacity(schedule.jobs.len() * 2);
+        let mut payloads: Vec<Ev> = Vec::with_capacity(schedule.jobs.len() * 2);
         // Ties at one timestamp order by class (job starts before faults
         // before job ends), then by insertion sequence — so a fault at a
         // job's exact start second sees the job as running.
@@ -132,7 +270,10 @@ impl Simulator {
 
         if cfg.enable_dbe {
             let mut rng = streams.stream(StreamTag::Dbe);
-            for d in DbeProcess::default().sample(&mut rng) {
+            let drafts = DbeProcess::default().sample(&mut rng);
+            payloads.reserve(drafts.len());
+            heap.reserve(drafts.len());
+            for d in drafts {
                 if d.time < window {
                     push(
                         &mut heap,
@@ -150,7 +291,10 @@ impl Simulator {
         }
         if cfg.enable_otb {
             let mut rng = streams.stream(StreamTag::OffTheBus);
-            for d in OtbProcess::default().sample(&mut rng) {
+            let drafts = OtbProcess::default().sample(&mut rng);
+            payloads.reserve(drafts.len());
+            heap.reserve(drafts.len());
+            for d in drafts {
                 if d.time < window {
                     push(&mut heap, &mut payloads, d.time, 1, Ev::Otb);
                 }
@@ -158,7 +302,10 @@ impl Simulator {
         }
         if cfg.enable_sbe {
             let mut rng = streams.stream(StreamTag::Sbe);
-            for d in SbeProcess::default().sample(&mut rng) {
+            let drafts = SbeProcess::default().sample(&mut rng);
+            payloads.reserve(drafts.len());
+            heap.reserve(drafts.len());
+            for d in drafts {
                 if d.time < window {
                     push(
                         &mut heap,
@@ -175,7 +322,10 @@ impl Simulator {
         }
         if cfg.enable_software {
             let mut rng = streams.stream(StreamTag::SoftwareXid);
-            for inc in SoftwareXidModel::default().sample(&mut rng) {
+            let incidents = SoftwareXidModel::default().sample(&mut rng);
+            payloads.reserve(incidents.len());
+            heap.reserve(incidents.len());
+            for inc in incidents {
                 if inc.time < window {
                     push(
                         &mut heap,
@@ -205,10 +355,10 @@ impl Simulator {
         let mut cascade_rng = streams.stream(StreamTag::Cascade);
         let mut spare_rng = streams.stream(StreamTag::HotSpare);
 
-        let mut node_job: Vec<u32> = vec![NO_JOB; TOTAL_SLOTS];
-        let mut job_state: Vec<JobState> = vec![JobState::default(); schedule.jobs.len()];
-        let mut active_jobs: Vec<u32> = Vec::new();
+        let mut jobs = JobTable::new(schedule.jobs.len());
         let mut swap_pending: Vec<bool> = vec![false; fleet.n_cards()];
+        // Scratch for the weighted job pick, reused across soft events.
+        let mut weight_scratch: Vec<f64> = Vec::new();
 
         let mut out = SimOutput {
             schedule_dropped: schedule.dropped,
@@ -217,42 +367,27 @@ impl Simulator {
         out.truth.sbe_by_card = vec![0; fleet.n_cards()];
         out.truth.sbe_by_slot = vec![0; titan_topology::COMPUTE_NODES];
         out.truth.sbe_by_structure = vec![0; MemoryStructure::ECC_COUNTED.len()];
+        // Most payload events emit at most one console line; job-wide
+        // soft events add a line per job node on top.
+        out.console.reserve(payloads.len());
+        out.jobs.reserve(schedule.jobs.len());
+        out.job_sbe.reserve(schedule.jobs.len());
 
         // --- Event loop --------------------------------------------------
         while let Some(Reverse((t, _class, seq))) = heap.pop() {
             if t >= window {
-                // Clamp: everything at/after the horizon is dropped; job
-                // ends were generated clamped to the window already.
-                if t > window {
-                    continue;
-                }
+                // Horizon: everything at/after the window is dropped.
+                // Jobs still running are closed at `window` after the
+                // loop; nothing else may land in the log.
+                continue;
             }
-            let ev = payloads[seq as usize].clone();
+            let ev = payloads[seq as usize];
             match ev {
                 Ev::JobStart(j) => {
-                    let job = &schedule.jobs[j as usize];
-                    let st = &mut job_state[j as usize];
-                    st.started = true;
-                    st.actual_end = job.end;
-                    let mut pre = Vec::with_capacity(job.nodes.len());
-                    for n in &job.nodes {
-                        node_job[n.0 as usize] = j;
-                        pre.push(reported_sbe_vector(&fleet, *n));
-                    }
-                    st.pre_sbe = Some(pre);
-                    active_jobs.push(j);
+                    jobs.start(j, &schedule.jobs[j as usize], &fleet);
                 }
                 Ev::JobEnd(j) => {
-                    end_job(
-                        j,
-                        t,
-                        &schedule,
-                        &mut job_state,
-                        &mut node_job,
-                        &mut active_jobs,
-                        &fleet,
-                        &mut out,
-                    );
+                    jobs.end(j, t, &schedule, &fleet, &mut out);
                 }
                 Ev::Dbe {
                     structure,
@@ -262,12 +397,15 @@ impl Simulator {
                     let slot = fleet.pick_dbe_slot(&mut sim_rng);
                     let node = fleet.node_of_slot(slot);
                     let card = fleet.card_at_slot(slot);
-                    let apid = apid_at(&schedule, &node_job, node);
+                    let apid = jobs.apid_at(&schedule, node);
 
-                    let decision =
-                        fleet
-                            .card_mut(card)
-                            .apply_dbe(structure, page, persisted);
+                    // Page-retirement state may only change once the
+                    // Jan'14 driver exists (satellite bugfix: the gate
+                    // is on the state itself, not just the record).
+                    let retirement_active = t >= calibration::retirement_xid_introduced();
+                    let decision = fleet
+                        .card_mut(card)
+                        .apply_dbe(structure, page, persisted, retirement_active);
                     out.console.push(ConsoleEvent {
                         time: t,
                         node,
@@ -286,33 +424,22 @@ impl Simulator {
                     });
 
                     // Crash the job and reboot the node.
-                    if let Some(j) = job_at(&node_job, node) {
-                        end_job(
-                            j,
-                            t,
-                            &schedule,
-                            &mut job_state,
-                            &mut node_job,
-                            &mut active_jobs,
-                            &fleet,
-                            &mut out,
-                        );
+                    if let Some(j) = jobs.job_at(node) {
+                        jobs.end(j, t, &schedule, &fleet, &mut out);
                     }
                     fleet.card_mut(card).inforom.driver_reload(persisted);
 
-                    // Page retirement (post-Jan'14 driver only).
-                    if t >= calibration::retirement_xid_introduced() {
-                        if let RetireDecision::Retired(cause) = decision {
-                            schedule_retirement(
-                                t,
-                                card,
-                                cause,
-                                &mut heap,
-                                &mut payloads,
-                                &mut cascade_rng,
-                                &mut out,
-                            );
-                        }
+                    if let RetireDecision::Retired(cause) = decision {
+                        schedule_retirement(
+                            t,
+                            window,
+                            card,
+                            cause,
+                            &mut heap,
+                            &mut payloads,
+                            &mut cascade_rng,
+                            &mut out,
+                        );
                     }
 
                     // Cascade children (XID 45 and friends).
@@ -326,7 +453,9 @@ impl Simulator {
                         heap.push(Reverse((t + child.delay, 1, seq2)));
                     }
 
-                    // Hot-spare policy.
+                    // Hot-spare policy. The schedule-time checks are a
+                    // cheap gate; the authoritative checks re-run when
+                    // the swap fires (see Ev::Swap).
                     if cfg.enable_hot_spare_policy
                         && fleet.card(card).lifetime_dbe >= calibration::CARD_PULL_DBE_THRESHOLD
                         && !swap_pending[card as usize]
@@ -334,7 +463,7 @@ impl Simulator {
                     {
                         swap_pending[card as usize] = true;
                         let seq2 = payloads.len() as u64;
-                        payloads.push(Ev::Swap { slot });
+                        payloads.push(Ev::Swap { slot, card });
                         // Next maintenance window: 24 h later.
                         heap.push(Reverse((t + 24 * 3600, 1, seq2)));
                     }
@@ -345,7 +474,7 @@ impl Simulator {
                     };
                     let node = fleet.node_of_slot(slot);
                     let card = fleet.card_at_slot(slot);
-                    let apid = apid_at(&schedule, &node_job, node);
+                    let apid = jobs.apid_at(&schedule, node);
                     fleet.mark_otb_done(card);
                     out.console.push(ConsoleEvent {
                         time: t,
@@ -360,17 +489,8 @@ impl Simulator {
                         node,
                         card,
                     });
-                    if let Some(j) = job_at(&node_job, node) {
-                        end_job(
-                            j,
-                            t,
-                            &schedule,
-                            &mut job_state,
-                            &mut node_job,
-                            &mut active_jobs,
-                            &fleet,
-                            &mut out,
-                        );
+                    if let Some(j) = jobs.job_at(node) {
+                        jobs.end(j, t, &schedule, &fleet, &mut out);
                     }
                     // Node reboots after repair; volatile counters clear.
                     fleet.card_mut(card).inforom.driver_reload(false);
@@ -388,7 +508,7 @@ impl Simulator {
                     let node = fleet.node_of_slot(slot);
                     // Activity thinning: busy GPUs accumulate SBEs faster
                     // (monotone but sublinear — Observation 12).
-                    let accept_p = match job_at(&node_job, node) {
+                    let accept_p = match jobs.job_at(node) {
                         Some(j) => schedule.jobs[j as usize]
                             .spec
                             .gpu_util
@@ -400,7 +520,10 @@ impl Simulator {
                         continue;
                     }
                     let page = hot_page.map(PageAddress);
-                    let decision = fleet.card_mut(card).apply_sbe(structure, page);
+                    let retirement_active = t >= calibration::retirement_xid_introduced();
+                    let decision = fleet
+                        .card_mut(card)
+                        .apply_sbe(structure, page, retirement_active);
                     out.truth.sbe_by_card[card as usize] += 1;
                     out.truth.sbe_by_slot[slot as usize] += 1;
                     if let Some(i) = MemoryStructure::ECC_COUNTED
@@ -409,32 +532,36 @@ impl Simulator {
                     {
                         out.truth.sbe_by_structure[i] += 1;
                     }
-                    if t >= calibration::retirement_xid_introduced() {
-                        if let RetireDecision::Retired(cause) = decision {
-                            schedule_retirement(
-                                t,
-                                card,
-                                cause,
-                                &mut heap,
-                                &mut payloads,
-                                &mut cascade_rng,
-                                &mut out,
-                            );
-                        }
+                    if let RetireDecision::Retired(cause) = decision {
+                        schedule_retirement(
+                            t,
+                            window,
+                            card,
+                            cause,
+                            &mut heap,
+                            &mut payloads,
+                            &mut cascade_rng,
+                            &mut out,
+                        );
                     }
                 }
                 Ev::Soft { kind, job_wide } => {
                     if job_wide {
                         // Strike a running job, debug runs 8x as likely.
-                        let Some(&j) = weighted_job_pick(&active_jobs, &schedule, &mut sim_rng)
-                        else {
+                        let Some(&j) = weighted_job_pick(
+                            &jobs.active,
+                            &schedule,
+                            &mut sim_rng,
+                            &mut weight_scratch,
+                        ) else {
                             out.truth.software_skipped += 1;
                             continue;
                         };
                         let job = &schedule.jobs[j as usize];
                         let apid = Some(job.spec.apid);
                         // "errors appear on all the nodes allocated to the
-                        // job within five seconds".
+                        // job within five seconds" — clamped to the study
+                        // horizon like every other console record.
                         for (k, n) in job.nodes.iter().enumerate() {
                             let skew = if k == 0 {
                                 0
@@ -442,7 +569,7 @@ impl Simulator {
                                 sim_rng.gen_range(0..=calibration::APP_XID_NODE_SPREAD_SEC)
                             };
                             out.console.push(ConsoleEvent {
-                                time: t + skew,
+                                time: (t + skew).min(window - 1),
                                 node: *n,
                                 kind,
                                 structure: None,
@@ -470,30 +597,21 @@ impl Simulator {
                             heap.push(Reverse((t + child.delay, 1, seq2)));
                         }
                         if kind.crashes_application() {
-                            end_job(
-                                j,
-                                t,
-                                &schedule,
-                                &mut job_state,
-                                &mut node_job,
-                                &mut active_jobs,
-                                &fleet,
-                                &mut out,
-                            );
+                            jobs.end(j, t, &schedule, &fleet, &mut out);
                         }
                     } else {
                         // Driver-level: one node, busy nodes preferred.
-                        let node = match pick_any_job_node(&active_jobs, &schedule, &mut sim_rng)
-                        {
-                            Some(n) => n,
-                            None => {
-                                // Idle machine: any compute node.
-                                let slot =
-                                    sim_rng.gen_range(0..titan_topology::COMPUTE_NODES as u32);
-                                fleet.node_of_slot(slot)
-                            }
-                        };
-                        let apid = apid_at(&schedule, &node_job, node);
+                        let node =
+                            match pick_any_job_node(&jobs.active, &schedule, &mut sim_rng) {
+                                Some(n) => n,
+                                None => {
+                                    // Idle machine: any compute node.
+                                    let slot = sim_rng
+                                        .gen_range(0..titan_topology::COMPUTE_NODES as u32);
+                                    fleet.node_of_slot(slot)
+                                }
+                            };
+                        let apid = jobs.apid_at(&schedule, node);
                         out.console.push(ConsoleEvent {
                             time: t,
                             node,
@@ -512,17 +630,8 @@ impl Simulator {
                             heap.push(Reverse((t + child.delay, 1, seq2)));
                         }
                         if kind.crashes_application() {
-                            if let Some(j) = job_at(&node_job, node) {
-                                end_job(
-                                    j,
-                                    t,
-                                    &schedule,
-                                    &mut job_state,
-                                    &mut node_job,
-                                    &mut active_jobs,
-                                    &fleet,
-                                    &mut out,
-                                );
+                            if let Some(j) = jobs.job_at(node) {
+                                jobs.end(j, t, &schedule, &fleet, &mut out);
                             }
                         }
                     }
@@ -541,7 +650,7 @@ impl Simulator {
                     // The card may have moved to the spare pool meanwhile.
                     if let Some(slot) = fleet.slot_of_card(card) {
                         let node = fleet.node_of_slot(slot);
-                        let apid = apid_at(&schedule, &node_job, node);
+                        let apid = jobs.apid_at(&schedule, node);
                         out.console.push(ConsoleEvent {
                             time: t,
                             node,
@@ -552,7 +661,15 @@ impl Simulator {
                         });
                     }
                 }
-                Ev::Swap { slot } => {
+                Ev::Swap { slot, card } => {
+                    // The schedule is 24 h stale by now: re-verify before
+                    // pulling anything, and clear the pending flag either
+                    // way so the card can be re-scheduled later (e.g. when
+                    // no spare was available at fire time).
+                    swap_pending[card as usize] = false;
+                    if !swap_fire_check(&fleet, slot, card) {
+                        continue;
+                    }
                     if let Some((old_card, new_card)) = fleet.swap_out(slot) {
                         // Hot-spare stress testing: burn the pulled card
                         // in under accelerated load. Its latent DBE
@@ -580,18 +697,9 @@ impl Simulator {
         }
 
         // End any jobs still running at the horizon.
-        let still_active: Vec<u32> = active_jobs.clone();
+        let still_active: Vec<u32> = jobs.active.clone();
         for j in still_active {
-            end_job(
-                j,
-                window,
-                &schedule,
-                &mut job_state,
-                &mut node_job,
-                &mut active_jobs,
-                &fleet,
-                &mut out,
-            );
+            jobs.end(j, window, &schedule, &fleet, &mut out);
         }
 
         // Aprun structure for every completed job (the ALPS log). Uses a
@@ -649,36 +757,40 @@ fn reported_sbe_vector(fleet: &Fleet, node: NodeId) -> [u64; 5] {
     v
 }
 
-fn job_at(node_job: &[u32], node: NodeId) -> Option<u32> {
-    let j = node_job[node.0 as usize];
-    (j != NO_JOB).then_some(j)
-}
-
-fn apid_at(schedule: &WorkloadSchedule, node_job: &[u32], node: NodeId) -> Option<u64> {
-    job_at(node_job, node).map(|j| schedule.jobs[j as usize].spec.apid)
+/// Fire-time validation for a scheduled hot-spare swap. The swap was
+/// scheduled a maintenance window (24 h) earlier against the card that
+/// crossed the pull threshold; by fire time the slot may have been
+/// serviced already (pulling whoever occupies it now would pull an
+/// innocent replacement), and the spare pool may have drained. Pull only
+/// if the *offending card* still occupies the slot, is still over the
+/// threshold, and a spare is available now.
+fn swap_fire_check(fleet: &Fleet, slot: u32, card: u32) -> bool {
+    fleet.slot_of_card(card) == Some(slot)
+        && fleet.card(card).lifetime_dbe >= calibration::CARD_PULL_DBE_THRESHOLD
+        && fleet.n_spares() > 0
 }
 
 /// Picks an active job for an application XID: debug runs weighted 20:1
 /// (graphics engine exceptions overwhelmingly come from code under
 /// development, per the paper's "debug and test runs" reading).
+/// `weights` is caller-provided scratch, reused across calls.
 fn weighted_job_pick<'a>(
     active: &'a [u32],
     schedule: &WorkloadSchedule,
     rng: &mut StdRng,
+    weights: &mut Vec<f64>,
 ) -> Option<&'a u32> {
     if active.is_empty() {
         return None;
     }
-    let weights: Vec<f64> = active
-        .iter()
-        .map(|&j| {
-            if schedule.jobs[j as usize].spec.is_debug {
-                20.0
-            } else {
-                1.0
-            }
-        })
-        .collect();
+    weights.clear();
+    weights.extend(active.iter().map(|&j| {
+        if schedule.jobs[j as usize].spec.is_debug {
+            20.0
+        } else {
+            1.0
+        }
+    }));
     let total: f64 = weights.iter().sum();
     let mut x = rng.gen::<f64>() * total;
     for (i, w) in weights.iter().enumerate() {
@@ -705,10 +817,14 @@ fn pick_any_job_node(
 }
 
 /// Schedules the XID 63 console record for a retirement, honouring the
-/// prompt / delayed / missing split of Fig. 8.
+/// prompt / delayed / missing split of Fig. 8. A record whose delay
+/// carries it past the study horizon can never appear in the console
+/// log, so truth records it as unemitted (satellite bugfix: truth and
+/// console must agree at the horizon).
 #[allow(clippy::too_many_arguments)]
 fn schedule_retirement(
     t: SimTime,
+    window: SimTime,
     card: u32,
     cause: RetirementCause,
     heap: &mut BinaryHeap<Reverse<(SimTime, u8, u64)>>,
@@ -740,6 +856,7 @@ fn schedule_retirement(
         // bookkeeping, no crash race).
         RetirementCause::MultipleSingleBitErrors => (true, rng.gen_range(1..120)),
     };
+    let emitted = emitted && t + delay < window;
     out.truth.retirements.push(RetireTruth {
         time: t,
         card,
@@ -753,75 +870,10 @@ fn schedule_retirement(
     }
 }
 
-/// Ends job `j` at `t` (normal completion or crash), producing the job
-/// record and the nvidia-smi prologue/epilogue SBE delta.
-#[allow(clippy::too_many_arguments)]
-fn end_job(
-    j: u32,
-    t: SimTime,
-    schedule: &WorkloadSchedule,
-    job_state: &mut [JobState],
-    node_job: &mut [u32],
-    active_jobs: &mut Vec<u32>,
-    fleet: &Fleet,
-    out: &mut SimOutput,
-) {
-    let st = &mut job_state[j as usize];
-    if !st.started || st.ended {
-        return;
-    }
-    st.ended = true;
-    st.actual_end = t;
-    let job: &ScheduledJob = &schedule.jobs[j as usize];
-    for n in &job.nodes {
-        if node_job[n.0 as usize] == j {
-            node_job[n.0 as usize] = NO_JOB;
-        }
-    }
-    active_jobs.retain(|&x| x != j);
-
-    // nvidia-smi epilogue: per-node SBE delta.
-    let pre = st.pre_sbe.take().unwrap_or_default();
-    let mut per_node_sbe = Vec::with_capacity(job.nodes.len());
-    let mut per_structure_sbe = vec![0u64; 5];
-    for (n, before) in job.nodes.iter().zip(&pre) {
-        let after = reported_sbe_vector(fleet, *n);
-        let mut node_total = 0;
-        for i in 0..5 {
-            let d = after[i].saturating_sub(before[i]);
-            node_total += d;
-            per_structure_sbe[i] += d;
-        }
-        per_node_sbe.push((*n, node_total));
-    }
-    out.job_sbe.push(JobEccDelta {
-        apid: job.spec.apid,
-        per_node_sbe,
-        per_structure_sbe,
-    });
-
-    // Job log record with *actual* runtime.
-    let wall = t.saturating_sub(job.start);
-    let frac = if job.spec.wall == 0 {
-        0.0
-    } else {
-        wall as f64 / job.spec.wall as f64
-    };
-    out.jobs.push(JobRecord {
-        apid: job.spec.apid,
-        user: job.spec.user,
-        nodes: job.nodes.clone(),
-        start: job.start,
-        end: t,
-        gpu_core_hours: job.spec.gpu_core_hours() * frac.min(1.0),
-        max_memory_bytes: job.spec.mem_max_bytes,
-        total_memory_byte_hours: job.spec.total_memory_byte_hours() * frac.min(1.0),
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     fn quick_run(days: u64, seed: u64) -> SimOutput {
         Simulator::new(SimConfig::quick(days, seed))
@@ -846,15 +898,13 @@ mod tests {
     }
 
     #[test]
-    fn console_sorted_and_in_window() {
+    fn console_sorted_and_strictly_inside_window() {
         let out = quick_run(20, 3);
         assert!(out.console.windows(2).all(|w| w[0].time <= w[1].time));
-        // Children may land slightly past a crash but never past the
-        // horizon + max skew.
-        assert!(out
-            .console
-            .iter()
-            .all(|e| e.time <= 20 * 86_400 + calibration::APP_XID_NODE_SPREAD_SEC));
+        // The horizon rule is strict: job-wide skew is clamped and heap
+        // events at/after the window are dropped, so nothing may land at
+        // or past it.
+        assert!(out.console.iter().all(|e| e.time < 20 * 86_400));
     }
 
     #[test]
@@ -939,6 +989,180 @@ mod tests {
         }
         for r in &out.truth.retirements {
             assert!(r.time >= cut);
+        }
+    }
+
+    /// Regression (pre-Jan'14 state): before the driver feature exists,
+    /// not only must no retirement *record* appear — the cards' page
+    /// tables themselves must stay empty. Previously `apply_dbe` /
+    /// `apply_sbe` mutated retirement state unconditionally and only the
+    /// console record was gated, so snapshots of a pre-Jan'14 window
+    /// showed retired pages months before the feature shipped.
+    #[test]
+    fn pre_jan14_window_has_zero_retired_pages_in_snapshots() {
+        let days = 200;
+        assert!(days * 86_400 < calibration::retirement_xid_introduced());
+        let out = quick_run(days, 17);
+        // DBEs on device memory did happen — the retirement trigger was
+        // exercised, not just absent.
+        assert!(out
+            .truth
+            .dbe
+            .iter()
+            .any(|d| d.structure == MemoryStructure::DeviceMemory));
+        assert!(out.truth.retirements.is_empty());
+        for s in &out.final_snapshots {
+            assert_eq!(
+                s.retired_pages,
+                (0, 0),
+                "node {:?} retired pages before the Jan'14 driver",
+                s.node
+            );
+        }
+    }
+
+    /// Regression (horizon truth/console agreement): every retirement
+    /// truth record marked `emitted` must have exactly one XID 63 line
+    /// in the console log. Previously a record whose delay landed past
+    /// the window was dropped silently while truth still claimed it.
+    /// (Hot-spare policy off so no card leaves production, the one other
+    /// legitimate way a scheduled record can vanish.)
+    #[test]
+    fn emitted_retirements_all_have_console_records() {
+        let mut cfg = SimConfig::quick(300, 41);
+        cfg.enable_hot_spare_policy = false;
+        let out = Simulator::new(cfg).unwrap().run();
+        assert!(!out.truth.retirements.is_empty(), "no retirements in 300 days");
+        let emitted = out.truth.retirements.iter().filter(|r| r.emitted).count();
+        let records = out
+            .console_of_kind(GpuErrorKind::EccPageRetirement)
+            .len();
+        assert_eq!(
+            emitted, records,
+            "truth claims {emitted} emitted records, console has {records}"
+        );
+    }
+
+    /// Regression (horizon rule in schedule_retirement): a retirement
+    /// right at the edge of the window can never emit — its record
+    /// would land at/after the horizon.
+    #[test]
+    fn retirement_at_window_edge_is_marked_unemitted() {
+        let mut heap = BinaryHeap::new();
+        let mut payloads: Vec<Ev> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut out = SimOutput::default();
+        let window = 86_400;
+        // The two-SBE path always wants to record, with delay ≥ 1 — at
+        // t = window - 1 the record must be suppressed and truth must
+        // say so.
+        schedule_retirement(
+            window - 1,
+            window,
+            7,
+            RetirementCause::MultipleSingleBitErrors,
+            &mut heap,
+            &mut payloads,
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out.truth.retirements.len(), 1);
+        assert!(!out.truth.retirements[0].emitted);
+        assert!(heap.is_empty(), "no console record may be scheduled");
+        // Far from the horizon the same path emits.
+        schedule_retirement(
+            1000,
+            window,
+            7,
+            RetirementCause::MultipleSingleBitErrors,
+            &mut heap,
+            &mut payloads,
+            &mut rng,
+            &mut out,
+        );
+        assert!(out.truth.retirements[1].emitted);
+        assert_eq!(heap.len(), 1);
+    }
+
+    /// Regression (hot-spare swap mis-targeting): a swap scheduled for
+    /// card A in slot S must not fire if the slot was serviced in the
+    /// meantime — the card now in S is an innocent replacement.
+    #[test]
+    fn swap_fire_check_rejects_stale_schedules() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fleet = Fleet::new(4, &mut rng);
+        let slot = 10;
+        let offender = fleet.card_at_slot(slot);
+        // Offender crosses the pull threshold.
+        for _ in 0..calibration::CARD_PULL_DBE_THRESHOLD {
+            fleet
+                .card_mut(offender)
+                .apply_dbe(MemoryStructure::DeviceMemory, None, true, true);
+        }
+        assert!(
+            swap_fire_check(&fleet, slot, offender),
+            "live schedule must pass"
+        );
+
+        // Slot serviced before the maintenance window fires: the
+        // offender leaves, a spare moves in.
+        let (old, replacement) = fleet.swap_out(slot).unwrap();
+        assert_eq!(old, offender);
+        // The stale schedule must now be rejected: the offender is gone
+        // and the replacement must not be pulled in its stead.
+        assert!(
+            !swap_fire_check(&fleet, slot, offender),
+            "stale schedule pulled an innocent card"
+        );
+        assert_eq!(fleet.card_at_slot(slot), replacement);
+        assert_eq!(fleet.card(replacement).lifetime_dbe, 0);
+    }
+
+    /// Fire-time spare-pool check: a swap scheduled while spares existed
+    /// must not fire after the pool drained.
+    #[test]
+    fn swap_fire_check_requires_spares_at_fire_time() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut fleet = Fleet::new(1, &mut rng);
+        let slot = 3;
+        let offender = fleet.card_at_slot(slot);
+        for _ in 0..calibration::CARD_PULL_DBE_THRESHOLD {
+            fleet
+                .card_mut(offender)
+                .apply_dbe(MemoryStructure::DeviceMemory, None, true, true);
+        }
+        assert!(swap_fire_check(&fleet, slot, offender));
+        // Another slot consumes the last spare first.
+        fleet.swap_out(77).unwrap();
+        assert_eq!(fleet.n_spares(), 0);
+        assert!(
+            !swap_fire_check(&fleet, slot, offender),
+            "swap fired with an empty spare pool"
+        );
+    }
+
+    /// Engine-level invariant: every executed swap pulled a card that
+    /// had crossed the DBE pull threshold by the swap time (no innocent
+    /// replacement is ever pulled).
+    #[test]
+    fn every_swap_pulls_a_threshold_offender() {
+        let mut cfg = SimConfig::quick(120, 23);
+        cfg.enable_hot_spare_policy = true;
+        let out = Simulator::new(cfg).unwrap().run();
+        for s in &out.truth.swaps {
+            let dbe_before_swap = out
+                .truth
+                .dbe
+                .iter()
+                .filter(|d| d.card == s.old_card && d.time <= s.time)
+                .count() as u32;
+            assert!(
+                dbe_before_swap >= calibration::CARD_PULL_DBE_THRESHOLD,
+                "swap at t={} pulled card {} with only {} DBEs",
+                s.time,
+                s.old_card,
+                dbe_before_swap
+            );
         }
     }
 

@@ -15,6 +15,12 @@
 //! - **D3** — `partial_cmp()` + `unwrap`/`expect` inside a comparator
 //!   (`sort_by`, `max_by`, `min_by`, `binary_search_by`): panics on
 //!   NaN and imposes no total order. Use `f64::total_cmp`.
+//! - **D4** — threading primitives (`rayon`, `std::thread`,
+//!   `into_par_iter`, `scope_map`) are forbidden in non-test code of
+//!   *engine* crates (the simulation producers). Parallelism only ever
+//!   runs **across** independent simulations — the replication runner
+//!   and the analysis side may fan out; the event loop itself must stay
+//!   single-threaded or per-run byte-identity dies.
 //! - **P1** — a ratcheting `.unwrap()` / `panic!` budget per crate,
 //!   persisted in `crates/xtask/lint-baseline.toml`; counts may only
 //!   go down.
@@ -35,6 +41,14 @@ pub const SIM_CRATE_DIRS: &[&str] = &[
     "core", "simulator", "faults", "gpu", "workload", "topology", "conlog", "nvsmi",
 ];
 
+/// Crates that *produce* simulation output — the D4 scope. Strictly the
+/// engine side: `core` orchestrates already-produced output and may use
+/// the pool for its figure computations, and `runner` exists to fan
+/// whole simulations across threads; neither may appear here.
+pub const ENGINE_CRATE_DIRS: &[&str] = &[
+    "simulator", "faults", "gpu", "workload", "topology", "conlog", "nvsmi",
+];
+
 /// Lint rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
@@ -44,6 +58,8 @@ pub enum Rule {
     D2,
     /// NaN-unsafe float comparator.
     D3,
+    /// Threading primitive inside an engine crate.
+    D4,
     /// Unwrap/panic budget regression.
     P1,
 }
@@ -54,6 +70,7 @@ impl fmt::Display for Rule {
             Rule::D1 => "D1",
             Rule::D2 => "D2",
             Rule::D3 => "D3",
+            Rule::D4 => "D4",
             Rule::P1 => "P1",
         };
         write!(f, "{s}")
@@ -97,6 +114,19 @@ const D1_TOKENS: &[(&str, &str)] = &[
     ("rand::random", "rand::random()"),
 ];
 
+/// D4 forbidden tokens: any road into the thread pool or raw threads.
+/// `std::thread` as a token also nets `spawn`/`scope`/`sleep` through
+/// the canonical path; direct `thread::spawn`/`thread::scope` catch the
+/// `use std::thread;` spelling.
+const D4_TOKENS: &[(&str, &str)] = &[
+    ("rayon", "the rayon thread pool"),
+    ("std::thread", "std::thread"),
+    ("thread::spawn", "thread::spawn"),
+    ("thread::scope", "thread::scope"),
+    ("into_par_iter", "a parallel iterator"),
+    ("scope_map(", "the pool's scope_map"),
+];
+
 /// Comparator call sites D3 inspects.
 const D3_CONTEXTS: &[&str] = &[
     "sort_by",
@@ -123,9 +153,9 @@ struct Line<'a> {
     in_test: bool,
 }
 
-/// Scans one source file. `sim_scope` turns on D1/D2; D3 and the P1
-/// count always run.
-pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool) -> FileScan {
+/// Scans one source file. `sim_scope` turns on D1/D2, `engine_scope`
+/// turns on D4; D3 and the P1 count always run.
+pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool, engine_scope: bool) -> FileScan {
     let lines = preprocess(text);
     let mut out = FileScan::default();
 
@@ -163,6 +193,29 @@ pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool) -> FileScan {
                                `// lint: sorted-iter`"
                             .to_string(),
                     });
+                }
+            }
+        }
+
+        // D4: non-test engine code must never thread. Tests may spawn
+        // (e.g. racing two sims to prove independence); the event loop
+        // and its models may not.
+        if engine_scope && !line.in_test {
+            for (token, name) in D4_TOKENS {
+                if line.code.contains(token) {
+                    out.findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        rule: Rule::D4,
+                        message: format!(
+                            "{name} inside an engine crate — parallelism is only \
+                             allowed across independent simulations"
+                        ),
+                        hint: "keep the event loop single-threaded; fan out whole runs \
+                               via titan-runner::replicate instead"
+                            .to_string(),
+                    });
+                    break; // one finding per line is enough
                 }
             }
         }
@@ -328,6 +381,7 @@ pub struct CrateTarget {
     pub name: String,
     pub src_dir: PathBuf,
     pub sim_scope: bool,
+    pub engine_scope: bool,
 }
 
 /// Finds the workspace root by walking up from `start` to a Cargo.toml
@@ -372,6 +426,7 @@ pub fn workspace_targets(root: &Path) -> std::io::Result<Vec<CrateTarget>> {
             name: crate_name(&dir.join("Cargo.toml")).unwrap_or(dirname.clone()),
             src_dir: src,
             sim_scope: SIM_CRATE_DIRS.contains(&dirname.as_str()),
+            engine_scope: ENGINE_CRATE_DIRS.contains(&dirname.as_str()),
         });
     }
     // The root façade package (examples + CLI). Not a sim crate: it
@@ -382,6 +437,7 @@ pub fn workspace_targets(root: &Path) -> std::io::Result<Vec<CrateTarget>> {
             name: crate_name(&root.join("Cargo.toml")).unwrap_or("root".into()),
             src_dir: root_src,
             sim_scope: false,
+            engine_scope: false,
         });
     }
     Ok(out)
@@ -541,7 +597,7 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport>
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let scan = scan_file(&rel, &text, target.sim_scope);
+            let scan = scan_file(&rel, &text, target.sim_scope, target.engine_scope);
             report.findings.extend(scan.findings);
             crate_count += scan.unwrap_panic;
             report.files_scanned += 1;
@@ -591,7 +647,11 @@ mod tests {
     use super::*;
 
     fn findings(text: &str, sim: bool) -> Vec<Rule> {
-        scan_file("test.rs", text, sim).findings.iter().map(|f| f.rule).collect()
+        scan_file("test.rs", text, sim, false).findings.iter().map(|f| f.rule).collect()
+    }
+
+    fn engine_findings(text: &str) -> Vec<Rule> {
+        scan_file("test.rs", text, true, true).findings.iter().map(|f| f.rule).collect()
     }
 
     #[test]
@@ -626,7 +686,7 @@ mod tests {
                    }\n\
                    fn after() { let m = std::collections::HashMap::<u8, u8>::new(); }\n";
         // Only the HashMap *after* the test module fires.
-        let scan = scan_file("test.rs", src, true);
+        let scan = scan_file("test.rs", src, true, false);
         assert_eq!(scan.findings.len(), 1);
         assert_eq!(scan.findings[0].line, 7);
     }
@@ -673,6 +733,34 @@ mod tests {
     }
 
     #[test]
+    fn d4_flags_threading_in_engine_scope_only() {
+        let src = "fn f() { rayon::join(|| a(), || b()); }\n\
+                   fn g() { std::thread::spawn(|| {}); }\n\
+                   fn h() { let v = items.into_par_iter().collect(); }\n";
+        assert_eq!(engine_findings(src), vec![Rule::D4, Rule::D4, Rule::D4]);
+        // The same code is fine outside the engine scope (core, runner,
+        // analysis-side crates).
+        assert!(findings(src, true).is_empty());
+    }
+
+    #[test]
+    fn d4_exempts_test_modules_and_comments() {
+        let src = "// rayon would be wrong here\n\
+                   fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn race() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n\
+                   }\n";
+        assert!(engine_findings(src).is_empty());
+    }
+
+    #[test]
+    fn d4_one_finding_per_line() {
+        let src = "fn f() { rayon::scope_map(v, std::thread::available_parallelism(), g); }\n";
+        assert_eq!(engine_findings(src), vec![Rule::D4]);
+    }
+
+    #[test]
     fn p1_counts_non_test_unwrap_and_panic() {
         let src = "fn f() { x.unwrap(); panic!(\"boom\"); }\n\
                    fn g() { y.unwrap_or(0); }\n\
@@ -680,7 +768,7 @@ mod tests {
                    mod tests {\n\
                        fn t() { z.unwrap(); panic!(); }\n\
                    }\n";
-        let scan = scan_file("test.rs", src, false);
+        let scan = scan_file("test.rs", src, false, false);
         // unwrap_or must not count; the test module must not count.
         assert_eq!(scan.unwrap_panic, 2);
     }

@@ -160,6 +160,45 @@ fn p1_budget_ratchets() {
 }
 
 #[test]
+fn injected_d4_violation_fails_in_engine_crate_only() {
+    let root = scaffold("lint_d4");
+    let src = "pub fn go() { rayon::join(|| 1, || 2); }\n";
+    fs::write(root.join("crates/simulator/src/par.rs"), src).unwrap();
+    let found = lint(&root, &zero_baseline());
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].0, Rule::D4);
+    assert!(found[0].1.ends_with("par.rs:1"), "got {}", found[0].1);
+
+    // The same code outside the engine scope (stats) is fine: the
+    // analysis side may fan out.
+    let root2 = scaffold("lint_d4_stats");
+    fs::write(root2.join("crates/stats/src/par.rs"), src).unwrap();
+    assert!(lint(&root2, &zero_baseline()).is_empty());
+}
+
+/// The satellite guarantee: the *real* engine crates (the simulator and
+/// everything it builds on) contain no thread-pool or raw-thread call
+/// outside test code — `Simulator::run` cannot reach a thread. The
+/// whole-tree lint above CI enforces the same thing; this pins it from
+/// the test suite so a green `cargo test` implies it too.
+#[test]
+fn real_engine_crates_have_no_threading() {
+    let root = xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let baseline_text =
+        fs::read_to_string(root.join("crates/xtask/lint-baseline.toml")).expect("baseline");
+    let baseline = Baseline::parse(&baseline_text).expect("parse baseline");
+    let report = run_lint(&root, &baseline).expect("scan");
+    let d4: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::D4)
+        .map(|f| format!("{}:{}", f.file, f.line))
+        .collect();
+    assert!(d4.is_empty(), "threading inside engine crates: {d4:?}");
+}
+
+#[test]
 fn missing_baseline_entry_is_reported() {
     let root = scaffold("lint_missing_entry");
     let b = Baseline::default(); // no budgets at all

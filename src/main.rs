@@ -7,6 +7,10 @@
 //!                                           exit 1 on any FAIL
 //! titan-repro logs  [--days N] [--seed S] --out DIR
 //!                                           write console/job/aprun logs
+//! titan-repro replicate --seeds N [--threads T] [--days D] [--seed S]
+//!                       [--skip-expectations] [--out FILE.json]
+//!                                           run N seeds in parallel and
+//!                                           report mean/95% CI bands
 //! ```
 //!
 //! Without `--days` the full Jun'13–Feb'15 window runs (about two
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
         "run" => run(&args[1..]),
         "check" => check(&args[1..]),
         "logs" => logs(&args[1..]),
+        "replicate" => replicate(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -53,6 +58,12 @@ commands:
   check [--days N] [--seed S]       run the paper-shape checks; exit 1 on FAIL
   logs  [--days N] [--seed S] --out DIR
                                     write console.log / job.log / aprun.log
+  replicate --seeds N [--threads T] [--days D] [--seed S]
+            [--skip-expectations] [--out FILE.json]
+                                    run N independent seeds across T threads
+                                    (default: all cores) and report mean/95% CI
+                                    bands; per-seed output is byte-identical
+                                    to a sequential run of the same seed
 
 Without --days the full 21-month study window runs (~2 min in release).";
 
@@ -170,6 +181,56 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     println!("{pass} PASS / {weak} WEAK / {fail} FAIL");
     if fail > 0 {
         return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn replicate(args: &[String]) -> Result<ExitCode, String> {
+    let mut days: Option<u64> = None;
+    let mut base_seed: u64 = 0x7174_414E;
+    let mut seeds: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut skip_expectations = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            let v = it.next().ok_or(format!("{name} needs a value"))?;
+            v.parse()
+                .map_err(|_| format!("{name}: `{v}` is not a non-negative integer"))
+        };
+        match flag.as_str() {
+            "--days" => days = Some(num("--days")?),
+            "--seed" => base_seed = num("--seed")?,
+            "--seeds" => seeds = Some(num("--seeds")?),
+            "--threads" => threads = Some(num("--threads")? as usize),
+            "--skip-expectations" => skip_expectations = true,
+            "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let n = seeds.ok_or("replicate requires --seeds N")?;
+    if n == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    let base = match days {
+        Some(d) => StudyConfig::quick(d, base_seed),
+        None => {
+            let mut c = StudyConfig::default();
+            c.sim.seed = base_seed;
+            c
+        }
+    };
+    let threads = threads.unwrap_or_else(titan_runner::recommended_threads);
+    let mut opts = titan_runner::ReplicateOptions::consecutive(base, base_seed, n, threads);
+    opts.skip_expectations = skip_expectations;
+    let report = titan_runner::replicate(&opts)?;
+    print!("{}", titan_runner::render_report(&report));
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serialize report: {e}"))?;
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
     }
     Ok(ExitCode::SUCCESS)
 }
