@@ -1,27 +1,37 @@
 //! `bench_pr2` — machine-readable performance snapshot for the PR 2
-//! trajectory: single-run wall time + events/sec, and replication
-//! scaling (threaded vs sequential multi-seed fan-out).
+//! trajectory: single-run wall time + events/sec, replication scaling
+//! (threaded vs sequential multi-seed fan-out), and the telemetry
+//! overhead of running with metrics collection enabled.
 //!
 //! ```text
-//! cargo run --release -p titan-bench --bin bench_pr2 -- [--quick] [--out BENCH_PR2.json]
+//! cargo run --release -p titan-bench --bin bench_pr2 -- \
+//!     [--quick] [--out BENCH_PR2.json] [--gate-metrics-overhead PCT]
 //! ```
 //!
 //! `--quick` shrinks the windows so CI can afford the run; the JSON
 //! schema is identical, with `"mode"` marking which one produced it.
-//! The speedup number is only meaningful on multi-core hosts —
-//! `host_threads` is recorded so a reader can tell.
+//! The speedup number is only meaningful on multi-core hosts, so the
+//! report records both `host_cores_detected` (what the machine has)
+//! and `pool_threads` (what the pool actually uses — the
+//! `TITAN_NUM_THREADS` override wins when set); earlier revisions
+//! conflated the two as "host_threads".
+//!
+//! `--gate-metrics-overhead PCT` exits nonzero when the metrics-on
+//! wall time exceeds metrics-off by more than PCT percent (min-of-3
+//! each) — CI uses this to keep the observability layer near-free.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use titan_reliability::StudyConfig;
-use titan_runner::{replicate, run_seed, ReplicateOptions};
+use titan_runner::{replicate, run_seed, run_seed_obs, ReplicateOptions};
 use titan_sim::{SimConfig, Simulator};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_path = String::from("BENCH_PR2.json");
+    let mut gate_pct: Option<f64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -33,13 +43,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--gate-metrics-overhead" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(p)) if p >= 0.0 => gate_pct = Some(p),
+                _ => {
+                    eprintln!("--gate-metrics-overhead needs a non-negative percent");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                eprintln!("unknown flag `{other}` (expected --quick, --out FILE)");
+                eprintln!(
+                    "unknown flag `{other}` (expected --quick, --out FILE, \
+                     --gate-metrics-overhead PCT)"
+                );
                 return ExitCode::from(2);
             }
         }
     }
-    match emit(quick, &out_path) {
+    match emit(quick, &out_path, gate_pct) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("bench_pr2: {e}");
@@ -48,7 +68,21 @@ fn main() -> ExitCode {
     }
 }
 
-fn emit(quick: bool, out_path: &str) -> Result<(), String> {
+/// Minimum wall time over `n` runs of `f` — min, not mean, because
+/// scheduling noise only ever adds time.
+fn min_wall<T>(n: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("n >= 1"))
+}
+
+fn emit(quick: bool, out_path: &str, gate_pct: Option<f64>) -> Result<(), String> {
     let seed = 0xBE4C;
     // Single-run measurement: the full study window unless --quick.
     let single_cfg = if quick {
@@ -101,9 +135,25 @@ fn emit(quick: bool, out_path: &str) -> Result<(), String> {
         return Err("replication digests diverged between thread widths".into());
     }
 
-    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Telemetry overhead: the same seed with the obs sink disabled vs
+    // enabled (full pipeline incl. SEC replay + document build),
+    // min-of-3 each so scheduler noise cannot fake a regression.
+    let ov_days = if quick { 15 } else { 60 };
+    let ov_cfg = StudyConfig::quick(ov_days, seed);
+    let runs_each = 3;
+    let (off_wall, off_run) = min_wall(runs_each, || run_seed(&ov_cfg, seed, true));
+    let (on_wall, on_run) = min_wall(runs_each, || run_seed_obs(&ov_cfg, seed, true, true));
+    if off_run.output_digest != on_run.output_digest {
+        return Err("metrics collection perturbed the simulation output".into());
+    }
+    let overhead_pct = (on_wall - off_wall) / off_wall.max(1e-9) * 100.0;
+
+    let host_cores_detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool_threads = rayon::current_num_threads();
     let json = format!(
-        "{{\n  \"pr\": 2,\n  \"mode\": \"{mode}\",\n  \"host_threads\": {host_threads},\n  \
+        "{{\n  \"pr\": 2,\n  \"mode\": \"{mode}\",\n  \
+         \"host_cores_detected\": {host_cores_detected},\n  \
+         \"pool_threads\": {pool_threads},\n  \
          \"single_run\": {{\n    \"window_days\": {single_days},\n    \"seed\": {seed},\n    \
          \"wall_seconds\": {single_wall:.3},\n    \"events\": {events},\n    \
          \"events_per_sec\": {events_per_sec:.0},\n    \
@@ -113,7 +163,12 @@ fn emit(quick: bool, out_path: &str) -> Result<(), String> {
          \"sequential_wall_seconds\": {seq_wall:.3},\n    \
          \"parallel_threads\": {par_threads},\n    \
          \"parallel_wall_seconds\": {par_wall:.3},\n    \
-         \"speedup\": {speedup:.2},\n    \"digests_match\": true\n  }}\n}}\n",
+         \"speedup\": {speedup:.2},\n    \"digests_match\": true\n  }},\n  \
+         \"metrics_overhead\": {{\n    \"window_days\": {ov_days},\n    \
+         \"runs_each\": {runs_each},\n    \
+         \"metrics_off_wall_seconds\": {off_wall:.3},\n    \
+         \"metrics_on_wall_seconds\": {on_wall:.3},\n    \
+         \"overhead_pct\": {overhead_pct:.2},\n    \"digests_match\": true\n  }}\n}}\n",
         mode = if quick { "quick" } else { "full" },
         console = output.console.len(),
         jobs = output.jobs.len(),
@@ -122,5 +177,14 @@ fn emit(quick: bool, out_path: &str) -> Result<(), String> {
     std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
     println!("{json}");
     println!("wrote {out_path}");
+    if let Some(gate) = gate_pct {
+        if overhead_pct > gate {
+            return Err(format!(
+                "metrics overhead {overhead_pct:.2}% exceeds the {gate:.2}% gate \
+                 (off {off_wall:.3}s, on {on_wall:.3}s)"
+            ));
+        }
+        println!("metrics overhead {overhead_pct:.2}% within the {gate:.2}% gate");
+    }
     Ok(())
 }

@@ -38,5 +38,5 @@ pub mod time;
 pub use format::{parse_line, render_line, ParseStats};
 pub use joblog::{Aprun, JobLogError, JobRecord};
 pub use record::{ConsoleEvent, Severity};
-pub use sec::{SecAction, SecEngine, SecRule};
+pub use sec::{SecAction, SecEngine, SecRule, SecStats};
 pub use time::{SimTime, StudyCalendar, STUDY_MONTHS, STUDY_SECONDS};

@@ -117,6 +117,54 @@ pub fn rules_from_json(text: &str) -> Result<Vec<SecRule>, RuleFileError> {
     serde_json::from_str(text).map_err(|e| RuleFileError(e.to_string()))
 }
 
+/// Pipeline statistics for one engine's lifetime, all in the sim time
+/// domain (pure event counts). Consumed by the observability layer —
+/// `titan-conlog` stays independent of `titan-obs`, so these are plain
+/// numbers the collector copies into the metrics document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SecStats {
+    /// Console events fed through `ingest`.
+    pub events_ingested: u64,
+    /// Alerts emitted (AlertEach + unfolded SuppressRepeats).
+    pub alerts: u64,
+    /// Duplicates folded by SuppressRepeats rules.
+    pub suppressed: u64,
+    /// Per-node threshold alarms raised.
+    pub threshold_alarms: u64,
+    /// Fleet-wide cluster alarms raised.
+    pub cluster_alarms: u64,
+    /// Per-rule match tallies as `(rule description, hits)`, in rule
+    /// order. A hit is an event the rule's kind filter matched,
+    /// whether it alerted or folded.
+    pub rule_hits: Vec<(String, u64)>,
+}
+
+impl SecRule {
+    /// A short stable description used as a metric key, e.g.
+    /// `alert_each_dbe` — snake_case, derived from the rule shape and
+    /// the XID it watches so re-ordering rules never renames metrics.
+    pub fn describe(&self) -> String {
+        fn kind_key(kind: GpuErrorKind) -> String {
+            match kind.xid() {
+                Some(x) => format!("xid{}", x.0),
+                None => format!("{kind:?}").to_lowercase(),
+            }
+        }
+        match *self {
+            SecRule::AlertEach { kind } => format!("alert_each_{}", kind_key(kind)),
+            SecRule::SuppressRepeats { kind, window } => {
+                format!("suppress_repeats_{}_{}s", kind_key(kind), window)
+            }
+            SecRule::Threshold { kind, count } => {
+                format!("threshold_{}_{}", kind_key(kind), count)
+            }
+            SecRule::Cluster { kind, count, window } => {
+                format!("cluster_{}_{}_{}s", kind_key(kind), count, window)
+            }
+        }
+    }
+}
+
 /// Stateful SEC engine. Feed events in nondecreasing time order.
 #[derive(Debug, Clone)]
 pub struct SecEngine {
@@ -126,17 +174,28 @@ pub struct SecEngine {
     fleet_windows: BTreeMap<GpuErrorKind, Vec<SimTime>>,
     /// Suppressed-duplicate tally, exposed for test/ops introspection.
     pub suppressed: u64,
+    events_ingested: u64,
+    alerts: u64,
+    threshold_alarms: u64,
+    cluster_alarms: u64,
+    rule_hits: Vec<u64>,
 }
 
 impl SecEngine {
     /// Builds an engine from a rule list.
     pub fn new(rules: Vec<SecRule>) -> Self {
+        let n_rules = rules.len();
         SecEngine {
             rules,
             last_seen: BTreeMap::new(),
             node_counts: BTreeMap::new(),
             fleet_windows: BTreeMap::new(),
             suppressed: 0,
+            events_ingested: 0,
+            alerts: 0,
+            threshold_alarms: 0,
+            cluster_alarms: 0,
+            rule_hits: vec![0; n_rules],
         }
     }
 
@@ -168,10 +227,13 @@ impl SecEngine {
 
     /// Processes one event, returning any actions it triggers.
     pub fn ingest(&mut self, ev: &ConsoleEvent) -> Vec<SecAction> {
+        self.events_ingested += 1;
         let mut out = Vec::new();
-        for rule in &self.rules {
+        for (i, rule) in self.rules.iter().enumerate() {
             match *rule {
                 SecRule::AlertEach { kind } if kind == ev.kind => {
+                    self.rule_hits[i] += 1;
+                    self.alerts += 1;
                     out.push(SecAction::Alert {
                         time: ev.time,
                         node: ev.node,
@@ -179,6 +241,7 @@ impl SecEngine {
                     });
                 }
                 SecRule::SuppressRepeats { kind, window } if kind == ev.kind => {
+                    self.rule_hits[i] += 1;
                     let key = (ev.node, kind);
                     let dup = self
                         .last_seen
@@ -188,6 +251,7 @@ impl SecEngine {
                     if dup {
                         self.suppressed += 1;
                     } else {
+                        self.alerts += 1;
                         out.push(SecAction::Alert {
                             time: ev.time,
                             node: ev.node,
@@ -196,9 +260,11 @@ impl SecEngine {
                     }
                 }
                 SecRule::Threshold { kind, count } if kind == ev.kind => {
+                    self.rule_hits[i] += 1;
                     let c = self.node_counts.entry((ev.node, kind)).or_insert(0);
                     *c += 1;
                     if *c == count {
+                        self.threshold_alarms += 1;
                         out.push(SecAction::ThresholdAlarm {
                             time: ev.time,
                             node: ev.node,
@@ -208,10 +274,12 @@ impl SecEngine {
                     }
                 }
                 SecRule::Cluster { kind, count, window } if kind == ev.kind => {
+                    self.rule_hits[i] += 1;
                     let w = self.fleet_windows.entry(kind).or_default();
                     w.push(ev.time);
                     w.retain(|&t| ev.time.saturating_sub(t) < window);
                     if w.len() as u32 == count {
+                        self.cluster_alarms += 1;
                         out.push(SecAction::ClusterAlarm {
                             time: ev.time,
                             kind,
@@ -228,6 +296,23 @@ impl SecEngine {
     /// Processes a batch, returning all actions in order.
     pub fn ingest_all(&mut self, events: &[ConsoleEvent]) -> Vec<SecAction> {
         events.iter().flat_map(|e| self.ingest(e)).collect()
+    }
+
+    /// Snapshot of the pipeline statistics accumulated so far.
+    pub fn stats(&self) -> SecStats {
+        SecStats {
+            events_ingested: self.events_ingested,
+            alerts: self.alerts,
+            suppressed: self.suppressed,
+            threshold_alarms: self.threshold_alarms,
+            cluster_alarms: self.cluster_alarms,
+            rule_hits: self
+                .rules
+                .iter()
+                .zip(self.rule_hits.iter())
+                .map(|(r, &h)| (r.describe(), h))
+                .collect(),
+        }
     }
 }
 
@@ -350,6 +435,33 @@ mod tests {
         let mut engine = SecEngine::new(extended);
         let acts = engine.ingest(&ev(1, 0, GpuErrorKind::EccPageRetirement));
         assert_eq!(acts.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_actions_and_suppressions() {
+        let mut e = SecEngine::olcf_default();
+        e.ingest_all(&[
+            ev(1, 0, GpuErrorKind::DoubleBitError),
+            ev(2, 0, GpuErrorKind::DoubleBitError), // threshold alarm at 2
+            ev(10, 1, GpuErrorKind::GraphicsEngineException),
+            ev(11, 1, GpuErrorKind::GraphicsEngineException), // folded
+            ev(100, 2, GpuErrorKind::SingleBitError),         // matches no rule
+        ]);
+        let s = e.stats();
+        assert_eq!(s.events_ingested, 5);
+        // 2 DBE alerts + 1 unfolded XID 13 alert.
+        assert_eq!(s.alerts, 3);
+        assert_eq!(s.suppressed, 1);
+        assert_eq!(s.threshold_alarms, 1);
+        assert_eq!(s.cluster_alarms, 0);
+        // Rule keys are stable and shape-derived.
+        let hits: std::collections::BTreeMap<_, _> = s.rule_hits.iter().cloned().collect();
+        assert_eq!(hits.get("alert_each_xid48"), Some(&2));
+        assert_eq!(hits.get("suppress_repeats_xid13_5s"), Some(&2));
+        assert_eq!(hits.get("threshold_xid48_2"), Some(&2));
+        // Off-the-bus has no XID in the paper's tables; the key falls
+        // back to the variant name.
+        assert_eq!(hits.get("cluster_offthebus_5_86400s"), Some(&0));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use titan_conlog::format::{parse_stream, ParseStats};
 use titan_conlog::{Aprun, ConsoleEvent, JobRecord};
 use titan_nvsmi::{GpuSnapshot, JobEccDelta};
+use titan_obs::Obs;
 use titan_sim::{SimConfig, SimOutput, Simulator};
 
 use crate::figures::Figures;
@@ -76,9 +77,17 @@ impl Study {
 
     /// Runs simulation and the log round trip.
     pub fn run(&self) -> CompletedStudy {
+        self.run_with_obs(&mut Obs::disabled())
+    }
+
+    /// [`run`](Self::run) with a telemetry sink threaded through the
+    /// engine. The sink only observes (see `Simulator::run_with`), so
+    /// this produces the same [`CompletedStudy`] as `run()`.
+    pub fn run_with_obs(&self, obs: &mut Obs) -> CompletedStudy {
         let sim = Simulator::new(self.config.sim.clone())
             .expect("config validated by construction")
-            .run();
+            .run_with(obs);
+        obs.phase("study:render_parse_logs");
         let data = if self.config.skip_text_roundtrip {
             StudyData {
                 console: sim.console.clone(),

@@ -35,6 +35,7 @@ pub mod process;
 pub mod rngstream;
 pub mod software;
 pub mod susceptibility;
+pub mod telemetry;
 
 pub use cascade::CascadeModel;
 pub use hardware::{DbeProcess, OtbProcess, SbeProcess};

@@ -1,0 +1,214 @@
+//! Sim-time draft statistics for the observability layer.
+//!
+//! The fault processes pre-sample their whole windows as draft vectors;
+//! these summarizers fold a draft slice into plain counts so the engine
+//! can publish a "what did the generators draw" section without the
+//! metrics layer ever touching the RNG streams. Everything here is a
+//! pure function of the drafts — running it (or not) cannot perturb a
+//! simulation, which is exactly the property the telemetry determinism
+//! tests pin.
+
+use titan_gpu::MemoryStructure;
+
+use crate::hardware::{DbeDraft, OtbDraft, SbeDraft};
+use crate::software::SoftwareIncident;
+
+/// Counts over a DBE draft slice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DbeDraftStats {
+    /// Drafts in the slice.
+    pub total: u64,
+    /// Strikes on device memory.
+    pub device_memory: u64,
+    /// Strikes on the register file.
+    pub register_file: u64,
+    /// Drafts whose InfoROM write is lost in the crash (Observation 2).
+    pub inforom_lost: u64,
+}
+
+impl DbeDraftStats {
+    /// Folds the slice.
+    pub fn collect<'a>(drafts: impl IntoIterator<Item = &'a DbeDraft>) -> Self {
+        let mut s = DbeDraftStats::default();
+        for d in drafts {
+            s.total += 1;
+            match d.structure {
+                MemoryStructure::DeviceMemory => s.device_memory += 1,
+                MemoryStructure::RegisterFile => s.register_file += 1,
+                _ => {}
+            }
+            if !d.inforom_persisted {
+                s.inforom_lost += 1;
+            }
+        }
+        s
+    }
+}
+
+/// Counts over an off-the-bus draft slice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OtbDraftStats {
+    /// Drafts in the slice.
+    pub total: u64,
+    /// Spontaneous events that seeded a cluster.
+    pub cluster_roots: u64,
+    /// Events drawn as members of an existing cluster.
+    pub cluster_children: u64,
+}
+
+impl OtbDraftStats {
+    /// Folds the slice.
+    pub fn collect<'a>(drafts: impl IntoIterator<Item = &'a OtbDraft>) -> Self {
+        let mut s = OtbDraftStats::default();
+        for d in drafts {
+            s.total += 1;
+            if d.cluster_root {
+                s.cluster_roots += 1;
+            } else {
+                s.cluster_children += 1;
+            }
+        }
+        s
+    }
+}
+
+/// Counts over an SBE draft slice, split by struck structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SbeDraftStats {
+    /// Drafts in the slice.
+    pub total: u64,
+    /// Per-structure counts in [`MemoryStructure::ECC_COUNTED`] order.
+    pub by_structure: [u64; MemoryStructure::ECC_COUNTED.len()],
+}
+
+impl SbeDraftStats {
+    /// Folds the slice. Structures outside `ECC_COUNTED` cannot be
+    /// drawn by the SBE mix; they are counted in `total` only.
+    pub fn collect<'a>(drafts: impl IntoIterator<Item = &'a SbeDraft>) -> Self {
+        let mut s = SbeDraftStats::default();
+        for d in drafts {
+            s.total += 1;
+            if let Some(i) = MemoryStructure::ECC_COUNTED
+                .iter()
+                .position(|&m| m == d.structure)
+            {
+                s.by_structure[i] += 1;
+            }
+        }
+        s
+    }
+
+    /// `(structure, count)` pairs in the stable `ECC_COUNTED` order.
+    pub fn per_structure(&self) -> impl Iterator<Item = (MemoryStructure, u64)> + '_ {
+        MemoryStructure::ECC_COUNTED
+            .iter()
+            .zip(self.by_structure.iter())
+            .map(|(&m, &c)| (m, c))
+    }
+}
+
+/// Counts over a software-XID incident slice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SoftDraftStats {
+    /// Incidents in the slice.
+    pub total: u64,
+    /// Incidents striking every node of a job at once.
+    pub job_wide: u64,
+}
+
+impl SoftDraftStats {
+    /// Folds the slice.
+    pub fn collect<'a>(incidents: impl IntoIterator<Item = &'a SoftwareIncident>) -> Self {
+        let mut s = SoftDraftStats::default();
+        for inc in incidents {
+            s.total += 1;
+            if inc.job_wide {
+                s.job_wide += 1;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_gpu::PageAddress;
+
+    #[test]
+    fn dbe_stats_split_structures_and_inforom() {
+        let drafts = vec![
+            DbeDraft {
+                time: 1,
+                structure: MemoryStructure::DeviceMemory,
+                page: Some(PageAddress(7)),
+                inforom_persisted: true,
+            },
+            DbeDraft {
+                time: 2,
+                structure: MemoryStructure::RegisterFile,
+                page: None,
+                inforom_persisted: false,
+            },
+            DbeDraft {
+                time: 3,
+                structure: MemoryStructure::DeviceMemory,
+                page: None,
+                inforom_persisted: false,
+            },
+        ];
+        let s = DbeDraftStats::collect(&drafts);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.device_memory, 2);
+        assert_eq!(s.register_file, 1);
+        assert_eq!(s.inforom_lost, 2);
+    }
+
+    #[test]
+    fn otb_stats_split_roots_from_children() {
+        let drafts = vec![
+            OtbDraft { time: 1, cluster_root: true },
+            OtbDraft { time: 2, cluster_root: false },
+            OtbDraft { time: 3, cluster_root: false },
+        ];
+        let s = OtbDraftStats::collect(&drafts);
+        assert_eq!((s.total, s.cluster_roots, s.cluster_children), (3, 1, 2));
+    }
+
+    #[test]
+    fn sbe_stats_count_per_structure_in_stable_order() {
+        let drafts = vec![
+            SbeDraft { time: 1, structure: MemoryStructure::L2Cache, page: None },
+            SbeDraft { time: 2, structure: MemoryStructure::L2Cache, page: None },
+            SbeDraft {
+                time: 3,
+                structure: MemoryStructure::DeviceMemory,
+                page: Some(PageAddress(1)),
+            },
+        ];
+        let s = SbeDraftStats::collect(&drafts);
+        assert_eq!(s.total, 3);
+        let per: Vec<_> = s.per_structure().collect();
+        assert_eq!(per[0], (MemoryStructure::DeviceMemory, 1));
+        assert_eq!(per[1], (MemoryStructure::L2Cache, 2));
+        assert_eq!(per[2], (MemoryStructure::RegisterFile, 0));
+    }
+
+    #[test]
+    fn soft_stats_count_job_wide() {
+        let incidents = vec![
+            SoftwareIncident {
+                time: 1,
+                kind: titan_gpu::GpuErrorKind::GraphicsEngineException,
+                job_wide: true,
+            },
+            SoftwareIncident {
+                time: 2,
+                kind: titan_gpu::GpuErrorKind::GpuMemoryPageFault,
+                job_wide: false,
+            },
+        ];
+        let s = SoftDraftStats::collect(&incidents);
+        assert_eq!((s.total, s.job_wide), (2, 1));
+    }
+}

@@ -33,4 +33,4 @@ pub mod snapshot;
 
 pub use jobdiff::{JobEccDelta, JobSnapshotFramework};
 pub use render::{parse_ecc_report, render_ecc_report};
-pub use snapshot::{EccCounts, GpuSnapshot};
+pub use snapshot::{summarize, EccCounts, FleetEccSummary, GpuSnapshot};

@@ -105,6 +105,55 @@ impl GpuSnapshot {
     }
 }
 
+/// Fleet-wide rollup of a snapshot sweep, all sim-time counts. Like
+/// `titan_conlog::SecStats` this is obs-independent data the
+/// observability collector copies into the metrics document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetEccSummary {
+    /// Snapshots in the sweep.
+    pub snapshots: u64,
+    /// Sum of aggregate SBEs across the fleet.
+    pub total_sbe: u64,
+    /// Sum of aggregate DBEs across the fleet.
+    pub total_dbe: u64,
+    /// Retired pages (double-bit cause) across the fleet.
+    pub retired_pages_dbe: u64,
+    /// Retired pages (two-SBE cause) across the fleet.
+    pub retired_pages_sbe: u64,
+    /// Cards showing the Observation 2 inversion (DBE > SBE).
+    pub dbe_exceeds_sbe_cards: u64,
+    /// Cards reporting at least one aggregate SBE.
+    pub cards_with_sbe: u64,
+    /// Cards reporting at least one aggregate DBE.
+    pub cards_with_dbe: u64,
+}
+
+/// Folds a snapshot sweep into a [`FleetEccSummary`].
+pub fn summarize(snapshots: &[GpuSnapshot]) -> FleetEccSummary {
+    let mut s = FleetEccSummary {
+        snapshots: snapshots.len() as u64,
+        ..FleetEccSummary::default()
+    };
+    for snap in snapshots {
+        let sbe = snap.total_sbe();
+        let dbe = snap.total_dbe();
+        s.total_sbe += sbe;
+        s.total_dbe += dbe;
+        s.retired_pages_dbe += snap.retired_pages.0 as u64;
+        s.retired_pages_sbe += snap.retired_pages.1 as u64;
+        if snap.dbe_exceeds_sbe() {
+            s.dbe_exceeds_sbe_cards += 1;
+        }
+        if sbe > 0 {
+            s.cards_with_sbe += 1;
+        }
+        if dbe > 0 {
+            s.cards_with_dbe += 1;
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +205,29 @@ mod tests {
         c.apply_dbe(MemoryStructure::DeviceMemory, None, true, true);
         let s = GpuSnapshot::take(NodeId(0), &c, 0);
         assert!(s.dbe_exceeds_sbe());
+    }
+
+    #[test]
+    fn fleet_summary_rolls_up_sweep() {
+        let healthy = GpuCard::new(CardSerial(10));
+        let mut inverted = GpuCard::new(CardSerial(11));
+        inverted.apply_sbe(MemoryStructure::DeviceMemory, None, true);
+        inverted.inforom.driver_reload(false); // crash loses the SBE
+        inverted.apply_dbe(MemoryStructure::DeviceMemory, Some(PageAddress(4)), true, true);
+        let sweep = vec![
+            GpuSnapshot::take(NodeId(0), &card_with_history(), 5),
+            GpuSnapshot::take(NodeId(1), &healthy, 5),
+            GpuSnapshot::take(NodeId(2), &inverted, 5),
+        ];
+        let s = summarize(&sweep);
+        assert_eq!(s.snapshots, 3);
+        assert_eq!(s.total_sbe, 3);
+        assert_eq!(s.total_dbe, 2);
+        assert_eq!(s.retired_pages_dbe, 2);
+        assert_eq!(s.dbe_exceeds_sbe_cards, 1);
+        assert_eq!(s.cards_with_sbe, 1);
+        assert_eq!(s.cards_with_dbe, 2);
+        assert_eq!(summarize(&[]), FleetEccSummary::default());
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The stable JSON metrics document.
+//!
+//! One [`MetricsDoc`] is the on-disk contract for `--metrics FILE`:
+//! section maps are `BTreeMap`s (sorted, so serialization order never
+//! depends on registration order), every value is an exact `u64`, and
+//! the schema string is bumped on any breaking change. Because nothing
+//! in here is wall-clock-derived, the document is byte-identical for a
+//! fixed seed at any thread width — `titan-runner` relies on that to
+//! aggregate per-seed metric bands.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::TraceRing;
+use crate::Obs;
+
+/// Current schema identifier written into every document.
+pub const SCHEMA: &str = "titan-obs/1";
+
+/// Snapshot of one fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Ascending inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one trailing overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// One retained span, with the kind rendered as its stable name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Stable kind name (see [`crate::SpanKind::name`]).
+    pub kind: String,
+    /// Sim time the span opened.
+    pub start: u64,
+    /// Sim time the span closed.
+    pub end: u64,
+    /// Primary identifier.
+    pub key: u64,
+    /// Secondary payload.
+    pub extra: u64,
+}
+
+/// Span-ring summary: exact totals plus the retained tail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Ring capacity the run used.
+    pub capacity: u64,
+    /// Spans ever recorded.
+    pub recorded: u64,
+    /// Spans evicted once the ring filled.
+    pub dropped: u64,
+    /// Exact per-kind totals (all kinds present, even at zero).
+    pub by_kind: BTreeMap<String, u64>,
+    /// The retained spans, oldest first.
+    pub recent: Vec<SpanRecord>,
+}
+
+impl TraceSummary {
+    /// Summarizes a ring.
+    pub fn from_ring(ring: &TraceRing) -> Self {
+        let mut by_kind = BTreeMap::new();
+        for (kind, count) in ring.counts_by_kind() {
+            by_kind.insert(kind.name().to_string(), count);
+        }
+        TraceSummary {
+            capacity: ring.capacity() as u64,
+            recorded: ring.recorded(),
+            dropped: ring.dropped(),
+            by_kind,
+            recent: ring
+                .spans()
+                .iter()
+                .map(|s| SpanRecord {
+                    kind: s.kind.name().to_string(),
+                    start: s.start,
+                    end: s.end,
+                    key: s.key,
+                    extra: s.extra,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The full metrics document for one simulated window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsDoc {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// Seed the window ran with.
+    pub seed: u64,
+    /// Window length in days.
+    pub window_days: u64,
+    /// Engine hot-loop counters and gauges.
+    pub engine: BTreeMap<String, u64>,
+    /// Fault-process counters.
+    pub faults: BTreeMap<String, u64>,
+    /// SEC pipeline counters (filled at collect time by the runner).
+    pub sec: BTreeMap<String, u64>,
+    /// nvidia-smi pipeline counters.
+    pub nvsmi: BTreeMap<String, u64>,
+    /// Fixed-bucket histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span-ring summary.
+    pub spans: TraceSummary,
+}
+
+impl MetricsDoc {
+    /// Snapshots an [`Obs`] sink into a document. Counters and gauges
+    /// are routed by their section name; a metric registered under an
+    /// unknown section lands in `engine` under `section.name` so it is
+    /// never silently lost.
+    pub fn from_obs(obs: &Obs, seed: u64, window_days: u64) -> Self {
+        let mut doc = MetricsDoc {
+            schema: SCHEMA.to_string(),
+            seed,
+            window_days,
+            engine: BTreeMap::new(),
+            faults: BTreeMap::new(),
+            sec: BTreeMap::new(),
+            nvsmi: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: TraceSummary::from_ring(&obs.trace),
+        };
+        let entries = obs
+            .reg
+            .counters()
+            .chain(obs.reg.gauges())
+            .map(|(s, n, v)| (s.to_string(), n.to_string(), v))
+            .collect::<Vec<_>>();
+        for (section, name, value) in entries {
+            match section.as_str() {
+                "engine" => doc.engine.insert(name, value),
+                "faults" => doc.faults.insert(name, value),
+                "sec" => doc.sec.insert(name, value),
+                "nvsmi" => doc.nvsmi.insert(name, value),
+                other => doc.engine.insert(format!("{other}.{name}"), value),
+            };
+        }
+        for (name, bounds, counts, count, sum) in obs.reg.histograms() {
+            doc.histograms.insert(
+                name.to_string(),
+                HistogramSnapshot {
+                    bounds: bounds.to_vec(),
+                    counts: counts.to_vec(),
+                    count,
+                    sum,
+                },
+            );
+        }
+        doc
+    }
+
+    /// Renders the document as pretty JSON (trailing newline included,
+    /// matching the repo's other artifacts). Serialization of this
+    /// all-owned tree cannot fail; the fallback keeps telemetry from
+    /// ever panicking a run.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string());
+        s.push('\n');
+        s
+    }
+
+    /// Flattens every scalar into `section.name -> f64` (plus
+    /// histogram `hist.<name>.count/sum` and span totals), the shape
+    /// `titan-runner` aggregates into per-seed metric bands.
+    pub fn flatten(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for (section, map) in [
+            ("engine", &self.engine),
+            ("faults", &self.faults),
+            ("sec", &self.sec),
+            ("nvsmi", &self.nvsmi),
+        ] {
+            for (name, &v) in map {
+                out.insert(format!("{section}.{name}"), v as f64);
+            }
+        }
+        for (name, h) in &self.histograms {
+            out.insert(format!("hist.{name}.count"), h.count as f64);
+            out.insert(format!("hist.{name}.sum"), h.sum as f64);
+        }
+        out.insert("spans.recorded".to_string(), self.spans.recorded as f64);
+        out.insert("spans.dropped".to_string(), self.spans.dropped as f64);
+        for (kind, &count) in &self.spans.by_kind {
+            out.insert(format!("spans.{kind}"), count as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Span, SpanKind};
+
+    fn sample_doc() -> MetricsDoc {
+        let mut obs = Obs::enabled();
+        let cat = obs.cat;
+        obs.reg.inc(cat.engine.ev_dbe);
+        obs.reg.add(cat.faults.dbe_drafts, 3);
+        obs.reg.set_max(cat.engine.heap_high_water, 42);
+        obs.reg.observe(cat.faults.cascade_fanout, 2);
+        let dyn_c = obs.reg.counter("sec", "rule_hits.alert_each");
+        obs.reg.add(dyn_c, 7);
+        obs.trace.record(Span {
+            kind: SpanKind::HotSpareSwap,
+            start: 100,
+            end: 200,
+            key: 3,
+            extra: 9001,
+        });
+        MetricsDoc::from_obs(&obs, 42, 60)
+    }
+
+    #[test]
+    fn sections_route_by_name() {
+        let doc = sample_doc();
+        assert_eq!(doc.schema, SCHEMA);
+        assert_eq!(doc.engine.get("ev_dbe"), Some(&1));
+        assert_eq!(doc.engine.get("heap_high_water"), Some(&42));
+        assert_eq!(doc.faults.get("dbe_drafts"), Some(&3));
+        assert_eq!(doc.sec.get("rule_hits.alert_each"), Some(&7));
+        let h = doc.histograms.get("cascade_fanout").expect("fanout hist");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 2);
+        assert_eq!(doc.spans.recorded, 1);
+        assert_eq!(doc.spans.by_kind.get("hot_spare_swap"), Some(&1));
+        assert_eq!(doc.spans.by_kind.get("job_lifecycle"), Some(&0));
+    }
+
+    #[test]
+    fn json_round_trips_and_is_stable() {
+        let doc = sample_doc();
+        let json = doc.to_json();
+        assert!(json.ends_with('\n'));
+        let back: MetricsDoc = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back, doc);
+        // Rendering twice is byte-identical.
+        assert_eq!(json, doc.to_json());
+    }
+
+    #[test]
+    fn flatten_prefixes_sections() {
+        let doc = sample_doc();
+        let flat = doc.flatten();
+        assert_eq!(flat.get("engine.ev_dbe"), Some(&1.0));
+        assert_eq!(flat.get("faults.dbe_drafts"), Some(&3.0));
+        assert_eq!(flat.get("sec.rule_hits.alert_each"), Some(&7.0));
+        assert_eq!(flat.get("hist.cascade_fanout.count"), Some(&1.0));
+        assert_eq!(flat.get("spans.hot_spare_swap"), Some(&1.0));
+    }
+}

@@ -1,0 +1,324 @@
+//! # titan-obs
+//!
+//! The fleet simulator's own observability layer — the paper's whole
+//! methodology is telemetry (SEC-filtered console logs plus nvidia-smi
+//! snapshots), and this crate gives the *simulator* the same courtesy:
+//! counters, gauges, histograms, and structured spans describing what
+//! the engine did, exported as one stable JSON document.
+//!
+//! ## Time-domain rule (the determinism contract)
+//!
+//! Everything recorded here lives in the **simulation time domain**
+//! ([`titan_conlog::time::SimTime`]) or is a pure count of simulation
+//! work. No wall-clock value may ever enter the registry or the trace
+//! ring: recorded telemetry must be byte-identical for a fixed seed
+//! across thread widths, hosts, and reruns. Wall-clock profiling lives
+//! strictly in `titan-runner`, `titan-bench`, and the CLI — titan-lint
+//! rule D5 enforces this mechanically for every engine crate, this one
+//! included. The only wall-clock bridge is the [`Obs::set_phase_hook`]
+//! callback: the engine reports *phase boundaries* (pure `&'static str`
+//! markers) and a non-engine caller may timestamp them on its side.
+//!
+//! ## Cost model
+//!
+//! Handles ([`Counter`], [`Gauge`], [`HistId`]) are `Copy` indices;
+//! recording through a disabled registry is a single branch on a bool,
+//! so the instrumented engine with metrics off stays within noise of
+//! the uninstrumented one (the CI overhead gate in `bench_pr2` holds
+//! even the *enabled* path to < 5% on the quick window).
+//!
+//! See `OBSERVABILITY.md` at the workspace root for the metric catalog,
+//! the span taxonomy, and how to add a metric without breaking
+//! determinism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{HistogramSnapshot, MetricsDoc, SpanRecord, TraceSummary, SCHEMA};
+pub use metrics::{metric_key, Counter, Gauge, HistId, Registry};
+pub use trace::{Span, SpanKind, TraceRing};
+
+/// Default span-ring capacity: enough to hold every interesting span of
+/// a quick window and the tail of a full one.
+pub const DEFAULT_SPAN_CAPACITY: usize = 256;
+
+/// Pre-registered handles for the engine hot loop ("engine" section).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineCat {
+    /// Every event dequeued from the heap (includes past-horizon drops).
+    pub events_dequeued: Counter,
+    /// Events dropped at the study horizon.
+    pub events_past_horizon: Counter,
+    /// Job-start events executed.
+    pub ev_job_start: Counter,
+    /// Job-end events executed.
+    pub ev_job_end: Counter,
+    /// DBE events executed.
+    pub ev_dbe: Counter,
+    /// Off-the-bus events executed.
+    pub ev_otb: Counter,
+    /// SBE draft events executed (before activity thinning).
+    pub ev_sbe: Counter,
+    /// Software XID events executed.
+    pub ev_soft: Counter,
+    /// Cascade-child events executed.
+    pub ev_child: Counter,
+    /// Deferred retirement-record events executed.
+    pub ev_retire_record: Counter,
+    /// Hot-spare swap events executed.
+    pub ev_swap: Counter,
+    /// Console lines emitted.
+    pub console_lines: Counter,
+    /// SBE drafts accepted after activity thinning.
+    pub sbe_accepted: Counter,
+    /// SBE drafts rejected by activity thinning.
+    pub sbe_thinned: Counter,
+    /// Software incidents that found no running job to strike.
+    pub soft_no_target: Counter,
+    /// Swaps that fired (card actually pulled).
+    pub swaps_fired: Counter,
+    /// Swap schedules rejected at fire time (stale / pool drained).
+    pub swaps_stale: Counter,
+    /// Jobs still running at the horizon, closed after the loop.
+    pub jobs_closed_at_horizon: Counter,
+    /// Pre-SBE snapshot buffers recycled from the spare pool.
+    pub pre_sbe_reuse_hits: Counter,
+    /// Pre-SBE snapshot buffers freshly allocated.
+    pub pre_sbe_allocs: Counter,
+    /// Event-heap depth high-water mark.
+    pub heap_high_water: Gauge,
+    /// Concurrent running-job high-water mark.
+    pub active_jobs_high_water: Gauge,
+    /// Final payload-arena length (total events ever scheduled).
+    pub payload_slots: Gauge,
+    /// Nodes-per-started-job distribution.
+    pub job_nodes: HistId,
+}
+
+/// Pre-registered handles for fault-process consumption ("faults").
+#[derive(Debug, Clone, Copy)]
+pub struct FaultsCat {
+    /// DBE drafts sampled inside the window.
+    pub dbe_drafts: Counter,
+    /// DBE drafts striking device memory.
+    pub dbe_device_memory: Counter,
+    /// DBE drafts striking the register file.
+    pub dbe_register_file: Counter,
+    /// DBE drafts whose InfoROM write is lost (Observation 2 path).
+    pub dbe_inforom_lost: Counter,
+    /// Off-the-bus drafts sampled inside the window.
+    pub otb_drafts: Counter,
+    /// OTB drafts that seeded a cluster.
+    pub otb_cluster_roots: Counter,
+    /// OTB drafts that are cluster children.
+    pub otb_cluster_children: Counter,
+    /// SBE drafts sampled inside the window (per-structure counters are
+    /// registered dynamically from the draft mix).
+    pub sbe_drafts: Counter,
+    /// Software XID incidents sampled inside the window.
+    pub soft_incidents: Counter,
+    /// Job-wide software incidents.
+    pub soft_job_wide: Counter,
+    /// Parent events offered to the cascade model.
+    pub cascade_parents: Counter,
+    /// Cascade children scheduled.
+    pub cascade_children: Counter,
+    /// Children-per-parent fan-out distribution.
+    pub cascade_fanout: HistId,
+}
+
+/// Pre-registered handles for the nvidia-smi pipeline ("nvsmi").
+#[derive(Debug, Clone, Copy)]
+pub struct NvsmiCat {
+    /// Per-node counter reads at job start (the prologue).
+    pub prologue_reads: Counter,
+    /// Per-node counter reads at job end (the epilogue).
+    pub epilogue_reads: Counter,
+    /// End-of-study fleet snapshots taken.
+    pub final_snapshots: Counter,
+}
+
+/// The full pre-registered handle catalog. `Copy`, so call sites can
+/// lift it out of [`Obs`] before mutably borrowing the registry.
+#[derive(Debug, Clone, Copy)]
+pub struct Catalog {
+    /// Engine hot-loop handles.
+    pub engine: EngineCat,
+    /// Fault-process handles.
+    pub faults: FaultsCat,
+    /// nvidia-smi pipeline handles.
+    pub nvsmi: NvsmiCat,
+}
+
+/// Bucket bounds for the nodes-per-job histogram.
+const JOB_NODES_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 64, 256, 1024, 4096];
+
+/// Bucket bounds for the cascade fan-out histogram.
+const CASCADE_FANOUT_BOUNDS: &[u64] = &[0, 1, 2, 3, 5, 8];
+
+/// The observability sink threaded through a simulation run: metrics
+/// registry + span ring + optional phase hook.
+pub struct Obs {
+    /// The metrics registry (standard catalog pre-registered).
+    pub reg: Registry,
+    /// The bounded span ring.
+    pub trace: TraceRing,
+    /// Pre-registered handles for the standard catalog.
+    pub cat: Catalog,
+    phase_hook: Option<Box<dyn FnMut(&'static str)>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.reg.enabled())
+            .field("trace", &self.trace)
+            .field("phase_hook", &self.phase_hook.is_some())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A sink with collection on (`enabled = true`) or off. Disabled
+    /// sinks still carry the catalog so the engine code is identical on
+    /// both paths; every record call is a cheap no-op.
+    pub fn new(enabled: bool) -> Self {
+        let mut reg = Registry::new(enabled);
+        let cat = Catalog {
+            engine: EngineCat {
+                events_dequeued: reg.counter("engine", "events_dequeued"),
+                events_past_horizon: reg.counter("engine", "events_past_horizon"),
+                ev_job_start: reg.counter("engine", "ev_job_start"),
+                ev_job_end: reg.counter("engine", "ev_job_end"),
+                ev_dbe: reg.counter("engine", "ev_dbe"),
+                ev_otb: reg.counter("engine", "ev_otb"),
+                ev_sbe: reg.counter("engine", "ev_sbe"),
+                ev_soft: reg.counter("engine", "ev_soft"),
+                ev_child: reg.counter("engine", "ev_child"),
+                ev_retire_record: reg.counter("engine", "ev_retire_record"),
+                ev_swap: reg.counter("engine", "ev_swap"),
+                console_lines: reg.counter("engine", "console_lines"),
+                sbe_accepted: reg.counter("engine", "sbe_accepted"),
+                sbe_thinned: reg.counter("engine", "sbe_thinned"),
+                soft_no_target: reg.counter("engine", "soft_no_target"),
+                swaps_fired: reg.counter("engine", "swaps_fired"),
+                swaps_stale: reg.counter("engine", "swaps_stale"),
+                jobs_closed_at_horizon: reg.counter("engine", "jobs_closed_at_horizon"),
+                pre_sbe_reuse_hits: reg.counter("engine", "pre_sbe_reuse_hits"),
+                pre_sbe_allocs: reg.counter("engine", "pre_sbe_allocs"),
+                heap_high_water: reg.gauge("engine", "heap_high_water"),
+                active_jobs_high_water: reg.gauge("engine", "active_jobs_high_water"),
+                payload_slots: reg.gauge("engine", "payload_slots"),
+                job_nodes: reg.histogram("job_nodes", JOB_NODES_BOUNDS),
+            },
+            faults: FaultsCat {
+                dbe_drafts: reg.counter("faults", "dbe_drafts"),
+                dbe_device_memory: reg.counter("faults", "dbe_device_memory"),
+                dbe_register_file: reg.counter("faults", "dbe_register_file"),
+                dbe_inforom_lost: reg.counter("faults", "dbe_inforom_lost"),
+                otb_drafts: reg.counter("faults", "otb_drafts"),
+                otb_cluster_roots: reg.counter("faults", "otb_cluster_roots"),
+                otb_cluster_children: reg.counter("faults", "otb_cluster_children"),
+                sbe_drafts: reg.counter("faults", "sbe_drafts"),
+                soft_incidents: reg.counter("faults", "soft_incidents"),
+                soft_job_wide: reg.counter("faults", "soft_job_wide"),
+                cascade_parents: reg.counter("faults", "cascade_parents"),
+                cascade_children: reg.counter("faults", "cascade_children"),
+                cascade_fanout: reg.histogram("cascade_fanout", CASCADE_FANOUT_BOUNDS),
+            },
+            nvsmi: NvsmiCat {
+                prologue_reads: reg.counter("nvsmi", "prologue_reads"),
+                epilogue_reads: reg.counter("nvsmi", "epilogue_reads"),
+                final_snapshots: reg.counter("nvsmi", "final_snapshots"),
+            },
+        };
+        Obs {
+            reg,
+            trace: TraceRing::new(enabled, DEFAULT_SPAN_CAPACITY),
+            cat,
+            phase_hook: None,
+        }
+    }
+
+    /// A no-op sink: the default for plain `Simulator::run()`.
+    pub fn disabled() -> Self {
+        Obs::new(false)
+    }
+
+    /// An enabled sink with default settings.
+    pub fn enabled() -> Self {
+        Obs::new(true)
+    }
+
+    /// Whether metric collection is on.
+    pub fn is_enabled(&self) -> bool {
+        self.reg.enabled()
+    }
+
+    /// Installs a phase-boundary callback. The engine calls
+    /// [`Obs::phase`] with a static marker when it enters each phase;
+    /// a CLI-side hook may timestamp those markers with the wall clock
+    /// (the engine itself never sees a clock — lint D5).
+    pub fn set_phase_hook(&mut self, hook: Box<dyn FnMut(&'static str)>) {
+        self.phase_hook = Some(hook);
+    }
+
+    /// Marks a phase boundary: `name` starts now, the previous phase
+    /// (if any) ends now. Fires the hook when one is installed;
+    /// otherwise free.
+    pub fn phase(&mut self, name: &'static str) {
+        if let Some(hook) = &mut self.phase_hook {
+            hook(name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut obs = Obs::disabled();
+        let c = obs.cat.engine.ev_dbe;
+        obs.reg.inc(c);
+        obs.reg.set_max(obs.cat.engine.heap_high_water, 999);
+        obs.trace.record(Span {
+            kind: SpanKind::JobLifecycle,
+            start: 0,
+            end: 1,
+            key: 1,
+            extra: 1,
+        });
+        assert_eq!(obs.reg.counter_value(c), 0);
+        assert_eq!(obs.reg.gauge_value(obs.cat.engine.heap_high_water), 0);
+        assert_eq!(obs.trace.recorded(), 0);
+    }
+
+    #[test]
+    fn enabled_sink_counts() {
+        let mut obs = Obs::enabled();
+        let c = obs.cat.faults.dbe_drafts;
+        obs.reg.inc(c);
+        obs.reg.add(c, 4);
+        assert_eq!(obs.reg.counter_value(c), 5);
+        obs.reg.set_max(obs.cat.engine.heap_high_water, 10);
+        obs.reg.set_max(obs.cat.engine.heap_high_water, 7);
+        assert_eq!(obs.reg.gauge_value(obs.cat.engine.heap_high_water), 10);
+    }
+
+    #[test]
+    fn phase_hook_sees_markers_in_order() {
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = seen.clone();
+        let mut obs = Obs::disabled(); // hook fires even with metrics off
+        obs.set_phase_hook(Box::new(move |name| sink.borrow_mut().push(name)));
+        obs.phase("a");
+        obs.phase("b");
+        assert_eq!(*seen.borrow(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Bounded structured tracing in the simulation time domain.
+//!
+//! Spans are fixed-size records carrying **sim timestamps only** — the
+//! ring's contents are part of the deterministic metrics document, so a
+//! wall-clock value here would break byte-identical replication (and
+//! trip lint D5). When the ring is full the oldest span is evicted and
+//! counted in `dropped`, so memory stays bounded on 638-day windows
+//! while totals remain exact via the `by_kind` counters.
+
+use titan_conlog::time::SimTime;
+
+/// The span taxonomy. Keep in sync with OBSERVABILITY.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One job from scheduler start to end; `key` = job id, `extra` =
+    /// node count.
+    JobLifecycle,
+    /// Fault event → deferred SEC-visible record; `key` = card serial,
+    /// `extra` = retirement cause discriminant.
+    FaultChain,
+    /// Hot-spare swap from schedule to fire; `key` = slot index,
+    /// `extra` = card serial.
+    HotSpareSwap,
+    /// Repair/reboot sequence after a fatal event; `key` = node id,
+    /// `extra` = event class discriminant.
+    RepairReboot,
+}
+
+impl SpanKind {
+    /// All kinds in stable export order.
+    pub const ALL: [SpanKind; 4] = [
+        SpanKind::JobLifecycle,
+        SpanKind::FaultChain,
+        SpanKind::HotSpareSwap,
+        SpanKind::RepairReboot,
+    ];
+
+    /// Stable snake_case name used in the JSON document.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::JobLifecycle => "job_lifecycle",
+            SpanKind::FaultChain => "fault_chain",
+            SpanKind::HotSpareSwap => "hot_spare_swap",
+            SpanKind::RepairReboot => "repair_reboot",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SpanKind::JobLifecycle => 0,
+            SpanKind::FaultChain => 1,
+            SpanKind::HotSpareSwap => 2,
+            SpanKind::RepairReboot => 3,
+        }
+    }
+}
+
+/// One completed span. `key`/`extra` are kind-specific identifiers
+/// (see [`SpanKind`]); instantaneous events use `start == end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Taxonomy bucket.
+    pub kind: SpanKind,
+    /// Sim time the span opened.
+    pub start: SimTime,
+    /// Sim time the span closed (`>= start`).
+    pub end: SimTime,
+    /// Primary identifier (job id, card serial, slot, node).
+    pub key: u64,
+    /// Secondary payload (node count, cause, serial, class).
+    pub extra: u64,
+}
+
+/// Bounded ring of completed spans plus exact per-kind totals.
+#[derive(Debug)]
+pub struct TraceRing {
+    enabled: bool,
+    capacity: usize,
+    buf: Vec<Span>,
+    /// Index of the oldest span once the ring has wrapped.
+    head: usize,
+    recorded: u64,
+    by_kind: [u64; 4],
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` spans (counters stay exact
+    /// past that). Disabled rings drop everything for free.
+    pub fn new(enabled: bool, capacity: usize) -> Self {
+        TraceRing {
+            enabled,
+            capacity: capacity.max(1),
+            buf: Vec::new(),
+            head: 0,
+            recorded: 0,
+            by_kind: [0; 4],
+        }
+    }
+
+    /// Records a completed span (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, span: Span) {
+        if !self.enabled {
+            return;
+        }
+        self.recorded += 1;
+        self.by_kind[span.kind.index()] += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(span);
+        } else {
+            self.buf[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Total spans ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Exact per-kind totals, in [`SpanKind::ALL`] order.
+    pub fn counts_by_kind(&self) -> [(SpanKind, u64); 4] {
+        [
+            (SpanKind::JobLifecycle, self.by_kind[0]),
+            (SpanKind::FaultChain, self.by_kind[1]),
+            (SpanKind::HotSpareSwap, self.by_kind[2]),
+            (SpanKind::RepairReboot, self.by_kind[3]),
+        ]
+    }
+
+    /// The retained spans, oldest first (record order — deterministic,
+    /// since the engine records in event order).
+    pub fn spans(&self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, start: SimTime) -> Span {
+        Span { kind, start, end: start + 1, key: start, extra: 0 }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = TraceRing::new(true, 3);
+        for t in 0..5 {
+            r.record(span(SpanKind::JobLifecycle, t));
+        }
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<_> = r.spans().iter().map(|s| s.start).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn by_kind_totals_are_exact_past_capacity() {
+        let mut r = TraceRing::new(true, 2);
+        for t in 0..4 {
+            r.record(span(SpanKind::FaultChain, t));
+        }
+        r.record(span(SpanKind::HotSpareSwap, 9));
+        let counts = r.counts_by_kind();
+        assert_eq!(counts[1], (SpanKind::FaultChain, 4));
+        assert_eq!(counts[2], (SpanKind::HotSpareSwap, 1));
+    }
+
+    #[test]
+    fn disabled_ring_is_inert() {
+        let mut r = TraceRing::new(false, 4);
+        r.record(span(SpanKind::RepairReboot, 1));
+        assert_eq!(r.recorded(), 0);
+        assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn partial_ring_returns_in_order() {
+        let mut r = TraceRing::new(true, 10);
+        r.record(span(SpanKind::JobLifecycle, 1));
+        r.record(span(SpanKind::JobLifecycle, 2));
+        let kept: Vec<_> = r.spans().iter().map(|s| s.start).collect();
+        assert_eq!(kept, vec![1, 2]);
+    }
+}

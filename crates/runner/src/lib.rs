@@ -18,6 +18,10 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
+use titan_conlog::SecEngine;
+// Re-exported so CLI code can name the telemetry types through the
+// runner without a direct titan-obs dependency.
+pub use titan_obs::{MetricsDoc, Obs};
 use titan_reliability::{evaluate_all, Expectation, Study, StudyConfig, Verdict};
 use titan_sim::SimOutput;
 use titan_stats::Summary;
@@ -46,6 +50,10 @@ pub struct ReplicateOptions {
     /// When true, skip the per-seed expectation registry (figures are
     /// by far the dominant cost when the window is short).
     pub skip_expectations: bool,
+    /// When true, run every seed with an enabled [`Obs`] sink and carry
+    /// the per-seed metrics document into the report; its flattened
+    /// scalars join the metric bands under an `obs.` prefix.
+    pub collect_obs: bool,
 }
 
 impl ReplicateOptions {
@@ -57,6 +65,7 @@ impl ReplicateOptions {
             seeds: (0..count).map(|i| base_seed.wrapping_add(i)).collect(),
             threads,
             skip_expectations: false,
+            collect_obs: false,
         }
     }
 }
@@ -75,6 +84,9 @@ pub struct SeedRun {
     /// The full expectation registry for this seed (empty when
     /// `skip_expectations` was set).
     pub expectations: Vec<Expectation>,
+    /// The seed's full metrics document (present only when the run
+    /// collected observability metrics).
+    pub obs: Option<MetricsDoc>,
 }
 
 /// Mean / spread / 95% CI of one metric across seeds.
@@ -159,20 +171,95 @@ pub struct ReplicationReport {
 /// a replication worker runs; the determinism test compares its digest
 /// against threaded output.
 pub fn run_seed(base: &StudyConfig, seed: u64, skip_expectations: bool) -> SeedRun {
+    run_seed_obs(base, seed, skip_expectations, false)
+}
+
+/// [`run_seed`] with optional observability collection. When
+/// `collect_obs` is set the study runs with an enabled [`Obs`] sink,
+/// the SEC and nvsmi sections are filled by [`collect_metrics`], and
+/// the flattened document joins `metrics` under an `obs.` prefix.
+pub fn run_seed_obs(
+    base: &StudyConfig,
+    seed: u64,
+    skip_expectations: bool,
+    collect_obs: bool,
+) -> SeedRun {
     let mut config = base.clone();
     config.sim.seed = seed;
-    let study = Study::new(config).run();
+    let window = config.sim.window;
+    let mut obs = Obs::new(collect_obs);
+    let study = Study::new(config).run_with_obs(&mut obs);
     let expectations = if skip_expectations {
         Vec::new()
     } else {
         evaluate_all(&study.figures())
     };
+    let mut metrics = seed_metrics(&study.sim);
+    let obs_doc = if collect_obs {
+        let doc = collect_metrics(&study.sim, seed, window, &mut obs);
+        for (k, v) in doc.flatten() {
+            metrics.insert(format!("obs.{k}"), v);
+        }
+        Some(doc)
+    } else {
+        None
+    };
     SeedRun {
         seed,
         output_digest: output_digest(&study.sim),
-        metrics: seed_metrics(&study.sim),
+        metrics,
         expectations,
+        obs: obs_doc,
     }
+}
+
+/// Fills the SEC and nvsmi sections of the registry from a finished
+/// run and snapshots everything into the stable [`MetricsDoc`].
+///
+/// The SEC pipeline is replayed here, at collect time, over the run's
+/// console log with the default OLCF rule set — the engine never feeds
+/// the SEC during simulation (the paper's correlators run on the SMW,
+/// outside the machine), so its rule-hit/suppression counters live in
+/// the collector, not the hot loop.
+pub fn collect_metrics(
+    sim: &SimOutput,
+    seed: u64,
+    window: titan_conlog::time::SimTime,
+    obs: &mut Obs,
+) -> MetricsDoc {
+    let mut sec = SecEngine::olcf_default();
+    sec.ingest_all(&sim.console);
+    let stats = sec.stats();
+    for (name, value) in [
+        ("events_ingested", stats.events_ingested),
+        ("alerts", stats.alerts),
+        ("suppressed", stats.suppressed),
+        ("threshold_alarms", stats.threshold_alarms),
+        ("cluster_alarms", stats.cluster_alarms),
+    ] {
+        let c = obs.reg.counter("sec", name);
+        obs.reg.add(c, value);
+    }
+    for (desc, hits) in &stats.rule_hits {
+        let c = obs.reg.counter("sec", &format!("rule_hits.{desc}"));
+        obs.reg.add(c, *hits);
+    }
+
+    let fleet = titan_nvsmi::summarize(&sim.final_snapshots);
+    for (name, value) in [
+        ("fleet_total_sbe", fleet.total_sbe),
+        ("fleet_total_dbe", fleet.total_dbe),
+        ("retired_pages_dbe", fleet.retired_pages_dbe),
+        ("retired_pages_sbe", fleet.retired_pages_sbe),
+        ("dbe_exceeds_sbe_cards", fleet.dbe_exceeds_sbe_cards),
+        ("cards_with_sbe", fleet.cards_with_sbe),
+        ("cards_with_dbe", fleet.cards_with_dbe),
+    ] {
+        let c = obs.reg.counter("nvsmi", name);
+        obs.reg.add(c, value);
+    }
+
+    MetricsDoc::from_obs(obs, seed, window / 86_400)
 }
 
 /// Fans the seeds out over `threads` workers and merges in seed order.
@@ -200,8 +287,9 @@ pub fn replicate(opts: &ReplicateOptions) -> Result<ReplicationReport, String> {
 
     let base = &opts.base;
     let skip = opts.skip_expectations;
+    let collect = opts.collect_obs;
     let runs: Vec<SeedRun> = rayon::scope_map(opts.seeds.clone(), opts.threads, |seed| {
-        run_seed(base, seed, skip)
+        run_seed_obs(base, seed, skip, collect)
     });
 
     Ok(merge(runs, opts.threads, base.sim.window / 86_400))
@@ -317,6 +405,51 @@ pub fn output_digest(sim: &SimOutput) -> u64 {
     h
 }
 
+/// The `--metrics FILE` artifact of a replicate run: every seed's full
+/// metrics document plus the cross-seed bands of the flattened scalars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsReplicateDoc {
+    /// Schema identifier.
+    pub schema: String,
+    /// Study window in days.
+    pub window_days: u64,
+    /// Per-seed metrics documents, in seed order.
+    pub per_seed: Vec<MetricsDoc>,
+    /// Mean/CI bands of the flattened observability scalars, keyed by
+    /// the un-prefixed metric name (`engine.events_dequeued`, ...).
+    pub bands: BTreeMap<String, MetricBand>,
+}
+
+/// Builds the replicate metrics artifact; `None` when the report was
+/// produced without `collect_obs`.
+pub fn obs_replicate_doc(report: &ReplicationReport) -> Option<ObsReplicateDoc> {
+    let per_seed: Vec<MetricsDoc> =
+        report.runs.iter().filter_map(|r| r.obs.clone()).collect();
+    if per_seed.len() != report.runs.len() {
+        return None;
+    }
+    let bands = report
+        .metrics
+        .iter()
+        .filter_map(|(k, b)| {
+            k.strip_prefix("obs.").map(|name| (name.to_string(), b.clone()))
+        })
+        .collect();
+    Some(ObsReplicateDoc {
+        schema: "titan-obs-replicate/1".to_string(),
+        window_days: report.window_days,
+        per_seed,
+        bands,
+    })
+}
+
+/// Renders the replicate metrics artifact as pretty JSON.
+pub fn render_obs_metrics_json(doc: &ObsReplicateDoc) -> String {
+    let mut s = serde_json::to_string_pretty(doc).unwrap_or_else(|_| "{}".to_string());
+    s.push('\n');
+    s
+}
+
 /// Human-readable report table for the CLI.
 pub fn render_report(report: &ReplicationReport) -> String {
     use std::fmt::Write;
@@ -333,7 +466,14 @@ pub fn render_report(report: &ReplicationReport) -> String {
         let _ = writeln!(s, "  seed {:>6}  {:016x}", r.seed, r.output_digest);
     }
     let _ = writeln!(s, "\nmetric bands (mean [95% CI]):");
+    let mut obs_bands = 0usize;
     for (name, b) in &report.metrics {
+        // Observability scalars go to the --metrics artifact; the
+        // human table stays the fleet summary.
+        if name.starts_with("obs.") {
+            obs_bands += 1;
+            continue;
+        }
         let _ = writeln!(
             s,
             "  {name:<22} {:>12.1}  [{:>12.1}, {:>12.1}]  sd {:.1}",
@@ -341,6 +481,12 @@ pub fn render_report(report: &ReplicationReport) -> String {
             b.ci_lo,
             b.ci_hi,
             if b.std_dev.is_nan() { 0.0 } else { b.std_dev }
+        );
+    }
+    if obs_bands > 0 {
+        let _ = writeln!(
+            s,
+            "  (+ {obs_bands} observability metric bands; write them with --metrics FILE)"
         );
     }
     if !report.expectations.is_empty() {
@@ -432,6 +578,87 @@ mod tests {
         let mut o = opts(10, 2, 2);
         o.seeds = vec![5, 5];
         assert!(replicate(&o).is_err());
+    }
+
+    /// Telemetry must be a pure observer: a metrics-collecting run and
+    /// a plain run of the same seed produce byte-identical sim output.
+    #[test]
+    fn metrics_collection_never_perturbs_the_run() {
+        let base = StudyConfig::quick(10, 0);
+        let plain = run_seed(&base, 100, true);
+        let observed = run_seed_obs(&base, 100, true, true);
+        assert_eq!(plain.output_digest, observed.output_digest);
+        assert!(plain.obs.is_none());
+        let doc = observed.obs.expect("collected");
+        // The engine counted real work.
+        assert!(doc.engine["events_dequeued"] > 0);
+        assert!(doc.engine["console_lines"] > 0);
+        assert!(doc.faults["dbe_drafts"] > 0);
+        assert!(doc.sec["events_ingested"] > 0);
+        assert!(doc.nvsmi["final_snapshots"] > 0);
+        assert!(doc.spans.recorded > 0);
+        // Flattened scalars joined the band metrics.
+        assert_eq!(
+            observed.metrics["obs.engine.events_dequeued"],
+            doc.engine["events_dequeued"] as f64
+        );
+        // Fleet metrics agree between the two paths.
+        assert_eq!(plain.metrics["dbe_count"], observed.metrics["dbe_count"]);
+    }
+
+    /// Engine counters must agree with ground truth where both exist.
+    #[test]
+    fn engine_metrics_consistent_with_truth() {
+        let mut config = StudyConfig::quick(30, 9);
+        config.sim.seed = 9;
+        let mut obs = Obs::enabled();
+        let study = Study::new(config).run_with_obs(&mut obs);
+        let doc = collect_metrics(&study.sim, 9, 30 * 86_400, &mut obs);
+        assert_eq!(doc.engine["ev_dbe"], study.sim.truth.dbe.len() as u64);
+        assert_eq!(doc.engine["sbe_thinned"], study.sim.truth.sbe_rejected);
+        assert_eq!(
+            doc.engine["sbe_accepted"],
+            study.sim.truth.sbe_by_card.iter().sum::<u64>()
+        );
+        assert_eq!(
+            doc.engine["console_lines"],
+            study.sim.console.len() as u64
+        );
+        assert_eq!(
+            doc.engine["swaps_fired"],
+            study.sim.truth.swaps.len() as u64
+        );
+        // SEC replay saw every console line.
+        assert_eq!(doc.sec["events_ingested"], study.sim.console.len() as u64);
+        // nvsmi fleet rollup matches a direct summarize.
+        let fleet = titan_nvsmi::summarize(&study.sim.final_snapshots);
+        assert_eq!(doc.nvsmi["fleet_total_sbe"], fleet.total_sbe);
+        // Accepted + thinned = drafts that reached an in-production card.
+        assert!(doc.engine["sbe_accepted"] + doc.engine["sbe_thinned"] <= doc.faults["sbe_drafts"]);
+    }
+
+    /// Replicate with collect_obs: per-seed documents are identical at
+    /// any thread width, and the artifact carries the obs bands.
+    #[test]
+    fn replicate_obs_docs_are_thread_width_invariant() {
+        let mut a = opts(10, 3, 1);
+        a.collect_obs = true;
+        let mut b = opts(10, 3, 3);
+        b.collect_obs = true;
+        let seq = replicate(&a).unwrap();
+        let par = replicate(&b).unwrap();
+        for (x, y) in seq.runs.iter().zip(&par.runs) {
+            let dx = x.obs.as_ref().expect("seq doc");
+            let dy = y.obs.as_ref().expect("par doc");
+            assert_eq!(dx.to_json(), dy.to_json(), "seed {}", x.seed);
+        }
+        let doc = obs_replicate_doc(&seq).expect("all seeds collected");
+        assert_eq!(doc.per_seed.len(), 3);
+        assert!(doc.bands.contains_key("engine.events_dequeued"));
+        let json = render_obs_metrics_json(&doc);
+        assert!(json.contains("titan-obs-replicate/1"));
+        // Without collection there is no artifact.
+        assert!(obs_replicate_doc(&replicate(&opts(10, 2, 1)).unwrap()).is_none());
     }
 
     #[test]

@@ -21,6 +21,8 @@ use titan_faults::cascade::CascadeModel;
 use titan_faults::hardware::{DbeProcess, OtbProcess, SbeProcess};
 use titan_faults::rngstream::{RngStreams, StreamTag};
 use titan_faults::software::SoftwareXidModel;
+use titan_faults::telemetry::{DbeDraftStats, OtbDraftStats, SbeDraftStats, SoftDraftStats};
+use titan_obs::{metric_key, Obs, Span, SpanKind};
 use titan_gpu::pages::{RetireDecision, RetirementCause};
 use titan_gpu::{GpuErrorKind, MemoryStructure, PageAddress};
 use titan_nvsmi::{GpuSnapshot, JobEccDelta};
@@ -119,17 +121,27 @@ impl JobTable {
 
     /// Marks job `j` started: occupies its nodes and snapshots the
     /// reported SBE counters (the nvidia-smi prologue).
-    fn start(&mut self, j: u32, job: &ScheduledJob, fleet: &Fleet) {
+    fn start(&mut self, j: u32, job: &ScheduledJob, fleet: &Fleet, obs: &mut Obs) {
         let st = &mut self.state[j as usize];
         st.started = true;
         st.actual_end = job.end;
-        let mut pre = self.spare_pre.pop().unwrap_or_default();
+        let mut pre = match self.spare_pre.pop() {
+            Some(buf) => {
+                obs.reg.inc(obs.cat.engine.pre_sbe_reuse_hits);
+                buf
+            }
+            None => {
+                obs.reg.inc(obs.cat.engine.pre_sbe_allocs);
+                Vec::new()
+            }
+        };
         pre.clear();
         pre.reserve(job.nodes.len());
         for n in &job.nodes {
             self.node_job[n.0 as usize] = j;
             pre.push(reported_sbe_vector(fleet, *n));
         }
+        obs.reg.add(obs.cat.nvsmi.prologue_reads, job.nodes.len() as u64);
         st.pre_sbe = Some(pre);
         self.active_pos[j as usize] = self.active.len() as u32;
         self.active.push(j);
@@ -144,6 +156,7 @@ impl JobTable {
         schedule: &WorkloadSchedule,
         fleet: &Fleet,
         out: &mut SimOutput,
+        obs: &mut Obs,
     ) {
         let st = &mut self.state[j as usize];
         if !st.started || st.ended {
@@ -180,6 +193,14 @@ impl JobTable {
             per_node_sbe.push((*n, node_total));
         }
         self.spare_pre.push(pre);
+        obs.reg.add(obs.cat.nvsmi.epilogue_reads, job.nodes.len() as u64);
+        obs.trace.record(Span {
+            kind: SpanKind::JobLifecycle,
+            start: job.start,
+            end: t,
+            key: job.spec.apid,
+            extra: job.nodes.len() as u64,
+        });
         out.job_sbe.push(JobEccDelta {
             apid: job.spec.apid,
             per_node_sbe,
@@ -235,11 +256,23 @@ impl Simulator {
 
     /// Runs the full simulation.
     pub fn run(&self) -> SimOutput {
+        self.run_with(&mut Obs::disabled())
+    }
+
+    /// Runs the full simulation, recording telemetry into `obs`.
+    ///
+    /// The sink never influences the run: every record call is a pure
+    /// observation of state the engine computes anyway, so
+    /// `run_with(&mut Obs::enabled())` and `run()` produce identical
+    /// [`SimOutput`]s (pinned by the telemetry determinism tests).
+    pub fn run_with(&self, obs: &mut Obs) -> SimOutput {
         let cfg = &self.config;
         let streams = RngStreams::new(cfg.seed);
         let window = cfg.window;
+        let cat = obs.cat;
 
         // --- Generate the workload and fault drafts -------------------
+        obs.phase("engine:workload");
         let schedule = {
             let mut rng = streams.stream(StreamTag::Workload);
             WorkloadSchedule::generate(&cfg.schedule, &mut rng)
@@ -268,9 +301,17 @@ impl Simulator {
             push(&mut heap, &mut payloads, j.end, 2, Ev::JobEnd(i as u32));
         }
 
+        obs.phase("engine:fault_drafts");
         if cfg.enable_dbe {
             let mut rng = streams.stream(StreamTag::Dbe);
             let drafts = DbeProcess::default().sample(&mut rng);
+            if obs.is_enabled() {
+                let s = DbeDraftStats::collect(drafts.iter().filter(|d| d.time < window));
+                obs.reg.add(cat.faults.dbe_drafts, s.total);
+                obs.reg.add(cat.faults.dbe_device_memory, s.device_memory);
+                obs.reg.add(cat.faults.dbe_register_file, s.register_file);
+                obs.reg.add(cat.faults.dbe_inforom_lost, s.inforom_lost);
+            }
             payloads.reserve(drafts.len());
             heap.reserve(drafts.len());
             for d in drafts {
@@ -292,6 +333,12 @@ impl Simulator {
         if cfg.enable_otb {
             let mut rng = streams.stream(StreamTag::OffTheBus);
             let drafts = OtbProcess::default().sample(&mut rng);
+            if obs.is_enabled() {
+                let s = OtbDraftStats::collect(drafts.iter().filter(|d| d.time < window));
+                obs.reg.add(cat.faults.otb_drafts, s.total);
+                obs.reg.add(cat.faults.otb_cluster_roots, s.cluster_roots);
+                obs.reg.add(cat.faults.otb_cluster_children, s.cluster_children);
+            }
             payloads.reserve(drafts.len());
             heap.reserve(drafts.len());
             for d in drafts {
@@ -303,6 +350,15 @@ impl Simulator {
         if cfg.enable_sbe {
             let mut rng = streams.stream(StreamTag::Sbe);
             let drafts = SbeProcess::default().sample(&mut rng);
+            if obs.is_enabled() {
+                let s = SbeDraftStats::collect(drafts.iter().filter(|d| d.time < window));
+                obs.reg.add(cat.faults.sbe_drafts, s.total);
+                for (m, c) in s.per_structure() {
+                    let name = format!("sbe_draft_{}", metric_key(m.label()));
+                    let handle = obs.reg.counter("faults", &name);
+                    obs.reg.add(handle, c);
+                }
+            }
             payloads.reserve(drafts.len());
             heap.reserve(drafts.len());
             for d in drafts {
@@ -323,6 +379,11 @@ impl Simulator {
         if cfg.enable_software {
             let mut rng = streams.stream(StreamTag::SoftwareXid);
             let incidents = SoftwareXidModel::default().sample(&mut rng);
+            if obs.is_enabled() {
+                let s = SoftDraftStats::collect(incidents.iter().filter(|i| i.time < window));
+                obs.reg.add(cat.faults.soft_incidents, s.total);
+                obs.reg.add(cat.faults.soft_job_wide, s.job_wide);
+            }
             payloads.reserve(incidents.len());
             heap.reserve(incidents.len());
             for inc in incidents {
@@ -374,26 +435,37 @@ impl Simulator {
         out.job_sbe.reserve(schedule.jobs.len());
 
         // --- Event loop --------------------------------------------------
+        obs.phase("engine:event_loop");
         while let Some(Reverse((t, _class, seq))) = heap.pop() {
+            obs.reg.inc(cat.engine.events_dequeued);
+            obs.reg.set_max(cat.engine.heap_high_water, heap.len() as u64 + 1);
             if t >= window {
                 // Horizon: everything at/after the window is dropped.
                 // Jobs still running are closed at `window` after the
                 // loop; nothing else may land in the log.
+                obs.reg.inc(cat.engine.events_past_horizon);
                 continue;
             }
             let ev = payloads[seq as usize];
             match ev {
                 Ev::JobStart(j) => {
-                    jobs.start(j, &schedule.jobs[j as usize], &fleet);
+                    obs.reg.inc(cat.engine.ev_job_start);
+                    jobs.start(j, &schedule.jobs[j as usize], &fleet, obs);
+                    obs.reg
+                        .set_max(cat.engine.active_jobs_high_water, jobs.active.len() as u64);
+                    obs.reg
+                        .observe(cat.engine.job_nodes, schedule.jobs[j as usize].nodes.len() as u64);
                 }
                 Ev::JobEnd(j) => {
-                    jobs.end(j, t, &schedule, &fleet, &mut out);
+                    obs.reg.inc(cat.engine.ev_job_end);
+                    jobs.end(j, t, &schedule, &fleet, &mut out, obs);
                 }
                 Ev::Dbe {
                     structure,
                     page,
                     persisted,
                 } => {
+                    obs.reg.inc(cat.engine.ev_dbe);
                     let slot = fleet.pick_dbe_slot(&mut sim_rng);
                     let node = fleet.node_of_slot(slot);
                     let card = fleet.card_at_slot(slot);
@@ -425,9 +497,18 @@ impl Simulator {
 
                     // Crash the job and reboot the node.
                     if let Some(j) = jobs.job_at(node) {
-                        jobs.end(j, t, &schedule, &fleet, &mut out);
+                        jobs.end(j, t, &schedule, &fleet, &mut out, obs);
                     }
                     fleet.card_mut(card).inforom.driver_reload(persisted);
+                    // The node repair/reboot is instantaneous in sim
+                    // time; the span still marks where it happened.
+                    obs.trace.record(Span {
+                        kind: SpanKind::RepairReboot,
+                        start: t,
+                        end: t,
+                        key: node.0 as u64,
+                        extra: 48, // XID 48: double-bit error
+                    });
 
                     if let RetireDecision::Retired(cause) = decision {
                         schedule_retirement(
@@ -439,11 +520,16 @@ impl Simulator {
                             &mut payloads,
                             &mut cascade_rng,
                             &mut out,
+                            obs,
                         );
                     }
 
                     // Cascade children (XID 45 and friends).
-                    for child in cascades.spawn(GpuErrorKind::DoubleBitError, &mut cascade_rng) {
+                    let children = cascades.spawn(GpuErrorKind::DoubleBitError, &mut cascade_rng);
+                    obs.reg.inc(cat.faults.cascade_parents);
+                    obs.reg.add(cat.faults.cascade_children, children.len() as u64);
+                    obs.reg.observe(cat.faults.cascade_fanout, children.len() as u64);
+                    for child in children {
                         let seq2 = payloads.len() as u64;
                         payloads.push(Ev::Child {
                             node,
@@ -469,6 +555,7 @@ impl Simulator {
                     }
                 }
                 Ev::Otb => {
+                    obs.reg.inc(cat.engine.ev_otb);
                     let Some(slot) = fleet.pick_otb_slot(&mut sim_rng) else {
                         continue;
                     };
@@ -490,15 +577,23 @@ impl Simulator {
                         card,
                     });
                     if let Some(j) = jobs.job_at(node) {
-                        jobs.end(j, t, &schedule, &fleet, &mut out);
+                        jobs.end(j, t, &schedule, &fleet, &mut out, obs);
                     }
                     // Node reboots after repair; volatile counters clear.
                     fleet.card_mut(card).inforom.driver_reload(false);
+                    obs.trace.record(Span {
+                        kind: SpanKind::RepairReboot,
+                        start: t,
+                        end: t,
+                        key: node.0 as u64,
+                        extra: 0, // off the bus (no XID in the paper's tables)
+                    });
                 }
                 Ev::Sbe {
                     structure,
                     hot_page,
                 } => {
+                    obs.reg.inc(cat.engine.ev_sbe);
                     let Some(card) = fleet.pick_sbe_card(&mut sim_rng) else {
                         continue;
                     };
@@ -517,8 +612,10 @@ impl Simulator {
                     };
                     if sim_rng.gen::<f64>() >= accept_p {
                         out.truth.sbe_rejected += 1;
+                        obs.reg.inc(cat.engine.sbe_thinned);
                         continue;
                     }
+                    obs.reg.inc(cat.engine.sbe_accepted);
                     let page = hot_page.map(PageAddress);
                     let retirement_active = t >= calibration::retirement_xid_introduced();
                     let decision = fleet
@@ -542,10 +639,12 @@ impl Simulator {
                             &mut payloads,
                             &mut cascade_rng,
                             &mut out,
+                            obs,
                         );
                     }
                 }
                 Ev::Soft { kind, job_wide } => {
+                    obs.reg.inc(cat.engine.ev_soft);
                     if job_wide {
                         // Strike a running job, debug runs 8x as likely.
                         let Some(&j) = weighted_job_pick(
@@ -555,6 +654,7 @@ impl Simulator {
                             &mut weight_scratch,
                         ) else {
                             out.truth.software_skipped += 1;
+                            obs.reg.inc(cat.engine.soft_no_target);
                             continue;
                         };
                         let job = &schedule.jobs[j as usize];
@@ -579,7 +679,11 @@ impl Simulator {
                         }
                         // Cascade consequences land on the first node.
                         let first = job.nodes[0];
-                        for child in cascades.spawn(kind, &mut cascade_rng) {
+                        let children = cascades.spawn(kind, &mut cascade_rng);
+                        obs.reg.inc(cat.faults.cascade_parents);
+                        obs.reg.add(cat.faults.cascade_children, children.len() as u64);
+                        obs.reg.observe(cat.faults.cascade_fanout, children.len() as u64);
+                        for child in children {
                             // Target draw comes from the cascade stream so
                             // that disabling cascades leaves every other
                             // stream untouched (clean ablations).
@@ -597,7 +701,7 @@ impl Simulator {
                             heap.push(Reverse((t + child.delay, 1, seq2)));
                         }
                         if kind.crashes_application() {
-                            jobs.end(j, t, &schedule, &fleet, &mut out);
+                            jobs.end(j, t, &schedule, &fleet, &mut out, obs);
                         }
                     } else {
                         // Driver-level: one node, busy nodes preferred.
@@ -620,7 +724,11 @@ impl Simulator {
                             page: None,
                             apid,
                         });
-                        for child in cascades.spawn(kind, &mut cascade_rng) {
+                        let children = cascades.spawn(kind, &mut cascade_rng);
+                        obs.reg.inc(cat.faults.cascade_parents);
+                        obs.reg.add(cat.faults.cascade_children, children.len() as u64);
+                        obs.reg.observe(cat.faults.cascade_fanout, children.len() as u64);
+                        for child in children {
                             let seq2 = payloads.len() as u64;
                             payloads.push(Ev::Child {
                                 node,
@@ -631,12 +739,13 @@ impl Simulator {
                         }
                         if kind.crashes_application() {
                             if let Some(j) = jobs.job_at(node) {
-                                jobs.end(j, t, &schedule, &fleet, &mut out);
+                                jobs.end(j, t, &schedule, &fleet, &mut out, obs);
                             }
                         }
                     }
                 }
                 Ev::Child { node, kind, apid } => {
+                    obs.reg.inc(cat.engine.ev_child);
                     out.console.push(ConsoleEvent {
                         time: t,
                         node,
@@ -647,6 +756,7 @@ impl Simulator {
                     });
                 }
                 Ev::RetireRecord { card } => {
+                    obs.reg.inc(cat.engine.ev_retire_record);
                     // The card may have moved to the spare pool meanwhile.
                     if let Some(slot) = fleet.slot_of_card(card) {
                         let node = fleet.node_of_slot(slot);
@@ -662,15 +772,26 @@ impl Simulator {
                     }
                 }
                 Ev::Swap { slot, card } => {
+                    obs.reg.inc(cat.engine.ev_swap);
                     // The schedule is 24 h stale by now: re-verify before
                     // pulling anything, and clear the pending flag either
                     // way so the card can be re-scheduled later (e.g. when
                     // no spare was available at fire time).
                     swap_pending[card as usize] = false;
                     if !swap_fire_check(&fleet, slot, card) {
+                        obs.reg.inc(cat.engine.swaps_stale);
                         continue;
                     }
                     if let Some((old_card, new_card)) = fleet.swap_out(slot) {
+                        obs.reg.inc(cat.engine.swaps_fired);
+                        // Span covers schedule (24 h earlier) to fire.
+                        obs.trace.record(Span {
+                            kind: SpanKind::HotSpareSwap,
+                            start: t.saturating_sub(24 * 3600),
+                            end: t,
+                            key: slot as u64,
+                            extra: old_card as u64,
+                        });
                         // Hot-spare stress testing: burn the pulled card
                         // in under accelerated load. Its latent DBE
                         // proneness (lemons were usually what crossed the
@@ -697,9 +818,12 @@ impl Simulator {
         }
 
         // End any jobs still running at the horizon.
+        obs.phase("engine:finalize");
         let still_active: Vec<u32> = jobs.active.clone();
+        obs.reg
+            .add(cat.engine.jobs_closed_at_horizon, still_active.len() as u64);
         for j in still_active {
-            jobs.end(j, window, &schedule, &fleet, &mut out);
+            jobs.end(j, window, &schedule, &fleet, &mut out, obs);
         }
 
         // Aprun structure for every completed job (the ALPS log). Uses a
@@ -730,6 +854,12 @@ impl Simulator {
                 GpuSnapshot::take(node, fleet.card(fleet.card_at_slot(slot)), window)
             })
             .collect();
+
+        obs.reg
+            .add(cat.nvsmi.final_snapshots, out.final_snapshots.len() as u64);
+        obs.reg
+            .add(cat.engine.console_lines, out.console.len() as u64);
+        obs.reg.set_max(cat.engine.payload_slots, payloads.len() as u64);
 
         out.console.sort_by_key(|e| e.time);
         out.jobs.sort_by_key(|j| j.start);
@@ -831,6 +961,7 @@ fn schedule_retirement(
     payloads: &mut Vec<Ev>,
     rng: &mut StdRng,
     out: &mut SimOutput,
+    obs: &mut Obs,
 ) {
     let (emitted, delay) = match cause {
         RetirementCause::DoubleBitError => {
@@ -864,6 +995,18 @@ fn schedule_retirement(
         emitted,
     });
     if emitted {
+        // Fault → SEC-visible record causal chain: the XID 63 line the
+        // SEC will see lands `delay` seconds after the triggering fault.
+        obs.trace.record(Span {
+            kind: SpanKind::FaultChain,
+            start: t,
+            end: t + delay,
+            key: card as u64,
+            extra: match cause {
+                RetirementCause::DoubleBitError => 0,
+                RetirementCause::MultipleSingleBitErrors => 1,
+            },
+        });
         let seq = payloads.len() as u64;
         payloads.push(Ev::RetireRecord { card });
         heap.push(Reverse((t + delay, 1, seq)));
@@ -1065,6 +1208,7 @@ mod tests {
             &mut payloads,
             &mut rng,
             &mut out,
+            &mut Obs::disabled(),
         );
         assert_eq!(out.truth.retirements.len(), 1);
         assert!(!out.truth.retirements[0].emitted);
@@ -1079,6 +1223,7 @@ mod tests {
             &mut payloads,
             &mut rng,
             &mut out,
+            &mut Obs::disabled(),
         );
         assert!(out.truth.retirements[1].emitted);
         assert_eq!(heap.len(), 1);

@@ -21,6 +21,13 @@
 //!   runs **across** independent simulations — the replication runner
 //!   and the analysis side may fan out; the event loop itself must stay
 //!   single-threaded or per-run byte-identity dies.
+//! - **D5** — wall-clock *types* (`std::time::`, `Instant`,
+//!   `SystemTime`, `.elapsed(`) are forbidden in non-test engine code:
+//!   engine crates may only record telemetry through the sim-time
+//!   `titan-obs` API, so their metrics stay byte-identical across
+//!   seeds and thread widths. Wall-clock profiling lives in the
+//!   runner/bench/CLI layer (see OBSERVABILITY.md). A line already
+//!   reported by D1 is not reported again.
 //! - **P1** — a ratcheting `.unwrap()` / `panic!` budget per crate,
 //!   persisted in `crates/xtask/lint-baseline.toml`; counts may only
 //!   go down.
@@ -38,7 +45,7 @@ use std::path::{Path, PathBuf};
 /// `bench`, `xtask`) may use wall-clock and hashed containers; they
 /// consume sim output, they don't produce it.
 pub const SIM_CRATE_DIRS: &[&str] = &[
-    "core", "simulator", "faults", "gpu", "workload", "topology", "conlog", "nvsmi",
+    "core", "simulator", "faults", "gpu", "workload", "topology", "conlog", "nvsmi", "obs",
 ];
 
 /// Crates that *produce* simulation output — the D4 scope. Strictly the
@@ -46,7 +53,7 @@ pub const SIM_CRATE_DIRS: &[&str] = &[
 /// the pool for its figure computations, and `runner` exists to fan
 /// whole simulations across threads; neither may appear here.
 pub const ENGINE_CRATE_DIRS: &[&str] = &[
-    "simulator", "faults", "gpu", "workload", "topology", "conlog", "nvsmi",
+    "simulator", "faults", "gpu", "workload", "topology", "conlog", "nvsmi", "obs",
 ];
 
 /// Lint rule identifiers.
@@ -60,6 +67,9 @@ pub enum Rule {
     D3,
     /// Threading primitive inside an engine crate.
     D4,
+    /// Wall-clock type in non-test engine code (telemetry must go
+    /// through the sim-time titan-obs API).
+    D5,
     /// Unwrap/panic budget regression.
     P1,
 }
@@ -71,6 +81,7 @@ impl fmt::Display for Rule {
             Rule::D2 => "D2",
             Rule::D3 => "D3",
             Rule::D4 => "D4",
+            Rule::D5 => "D5",
             Rule::P1 => "P1",
         };
         write!(f, "{s}")
@@ -127,6 +138,17 @@ const D4_TOKENS: &[(&str, &str)] = &[
     ("scope_map(", "the pool's scope_map"),
 ];
 
+/// D5 forbidden tokens: wall-clock *types and readings*, wider than
+/// D1's `::now()` constructors — holding an `Instant` or a
+/// `std::time::Duration` in engine state is already a time-domain
+/// leak, whether or not this line reads the clock.
+const D5_TOKENS: &[(&str, &str)] = &[
+    ("std::time::", "a std::time type"),
+    ("Instant", "an Instant"),
+    ("SystemTime", "a SystemTime"),
+    (".elapsed(", "an .elapsed() reading"),
+];
+
 /// Comparator call sites D3 inspects.
 const D3_CONTEXTS: &[&str] = &[
     "sort_by",
@@ -164,9 +186,11 @@ pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool, engine_scope: bool
 
         // D1: anywhere in sim crates, test code included — a test that
         // consults the wall clock flakes just as surely.
+        let mut d1_on_line = false;
         if sim_scope {
             for (token, name) in D1_TOKENS {
                 if line.code.contains(token) {
+                    d1_on_line = true;
                     out.findings.push(Finding {
                         file: rel_path.to_string(),
                         line: lineno,
@@ -213,6 +237,31 @@ pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool, engine_scope: bool
                         ),
                         hint: "keep the event loop single-threaded; fan out whole runs \
                                via titan-runner::replicate instead"
+                            .to_string(),
+                    });
+                    break; // one finding per line is enough
+                }
+            }
+        }
+
+        // D5: non-test engine code may only record telemetry through
+        // the sim-time titan-obs API. A line D1 already reported (the
+        // `::now()` call) is not reported twice — D5 exists for the
+        // wall-clock *types* D1's constructor tokens miss.
+        if engine_scope && !line.in_test && !d1_on_line {
+            for (token, name) in D5_TOKENS {
+                if line.code.contains(token) {
+                    out.findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        rule: Rule::D5,
+                        message: format!(
+                            "{name} inside an engine crate — telemetry there must stay \
+                             in the sim time domain"
+                        ),
+                        hint: "record through titan-obs (sim-time counters/spans); \
+                               wall-clock profiling belongs in the runner/bench/CLI \
+                               layer — see OBSERVABILITY.md"
                             .to_string(),
                     });
                     break; // one finding per line is enough
@@ -758,6 +807,38 @@ mod tests {
     fn d4_one_finding_per_line() {
         let src = "fn f() { rayon::scope_map(v, std::thread::available_parallelism(), g); }\n";
         assert_eq!(engine_findings(src), vec![Rule::D4]);
+    }
+
+    #[test]
+    fn d5_flags_wall_clock_types_in_engine_scope_only() {
+        // No `::now()` call anywhere — D1 stays silent, D5 must not.
+        let src = "use std::time::Duration;\n\
+                   pub struct Meter { t0: Instant }\n\
+                   pub fn f(m: &Meter) -> u128 { m.t0.elapsed().as_millis() }\n";
+        assert_eq!(engine_findings(src), vec![Rule::D5, Rule::D5, Rule::D5]);
+        // Outside the engine scope (core, runner, analysis side) the
+        // same code is fine: wall-clock profiling lives there.
+        assert!(findings(src, true).is_empty());
+        assert!(findings(src, false).is_empty());
+    }
+
+    #[test]
+    fn d5_defers_to_d1_on_the_same_line() {
+        // The classic injected violation: one line carrying both the
+        // type and the ::now() call must yield exactly one finding (D1).
+        let src = "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+        assert_eq!(engine_findings(src), vec![Rule::D1]);
+    }
+
+    #[test]
+    fn d5_exempts_test_modules_comments_and_strings() {
+        let src = "// an Instant would be wrong here\n\
+                   let msg = \"SystemTime drift\";\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t(d: std::time::Duration) -> u64 { d.as_secs() }\n\
+                   }\n";
+        assert!(engine_findings(src).is_empty());
     }
 
     #[test]

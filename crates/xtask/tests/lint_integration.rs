@@ -199,6 +199,50 @@ fn real_engine_crates_have_no_threading() {
 }
 
 #[test]
+fn injected_d5_violation_fails_in_engine_crate_only() {
+    let root = scaffold("lint_d5");
+    // A stored Duration — no `::now()` call, so D1 cannot see it; the
+    // wall-clock *type* leaking into engine state is D5's job.
+    let src = "pub fn t(d: std::time::Duration) -> u64 { d.as_secs() }\n";
+    fs::write(root.join("crates/simulator/src/meter.rs"), src).unwrap();
+    let found = lint(&root, &zero_baseline());
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].0, Rule::D5);
+    assert!(found[0].1.ends_with("meter.rs:1"), "got {}", found[0].1);
+
+    // The same code in the analysis-scope crate is allowed: profiling
+    // wall time is exactly what the bench/CLI side does.
+    let root2 = scaffold("lint_d5_stats");
+    fs::write(root2.join("crates/stats/src/meter.rs"), src).unwrap();
+    assert!(lint(&root2, &zero_baseline()).is_empty());
+}
+
+/// The satellite guarantee for PR 3: the *real* engine crates
+/// (simulator, faults, gpu, workload, topology, conlog, nvsmi, obs)
+/// record telemetry only through the sim-time titan-obs API — no
+/// wall-clock types or readings anywhere in their non-test code, so
+/// every metrics document is byte-identical across thread widths.
+#[test]
+fn real_engine_crates_record_only_sim_time_telemetry() {
+    let root = xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let baseline_text =
+        fs::read_to_string(root.join("crates/xtask/lint-baseline.toml")).expect("baseline");
+    let baseline = Baseline::parse(&baseline_text).expect("parse baseline");
+    let report = run_lint(&root, &baseline).expect("scan");
+    let wall_clock: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::D5 || f.rule == Rule::D1)
+        .map(|f| format!("{}:{}: [{}]", f.file, f.line, f.rule))
+        .collect();
+    assert!(
+        wall_clock.is_empty(),
+        "wall-clock telemetry inside engine crates: {wall_clock:?}"
+    );
+}
+
+#[test]
 fn missing_baseline_entry_is_reported() {
     let root = scaffold("lint_missing_entry");
     let b = Baseline::default(); // no budgets at all

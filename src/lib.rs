@@ -26,6 +26,8 @@ pub use titan_conlog as conlog;
 pub use titan_faults as faults;
 pub use titan_gpu as gpu;
 pub use titan_nvsmi as nvsmi;
+pub use titan_obs as obs;
+pub use titan_runner as runner;
 pub use titan_sim as sim;
 pub use titan_stats as stats;
 pub use titan_topology as topology;

@@ -2,26 +2,43 @@
 //!
 //! ```text
 //! titan-repro taxonomy                      Tables 1 & 2 (XID taxonomy)
-//! titan-repro run   [--days N] [--seed S]   simulate and print the report
-//! titan-repro check [--days N] [--seed S]   evaluate paper-shape checks;
+//! titan-repro run   [--days N] [--seed S] [--metrics FILE]
+//!                                           simulate and print the report
+//! titan-repro check [--days N] [--seed S] [--metrics FILE] [--json FILE]
+//!                                           evaluate paper-shape checks;
 //!                                           exit 1 on any FAIL
 //! titan-repro logs  [--days N] [--seed S] --out DIR
 //!                                           write console/job/aprun logs
 //! titan-repro replicate --seeds N [--threads T] [--days D] [--seed S]
 //!                       [--skip-expectations] [--out FILE.json]
+//!                       [--metrics FILE.json]
 //!                                           run N seeds in parallel and
 //!                                           report mean/95% CI bands
+//! titan-repro profile [--days N] [--seed S] [--metrics FILE]
+//!                                           run a window and print a
+//!                                           per-phase wall-time and
+//!                                           per-subsystem metric breakdown
 //! ```
 //!
 //! Without `--days` the full Jun'13–Feb'15 window runs (about two
 //! minutes in release). Everything is seed-deterministic: the same
 //! seed and window produce byte-identical output.
+//!
+//! Time domains: the metrics documents written by `--metrics` carry
+//! sim-time quantities only and are byte-identical across thread
+//! widths; wall-clock timing appears exclusively in `profile` output
+//! (this binary is outside the engine, so `std::time` is allowed here —
+//! see OBSERVABILITY.md and lint rule D5).
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 use titan_gpu_reliability::gpu::{ErrorCategory, GpuErrorKind};
 use titan_gpu_reliability::sim::Simulator;
 use titan_gpu_reliability::{evaluate_all, full_report, Study, StudyConfig, Verdict};
+use titan_obs::Obs;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +52,7 @@ fn main() -> ExitCode {
         "check" => check(&args[1..]),
         "logs" => logs(&args[1..]),
         "replicate" => replicate(&args[1..]),
+        "profile" => profile(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -54,16 +72,27 @@ const USAGE: &str = "usage: titan-repro <command> [options]
 
 commands:
   taxonomy                          print Tables 1 & 2 (the XID taxonomy)
-  run   [--days N] [--seed S]       simulate and print the full report
-  check [--days N] [--seed S]       run the paper-shape checks; exit 1 on FAIL
+  run   [--days N] [--seed S] [--metrics FILE]
+                                    simulate and print the full report;
+                                    --metrics writes the sim-time telemetry
+                                    document (stable JSON, seed-deterministic)
+  check [--days N] [--seed S] [--metrics FILE] [--json FILE]
+                                    run the paper-shape checks; exit 1 on FAIL;
+                                    --json writes per-check verdicts as JSON
   logs  [--days N] [--seed S] --out DIR
                                     write console.log / job.log / aprun.log
   replicate --seeds N [--threads T] [--days D] [--seed S]
-            [--skip-expectations] [--out FILE.json]
+            [--skip-expectations] [--out FILE.json] [--metrics FILE.json]
                                     run N independent seeds across T threads
                                     (default: all cores) and report mean/95% CI
                                     bands; per-seed output is byte-identical
-                                    to a sequential run of the same seed
+                                    to a sequential run of the same seed;
+                                    --metrics writes per-seed telemetry
+                                    documents plus aggregate metric bands
+  profile [--days N] [--seed S] [--metrics FILE]
+                                    run one window with telemetry enabled and
+                                    print a per-phase wall-time table plus a
+                                    per-subsystem sim-metrics breakdown
 
 Without --days the full 21-month study window runs (~2 min in release).";
 
@@ -72,6 +101,8 @@ struct Opts {
     days: Option<u64>,
     seed: Option<u64>,
     out: Option<String>,
+    metrics: Option<String>,
+    json: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -79,6 +110,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         days: None,
         seed: None,
         out: None,
+        metrics: None,
+        json: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -100,6 +133,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--out" => {
                 opts.out = Some(it.next().ok_or("--out needs a directory")?.clone());
             }
+            "--metrics" => {
+                opts.metrics = Some(it.next().ok_or("--metrics needs a file")?.clone());
+            }
+            "--json" => {
+                opts.json = Some(it.next().ok_or("--json needs a file")?.clone());
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -120,6 +159,35 @@ fn study_config(opts: &Opts) -> Result<StudyConfig, String> {
         .validate()
         .map_err(|e| format!("invalid configuration: {e}"))?;
     Ok(config)
+}
+
+fn write_text(path: &str, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// Runs a study, collecting telemetry only when the sink is enabled
+/// (`--metrics`, or always under `profile`). Collection never perturbs
+/// the run — the digest-equality tests in `titan-runner` pin that — so
+/// the printed report is identical either way.
+fn run_study(
+    config: StudyConfig,
+    obs: &mut Obs,
+) -> (
+    titan_gpu_reliability::study::CompletedStudy,
+    Option<titan_runner::MetricsDoc>,
+) {
+    let seed = config.sim.seed;
+    let window = config.sim.window;
+    let study = Study::new(config).run_with_obs(obs);
+    let doc = if obs.is_enabled() {
+        obs.phase("cli:collect_metrics");
+        Some(titan_runner::collect_metrics(&study.sim, seed, window, obs))
+    } else {
+        None
+    };
+    (study, doc)
 }
 
 fn taxonomy(args: &[String]) -> Result<ExitCode, String> {
@@ -158,18 +226,50 @@ fn print_kind(k: GpuErrorKind) {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
+    if opts.json.is_some() {
+        return Err("--json applies to `check` only".into());
+    }
     let config = study_config(&opts)?;
-    let study = Study::new(config).run();
+    let mut obs = Obs::new(opts.metrics.is_some());
+    let (study, doc) = run_study(config, &mut obs);
     println!("{}", full_report(&study));
+    if let (Some(path), Some(doc)) = (&opts.metrics, &doc) {
+        write_text(path, &doc.to_json())?;
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// One line of the `check --json` document.
+#[derive(serde::Serialize)]
+struct CheckVerdict {
+    id: String,
+    verdict: String,
+    paper: String,
+    measured: String,
+}
+
+/// The `check --json` document: machine-readable per-check verdicts.
+#[derive(serde::Serialize)]
+struct CheckDoc {
+    schema: String,
+    seed: u64,
+    window_days: u64,
+    pass: u32,
+    weak: u32,
+    fail: u32,
+    checks: Vec<CheckVerdict>,
 }
 
 fn check(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     let config = study_config(&opts)?;
-    let study = Study::new(config).run();
+    let seed = config.sim.seed;
+    let window_days = config.sim.window / 86_400;
+    let mut obs = Obs::new(opts.metrics.is_some());
+    let (study, doc) = run_study(config, &mut obs);
     let figures = study.figures();
     let (mut pass, mut weak, mut fail) = (0u32, 0u32, 0u32);
+    let mut checks = Vec::new();
     for e in evaluate_all(&figures) {
         println!("[{}] {:<6} {}", e.verdict, e.id, e.measured);
         match e.verdict {
@@ -177,8 +277,32 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             Verdict::Weak => weak += 1,
             Verdict::Fail => fail += 1,
         }
+        checks.push(CheckVerdict {
+            id: e.id,
+            verdict: e.verdict.to_string(),
+            paper: e.paper,
+            measured: e.measured,
+        });
     }
     println!("{pass} PASS / {weak} WEAK / {fail} FAIL");
+    if let Some(path) = &opts.json {
+        let doc = CheckDoc {
+            schema: "titan-check/1".to_string(),
+            seed,
+            window_days,
+            pass,
+            weak,
+            fail,
+            checks,
+        };
+        let mut json = serde_json::to_string_pretty(&doc)
+            .map_err(|e| format!("serialize checks: {e}"))?;
+        json.push('\n');
+        write_text(path, &json)?;
+    }
+    if let (Some(path), Some(doc)) = (&opts.metrics, &doc) {
+        write_text(path, &doc.to_json())?;
+    }
     if fail > 0 {
         return Ok(ExitCode::FAILURE);
     }
@@ -191,6 +315,7 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
     let mut seeds: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut metrics: Option<String> = None;
     let mut skip_expectations = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -206,6 +331,9 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
             "--threads" => threads = Some(num("--threads")? as usize),
             "--skip-expectations" => skip_expectations = true,
             "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
+            "--metrics" => {
+                metrics = Some(it.next().ok_or("--metrics needs a file")?.clone());
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -224,6 +352,7 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
     let threads = threads.unwrap_or_else(titan_runner::recommended_threads);
     let mut opts = titan_runner::ReplicateOptions::consecutive(base, base_seed, n, threads);
     opts.skip_expectations = skip_expectations;
+    opts.collect_obs = metrics.is_some();
     let report = titan_runner::replicate(&opts)?;
     print!("{}", titan_runner::render_report(&report));
     if let Some(path) = out {
@@ -232,11 +361,121 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
         std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
     }
+    if let Some(path) = metrics {
+        let doc = titan_runner::obs_replicate_doc(&report)
+            .ok_or("replicate produced no telemetry (internal error)")?;
+        write_text(&path, &titan_runner::render_obs_metrics_json(&doc))?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Wall-clock phase ledger the profiler's hook writes into. This is the
+/// only place in the workspace where phase markers meet `Instant`: the
+/// engine emits pure `&'static str` markers, and this CLI timestamps
+/// them on arrival (lint rule D5 keeps it that way).
+struct PhaseClock {
+    started: Instant,
+    current: Option<(&'static str, Instant)>,
+    done: Vec<(&'static str, Duration)>,
+}
+
+impl PhaseClock {
+    fn new() -> Self {
+        PhaseClock {
+            started: Instant::now(),
+            current: None,
+            done: Vec::new(),
+        }
+    }
+
+    fn mark(&mut self, name: &'static str) {
+        let now = Instant::now();
+        if let Some((prev, t0)) = self.current.take() {
+            self.done.push((prev, now.duration_since(t0)));
+        }
+        self.current = Some((name, now));
+    }
+
+    fn finish(&mut self) -> Duration {
+        self.mark("cli:done");
+        self.current = None;
+        self.started.elapsed()
+    }
+}
+
+fn profile(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    if opts.json.is_some() || opts.out.is_some() {
+        return Err("profile takes --days / --seed / --metrics only".into());
+    }
+    let config = study_config(&opts)?;
+    let seed = config.sim.seed;
+    let window_days = config.sim.window / 86_400;
+
+    let clock = Rc::new(RefCell::new(PhaseClock::new()));
+    let mut obs = Obs::enabled();
+    let hook_clock = Rc::clone(&clock);
+    obs.set_phase_hook(Box::new(move |name| hook_clock.borrow_mut().mark(name)));
+
+    let (study, doc) = run_study(config, &mut obs);
+    obs.phase("cli:figures_checks");
+    let figures = study.figures();
+    let evals = evaluate_all(&figures);
+    let total = clock.borrow_mut().finish();
+    let doc = doc.ok_or("profile collected no telemetry (internal error)")?;
+
+    println!("titan-repro profile — seed {seed}, {window_days} days");
+    println!();
+    println!("phase breakdown (wall clock, this host):");
+    for (name, dur) in &clock.borrow().done {
+        println!("  {name:<28} {:>10.3} ms", dur.as_secs_f64() * 1e3);
+    }
+    println!("  {:<28} {:>10.3} ms", "total", total.as_secs_f64() * 1e3);
+    println!();
+    println!("sim-time telemetry (seed-deterministic; see OBSERVABILITY.md):");
+    for (section, map) in [
+        ("engine", &doc.engine),
+        ("faults", &doc.faults),
+        ("sec", &doc.sec),
+        ("nvsmi", &doc.nvsmi),
+    ] {
+        println!("  [{section}]");
+        for (name, value) in map {
+            println!("    {name:<38} {value:>12}");
+        }
+    }
+    println!("  [histograms]");
+    for (name, h) in &doc.histograms {
+        println!("    {name:<38} count {:>8}  sum {:>10}", h.count, h.sum);
+    }
+    println!("  [spans]");
+    for (kind, count) in &doc.spans.by_kind {
+        println!("    {kind:<38} {count:>12}");
+    }
+    println!(
+        "    {:<38} {:>12}  (ring keeps {}, dropped {})",
+        "recorded",
+        doc.spans.recorded,
+        doc.spans.recent.len(),
+        doc.spans.dropped
+    );
+    let fails = evals.iter().filter(|e| e.verdict == Verdict::Fail).count();
+    println!();
+    println!(
+        "checks: {} evaluated, {fails} FAIL (run `titan-repro check` for detail)",
+        evals.len()
+    );
+    if let Some(path) = &opts.metrics {
+        write_text(path, &doc.to_json())?;
+    }
     Ok(ExitCode::SUCCESS)
 }
 
 fn logs(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
+    if opts.metrics.is_some() || opts.json.is_some() {
+        return Err("logs takes --days / --seed / --out only".into());
+    }
     let out_dir = opts.out.clone().ok_or("logs requires --out DIR")?;
     let config = study_config(&opts)?;
     let sim = Simulator::new(config.sim)?;
