@@ -195,6 +195,7 @@ impl SbeProcess {
 
     /// Expected total SBEs over the window.
     pub fn expected_total(&self) -> f64 {
+        // lint: allow(N1, STUDY_SECONDS = 55,123,200 is exact in f64)
         self.per_day * STUDY_SECONDS as f64 / 86_400.0
     }
 
@@ -203,8 +204,10 @@ impl SbeProcess {
     /// repeats collide and retire the page) and a uniformly random page
     /// otherwise.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<SbeDraft> {
+        // lint: allow(N1, 638 whole study days fit any usize)
         let days = (STUDY_SECONDS / 86_400) as usize;
         let counter = PoissonCounter::new(self.per_day).expect("nonneg volume");
+        // lint: allow(N1, capacity hint only — a short allocation cannot corrupt counts)
         let mut out = Vec::with_capacity((self.expected_total() * 1.05) as usize);
         for d in 0..days {
             let n = counter.sample(rng);

@@ -34,9 +34,11 @@ impl PoissonProcess {
             return out;
         }
         let exp = Exponential::new(self.rate_per_sec).expect("validated rate");
+        // lint: allow(N1, sim times stay far below 2^53 and are exact in f64)
         let mut t = start as f64;
         loop {
             t += exp.sample(rng);
+            // lint: allow(N1, sim times stay far below 2^53 and are exact in f64)
             if t >= end as f64 {
                 return out;
             }

@@ -42,6 +42,7 @@ pub struct SoftwareXidModel {
 impl Default for SoftwareXidModel {
     fn default() -> Self {
         const DAY: f64 = 86_400.0;
+        // lint: allow(N1, STUDY_SECONDS = 55,123,200 is exact in f64)
         let per_total = |target: f64| target / STUDY_SECONDS as f64;
         SoftwareXidModel {
             xid13: BurstProcess {

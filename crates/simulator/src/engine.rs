@@ -143,6 +143,7 @@ impl JobTable {
         }
         obs.reg.add(obs.cat.nvsmi.prologue_reads, job.nodes.len() as u64);
         st.pre_sbe = Some(pre);
+        // lint: allow(N1, active job count is bounded by the schedule length, far below 2^32)
         self.active_pos[j as usize] = self.active.len() as u32;
         self.active.push(j);
     }
@@ -175,6 +176,7 @@ impl JobTable {
         self.active_pos[j as usize] = NO_JOB;
         self.active.swap_remove(pos);
         if let Some(&moved) = self.active.get(pos) {
+            // lint: allow(N1, pos indexes the active vec, bounded by the schedule length)
             self.active_pos[moved as usize] = pos as u32;
         }
 
@@ -289,6 +291,7 @@ impl Simulator {
                     t: SimTime,
                     class: u8,
                     ev: Ev| {
+            // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
             let seq = payloads.len() as u64;
             payloads.push(ev);
             heap.push(Reverse((t, class, seq)));
@@ -297,6 +300,7 @@ impl Simulator {
         // Job lifecycle events. Class 0 = starts (before same-time faults),
         // class 2 = ends (after same-time faults).
         for (i, j) in schedule.jobs.iter().enumerate() {
+            // lint: allow(N1, job index: the window's schedule holds far fewer than 2^32 jobs)
             push(&mut heap, &mut payloads, j.start, 0, Ev::JobStart(i as u32));
             push(&mut heap, &mut payloads, j.end, 2, Ev::JobEnd(i as u32));
         }
@@ -711,6 +715,7 @@ impl Simulator {
                                 None => {
                                     // Idle machine: any compute node.
                                     let slot = sim_rng
+                                        // lint: allow(N1, COMPUTE_NODES is the constant 18,688)
                                         .gen_range(0..titan_topology::COMPUTE_NODES as u32);
                                     fleet.node_of_slot(slot)
                                 }
@@ -848,6 +853,7 @@ impl Simulator {
         }
 
         // Final fleet snapshots (per production slot).
+        // lint: allow(N1, COMPUTE_NODES is the constant 18,688)
         out.final_snapshots = (0..titan_topology::COMPUTE_NODES as u32)
             .map(|slot| {
                 let node = fleet.node_of_slot(slot);
@@ -979,7 +985,7 @@ fn schedule_retirement(
                 )
                 .expect("positive mean")
                 .sample(rng)
-                .min(590.0) as u64;
+                .min(590.0) as u64; // lint: allow(N1, clamped to ≤ 590 before the cast)
                 (true, d.max(1))
             }
         }
@@ -1007,6 +1013,7 @@ fn schedule_retirement(
                 RetirementCause::MultipleSingleBitErrors => 1,
             },
         });
+        // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
         let seq = payloads.len() as u64;
         payloads.push(Ev::RetireRecord { card });
         heap.push(Reverse((t + delay, 1, seq)));

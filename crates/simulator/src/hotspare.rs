@@ -56,8 +56,14 @@ impl Default for StressTestConfig {
 /// Outcome of one card's burn-in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StressOutcome {
-    /// Errors reproduced during burn-in.
-    pub errors_reproduced: u32,
+    /// Errors reproduced during burn-in. `u64` like every event count
+    /// in the simulator: `PoissonCounter::sample` returns `u64`, and
+    /// its normal-approximation branch (mean > 30) can legitimately
+    /// exceed `u32::MAX` for a pathological card under a long,
+    /// heavily-accelerated burn-in — a `u32` here once wrapped that
+    /// count and could flip `returned_to_vendor` back to false for
+    /// exactly the worst cards.
+    pub errors_reproduced: u64,
     /// Whether the card is returned to the vendor.
     pub returned_to_vendor: bool,
 }
@@ -74,10 +80,10 @@ pub fn stress_test<R: Rng + ?Sized>(
         config.base_rate_per_hour * dbe_weight * config.acceleration * config.burn_in_hours;
     let errors = PoissonCounter::new(mean.max(0.0))
         .expect("nonnegative mean")
-        .sample(rng) as u32;
+        .sample(rng);
     StressOutcome {
         errors_reproduced: errors,
-        returned_to_vendor: errors >= config.fail_threshold,
+        returned_to_vendor: errors >= u64::from(config.fail_threshold),
     }
 }
 
@@ -164,6 +170,29 @@ mod tests {
         for _ in 0..200 {
             let o = stress_test(&cfg, 1_000_000.0, &mut rng);
             assert_eq!(o.returned_to_vendor, o.errors_reproduced >= 3);
+        }
+    }
+
+    /// Regression: the error count used to be truncated `as u32`.
+    /// PoissonCounter's normal-approximation branch returns counts far
+    /// beyond u32::MAX for a catastrophically bad card, and the wrap
+    /// could land below the threshold — returning the very worst
+    /// lemons to the spare pool instead of the vendor.
+    #[test]
+    fn astronomical_error_counts_do_not_wrap_past_the_threshold() {
+        let cfg = StressTestConfig::default();
+        // Drive the Poisson mean past 2^32: burn-in mean for weight w is
+        // w * acceleration * base_rate * hours ≈ w * 0.0225.
+        let weight = 2.0_f64.powi(40);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let o = stress_test(&cfg, weight, &mut rng);
+            assert!(
+                o.errors_reproduced > u64::from(u32::MAX),
+                "test premise: mean must exceed the old u32 range, got {}",
+                o.errors_reproduced
+            );
+            assert!(o.returned_to_vendor, "wrapped count flipped the verdict");
         }
     }
 }

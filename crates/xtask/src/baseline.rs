@@ -1,0 +1,237 @@
+//! The committed ratchet baseline (`crates/xtask/lint-baseline.toml`).
+//!
+//! Two sections, both per-crate, both ratcheting downward only:
+//!
+//! - `[budgets]` — non-test `.unwrap()` + `panic!` count (rule P1)
+//! - `[n1]` — non-test lossy `as <numeric-type>` cast count in
+//!   simulation crates (rule N1)
+//!
+//! The file is never hand-edited: `cargo xtask lint --update-baseline`
+//! rewrites it deterministically (BTreeMap key order, fixed header,
+//! trailing newline), and CI fails when the committed bytes differ from
+//! the regenerated ones.
+
+use std::collections::BTreeMap;
+
+use crate::{Finding, Rule};
+
+/// The committed per-crate budgets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// crate name → allowed non-test unwrap/panic count (P1).
+    pub budgets: BTreeMap<String, usize>,
+    /// crate name → allowed non-test numeric-cast count (N1).
+    pub n1: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses the minimal TOML subset the baseline file uses:
+    /// `[budgets]` / `[n1]` sections of `"name" = count` lines.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut out = Baseline::default();
+        let mut section: Option<&str> = None;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                section = match line {
+                    "[budgets]" => Some("budgets"),
+                    "[n1]" => Some("n1"),
+                    other => {
+                        return Err(format!(
+                            "lint-baseline.toml:{}: unknown section `{other}`",
+                            n + 1
+                        ))
+                    }
+                };
+                continue;
+            }
+            let Some(section) = section else { continue };
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint-baseline.toml:{}: expected `name = count`", n + 1))?;
+            let key = k.trim().trim_matches('"').to_string();
+            let count: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("lint-baseline.toml:{}: bad count `{}`", n + 1, v.trim()))?;
+            match section {
+                "budgets" => out.budgets.insert(key, count),
+                _ => out.n1.insert(key, count),
+            };
+        }
+        Ok(out)
+    }
+
+    /// Renders the committed form: fixed header, sorted keys, trailing
+    /// newline. `--update-baseline` writes exactly this, and the CI
+    /// freshness job diffs the committed file against it byte-for-byte.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# titan-lint ratchet baseline — never hand-edit; regenerate with\n\
+             # `cargo xtask lint --update-baseline`. Counts may only go down.\n\
+             #\n\
+             # [budgets]: non-test `.unwrap()` + `panic!` per crate (rule P1).\n\
+             # [n1]:      non-test `as <numeric-type>` casts per sim crate (rule N1);\n\
+             #            burn down via u64 widening / try_into, or annotate benign\n\
+             #            sites with `// lint: allow(N1, reason)`.\n\
+             \n[budgets]\n",
+        );
+        for (name, count) in &self.budgets {
+            out.push_str(&format!("\"{name}\" = {count}\n"));
+        }
+        out.push_str("\n[n1]\n");
+        for (name, count) in &self.n1 {
+            out.push_str(&format!("\"{name}\" = {count}\n"));
+        }
+        out
+    }
+}
+
+/// Compares measured P1 counts against `[budgets]`: every scanned crate
+/// must have an entry (even at zero), counts may only fall. Returns
+/// findings (regressions, missing entries) and improvement notes.
+pub fn check_baseline(
+    baseline: &Baseline,
+    counts: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    let mut findings = Vec::new();
+    let mut notes = Vec::new();
+    for (name, &count) in counts {
+        match baseline.budgets.get(name) {
+            None => findings.push(Finding {
+                file: format!("crates/xtask/lint-baseline.toml ({name})"),
+                line: 0,
+                rule: Rule::P1,
+                message: format!("crate `{name}` has no unwrap/panic budget (measured {count})"),
+                hint: "run `cargo xtask lint --update-baseline` and commit the file".to_string(),
+            }),
+            Some(&budget) if count > budget => findings.push(Finding {
+                file: format!("crates/xtask/lint-baseline.toml ({name})"),
+                line: 0,
+                rule: Rule::P1,
+                message: format!("unwrap/panic count in `{name}` rose from {budget} to {count}"),
+                hint: "replace the new .unwrap()/panic! with error returns; the budget \
+                       only ratchets down"
+                    .to_string(),
+            }),
+            Some(&budget) if count < budget => notes.push(format!(
+                "`{name}` improved: {budget} → {count} unwrap/panic; run \
+                 `cargo xtask lint --update-baseline` to ratchet the budget down"
+            )),
+            _ => {}
+        }
+    }
+    (findings, notes)
+}
+
+/// Compares measured N1 cast counts against `[n1]`. Unlike P1, a crate
+/// missing from the section carries an implicit zero budget — the N1
+/// ratchet only has to stop *new* casts, not force an entry for every
+/// cast-free crate.
+pub fn check_n1_baseline(
+    baseline: &Baseline,
+    n1_counts: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    let mut findings = Vec::new();
+    let mut notes = Vec::new();
+    for (name, &count) in n1_counts {
+        let budget = baseline.n1.get(name).copied().unwrap_or(0);
+        if count > budget {
+            findings.push(Finding {
+                file: format!("crates/xtask/lint-baseline.toml ({name})"),
+                line: 0,
+                rule: Rule::N1,
+                message: format!(
+                    "lossy-cast count in `{name}` rose from {budget} to {count}"
+                ),
+                hint: "widen to u64 / use try_into with an explicit policy, or annotate a \
+                       provably-benign cast with `// lint: allow(N1, reason)`; if the new \
+                       count is truly the floor, run `cargo xtask lint --update-baseline` \
+                       (n1_sites in `--format json` lists every cast)"
+                    .to_string(),
+            });
+        } else if count < budget {
+            notes.push(format!(
+                "`{name}` improved: {budget} → {count} numeric casts; run \
+                 `cargo xtask lint --update-baseline` to ratchet the budget down"
+            ));
+        }
+    }
+    (findings, notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrip_and_ratchet() {
+        let mut baseline = Baseline::default();
+        baseline.budgets.insert("titan-stats".into(), 5);
+        baseline.budgets.insert("titan-sim".into(), 0);
+        baseline.n1.insert("titan-sim".into(), 7);
+        let text = baseline.render();
+        assert_eq!(Baseline::parse(&text).unwrap(), baseline);
+        assert!(text.ends_with('\n'), "trailing newline is part of the format");
+
+        // Rendering is deterministic: same value, same bytes.
+        assert_eq!(text, baseline.render());
+
+        // P1 regression fails.
+        let mut counts = BTreeMap::new();
+        counts.insert("titan-stats".to_string(), 6);
+        counts.insert("titan-sim".to_string(), 0);
+        let (findings, notes) = check_baseline(&baseline, &counts);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::P1);
+        assert!(notes.is_empty());
+
+        // Improvement passes with a ratchet note.
+        counts.insert("titan-stats".to_string(), 3);
+        let (findings, notes) = check_baseline(&baseline, &counts);
+        assert!(findings.is_empty());
+        assert_eq!(notes.len(), 1);
+
+        // Unknown crate requires a budgets entry.
+        counts.insert("titan-new".to_string(), 0);
+        let (findings, _) = check_baseline(&baseline, &counts);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn n1_ratchet_defaults_missing_entries_to_zero() {
+        let mut baseline = Baseline::default();
+        baseline.n1.insert("titan-sim".into(), 7);
+
+        let mut counts = BTreeMap::new();
+        counts.insert("titan-sim".to_string(), 7);
+        counts.insert("titan-faults".to_string(), 0);
+        let (findings, notes) = check_n1_baseline(&baseline, &counts);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(notes.is_empty());
+
+        // A crate with no [n1] entry gets an implicit zero budget.
+        counts.insert("titan-faults".to_string(), 1);
+        let (findings, _) = check_n1_baseline(&baseline, &counts);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::N1);
+        assert!(findings[0].hint.contains("--update-baseline"));
+
+        // Improvement is a note, not a finding.
+        counts.insert("titan-faults".to_string(), 0);
+        counts.insert("titan-sim".to_string(), 3);
+        let (findings, notes) = check_n1_baseline(&baseline, &counts);
+        assert!(findings.is_empty());
+        assert_eq!(notes.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_sections() {
+        assert!(Baseline::parse("[budgets]\n\"a\" = 1\n").is_ok());
+        assert!(Baseline::parse("[mystery]\n\"a\" = 1\n").is_err());
+        assert!(Baseline::parse("[budgets]\n\"a\" = many\n").is_err());
+    }
+}

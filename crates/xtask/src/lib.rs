@@ -3,61 +3,85 @@
 //!
 //! The whole reproduction rests on "same seed ⇒ same Observations
 //! 1–14", so the rules target the ways Rust code silently loses that
-//! property (see DETERMINISM.md for the handbook):
+//! property (see DETERMINISM.md for the handbook and LINTS.md for the
+//! one-table rule catalog):
 //!
 //! - **D1** — wall-clock / entropy sources (`SystemTime::now`,
 //!   `Instant::now`, `thread_rng`, `from_entropy`, `rand::random`)
 //!   are forbidden anywhere in simulation crates.
 //! - **D2** — `HashMap`/`HashSet` in non-test code of simulation
-//!   crates: hash iteration order is seeded per process, so any
-//!   iteration leaks nondeterminism. Use `BTreeMap`/`BTreeSet`, or
-//!   justify get-only usage with a `// lint: sorted-iter` comment.
+//!   crates: hash iteration order is seeded per process. Use
+//!   `BTreeMap`/`BTreeSet`, or justify get-only usage with a
+//!   `// lint: sorted-iter` comment.
 //! - **D3** — `partial_cmp()` + `unwrap`/`expect` inside a comparator
-//!   (`sort_by`, `max_by`, `min_by`, `binary_search_by`): panics on
-//!   NaN and imposes no total order. Use `f64::total_cmp`.
-//! - **D4** — threading primitives (`rayon`, `std::thread`,
-//!   `into_par_iter`, `scope_map`) are forbidden in non-test code of
-//!   *engine* crates (the simulation producers). Parallelism only ever
-//!   runs **across** independent simulations — the replication runner
-//!   and the analysis side may fan out; the event loop itself must stay
-//!   single-threaded or per-run byte-identity dies.
+//!   (`sort_by`, `max_by`, ...): panics on NaN and imposes no total
+//!   order. Use `f64::total_cmp`.
+//! - **D4** — threading primitives are forbidden in non-test code of
+//!   *engine* crates. Parallelism only ever runs **across** independent
+//!   simulations; the event loop itself stays single-threaded.
 //! - **D5** — wall-clock *types* (`std::time::`, `Instant`,
 //!   `SystemTime`, `.elapsed(`) are forbidden in non-test engine code:
-//!   engine crates may only record telemetry through the sim-time
-//!   `titan-obs` API, so their metrics stay byte-identical across
-//!   seeds and thread widths. Wall-clock profiling lives in the
-//!   runner/bench/CLI layer (see OBSERVABILITY.md). A line already
-//!   reported by D1 is not reported again.
+//!   telemetry there goes through the sim-time `titan-obs` API. A line
+//!   already reported by D1 is not reported again.
+//! - **N1** — `as <numeric-type>` casts in non-test simulation code:
+//!   every one is a potential silent event-count or sim-time
+//!   truncation (the paper's own DBE counts were corrupted by exactly
+//!   this failure shape). Justify a benign cast with
+//!   `// lint: allow(N1, reason)`; the remaining count per crate
+//!   ratchets down via the `[n1]` baseline section.
+//! - **L1** — the crate layering contract: `crates/*/Cargo.toml`
+//!   dependency edges must match the DAG in [`layering::LAYERS`]
+//!   (engine crates never depend on runner/bench/CLI or on each other
+//!   outside the declared order; no rayon in engine manifests).
+//! - **S1** — frozen output schemas (`titan-obs/1`, `titan-check/1`,
+//!   `titan-obs-replicate/1`) must match their golden specs in
+//!   `crates/xtask/schemas/` (version literal present, top-level field
+//!   list identical and in order; new version literals need new specs).
 //! - **P1** — a ratcheting `.unwrap()` / `panic!` budget per crate,
-//!   persisted in `crates/xtask/lint-baseline.toml`; counts may only
-//!   go down.
+//!   persisted in `crates/xtask/lint-baseline.toml`.
 //!
-//! The scanner is std-only and line/token-based by design: it must run
-//! before any dependency resolution (CI runs it on a cold checkout) and
-//! its findings must be cheap to recompute on every push.
+//! Since v2 the scanner is **token-based**: every file is lexed by the
+//! hand-rolled [`lexer`] (comments incl. nesting, string/char/raw
+//! literals, identifiers), and rules match needle *token sequences*
+//! against code tokens only. A `HashMap` in a doc comment, an
+//! `Instant::now` in a string literal, or an identifier that merely
+//! *contains* a banned name (`Instantaneous`) can no longer flag.
+//! The scanner stays std-only: it runs on a cold checkout before any
+//! dependency resolution.
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
+pub mod layering;
+pub mod lexer;
+pub mod output;
+pub mod schema;
+
+pub use baseline::{check_baseline, check_n1_baseline, Baseline};
+pub use output::{render_github, render_json};
+
+use lexer::{lex, Tok, TokKind};
+
 /// Crates under `crates/` holding simulation state or feeding it —
-/// the D1/D2 scope. Analysis-side crates (`stats`, `analysis`,
+/// the D1/D2/N1 scope. Analysis-side crates (`stats`, `analysis`,
 /// `bench`, `xtask`) may use wall-clock and hashed containers; they
 /// consume sim output, they don't produce it.
 pub const SIM_CRATE_DIRS: &[&str] = &[
     "core", "simulator", "faults", "gpu", "workload", "topology", "conlog", "nvsmi", "obs",
 ];
 
-/// Crates that *produce* simulation output — the D4 scope. Strictly the
-/// engine side: `core` orchestrates already-produced output and may use
-/// the pool for its figure computations, and `runner` exists to fan
+/// Crates that *produce* simulation output — the D4/D5 scope. Strictly
+/// the engine side: `core` orchestrates already-produced output and may
+/// use the pool for its figure computations, and `runner` exists to fan
 /// whole simulations across threads; neither may appear here.
 pub const ENGINE_CRATE_DIRS: &[&str] = &[
     "simulator", "faults", "gpu", "workload", "topology", "conlog", "nvsmi", "obs",
 ];
 
 /// Lint rule identifiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Wall-clock/entropy source in a simulation crate.
     D1,
@@ -67,24 +91,37 @@ pub enum Rule {
     D3,
     /// Threading primitive inside an engine crate.
     D4,
-    /// Wall-clock type in non-test engine code (telemetry must go
-    /// through the sim-time titan-obs API).
+    /// Wall-clock type in non-test engine code.
     D5,
+    /// Lossy numeric cast budget regression in simulation code.
+    N1,
+    /// Crate layering contract violation.
+    L1,
+    /// Frozen output schema drift.
+    S1,
     /// Unwrap/panic budget regression.
     P1,
 }
 
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl Rule {
+    pub fn as_str(self) -> &'static str {
+        match self {
             Rule::D1 => "D1",
             Rule::D2 => "D2",
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::N1 => "N1",
+            Rule::L1 => "L1",
+            Rule::S1 => "S1",
             Rule::P1 => "P1",
-        };
-        write!(f, "{s}")
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
     }
 }
 
@@ -93,7 +130,7 @@ impl fmt::Display for Rule {
 pub struct Finding {
     /// Workspace-relative file path.
     pub file: String,
-    /// 1-based line number (0 for crate-level findings like P1).
+    /// 1-based line number (0 for crate-level findings like P1/N1).
     pub line: usize,
     pub rule: Rule,
     /// What was found.
@@ -116,40 +153,49 @@ impl fmt::Display for Finding {
     }
 }
 
-/// D1 forbidden tokens and their reported names.
-const D1_TOKENS: &[(&str, &str)] = &[
-    ("SystemTime::now", "SystemTime::now()"),
-    ("Instant::now", "Instant::now()"),
-    ("thread_rng", "thread_rng()"),
-    ("from_entropy", "from_entropy()"),
-    ("rand::random", "rand::random()"),
+/// One `as <numeric-type>` cast site (the N1 burn-down worklist,
+/// surfaced through `--format json` as `n1_sites`).
+#[derive(Debug, Clone)]
+pub struct N1Site {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The cast as written, e.g. `as u32`.
+    pub cast: String,
+}
+
+/// Needle token sequences for D1: entropy/wall-clock *sources*.
+const D1_NEEDLES: &[(&[&str], &str)] = &[
+    (&["SystemTime", ":", ":", "now"], "SystemTime::now()"),
+    (&["Instant", ":", ":", "now"], "Instant::now()"),
+    (&["thread_rng"], "thread_rng()"),
+    (&["from_entropy"], "from_entropy()"),
+    (&["rand", ":", ":", "random"], "rand::random()"),
 ];
 
-/// D4 forbidden tokens: any road into the thread pool or raw threads.
-/// `std::thread` as a token also nets `spawn`/`scope`/`sleep` through
-/// the canonical path; direct `thread::spawn`/`thread::scope` catch the
-/// `use std::thread;` spelling.
-const D4_TOKENS: &[(&str, &str)] = &[
-    ("rayon", "the rayon thread pool"),
-    ("std::thread", "std::thread"),
-    ("thread::spawn", "thread::spawn"),
-    ("thread::scope", "thread::scope"),
-    ("into_par_iter", "a parallel iterator"),
-    ("scope_map(", "the pool's scope_map"),
+/// Needle token sequences for D4: any road into the thread pool or raw
+/// threads.
+const D4_NEEDLES: &[(&[&str], &str)] = &[
+    (&["rayon"], "the rayon thread pool"),
+    (&["std", ":", ":", "thread"], "std::thread"),
+    (&["thread", ":", ":", "spawn"], "thread::spawn"),
+    (&["thread", ":", ":", "scope"], "thread::scope"),
+    (&["into_par_iter"], "a parallel iterator"),
+    (&["scope_map", "("], "the pool's scope_map"),
 ];
 
-/// D5 forbidden tokens: wall-clock *types and readings*, wider than
-/// D1's `::now()` constructors — holding an `Instant` or a
-/// `std::time::Duration` in engine state is already a time-domain
-/// leak, whether or not this line reads the clock.
-const D5_TOKENS: &[(&str, &str)] = &[
-    ("std::time::", "a std::time type"),
-    ("Instant", "an Instant"),
-    ("SystemTime", "a SystemTime"),
-    (".elapsed(", "an .elapsed() reading"),
+/// Needle token sequences for D5: wall-clock *types and readings*,
+/// wider than D1's constructors — holding an `Instant` in engine state
+/// is already a time-domain leak.
+const D5_NEEDLES: &[(&[&str], &str)] = &[
+    (&["std", ":", ":", "time", ":", ":"], "a std::time type"),
+    (&["Instant"], "an Instant"),
+    (&["SystemTime"], "a SystemTime"),
+    (&[".", "elapsed", "("], "an .elapsed() reading"),
 ];
 
-/// Comparator call sites D3 inspects.
+/// Comparator call sites D3 inspects (matched as whole identifiers).
 const D3_CONTEXTS: &[&str] = &[
     "sort_by",
     "sort_unstable_by",
@@ -158,48 +204,209 @@ const D3_CONTEXTS: &[&str] = &[
     "binary_search_by",
 ];
 
+/// The numeric types whose `as` casts N1 counts. Truncation, sign
+/// wrap, and f64-precision loss all ride on these.
+const N1_NUM_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32", "f64",
+];
+
 /// Result of scanning one file.
 #[derive(Debug, Default)]
 pub struct FileScan {
     pub findings: Vec<Finding>,
     /// Non-test `.unwrap()` + `panic!` count (the P1 input).
     pub unwrap_panic: usize,
+    /// Non-test `as <numeric-type>` sites (the N1 input; already
+    /// filtered by the allow hatch). Empty outside sim scope.
+    pub n1_sites: Vec<N1Site>,
 }
 
-/// Per-line view after comment/string stripping and test tracking.
-struct Line<'a> {
-    raw: &'a str,
-    /// Comments and string literal bodies blanked out.
-    code: String,
+/// Per-line view over the token stream.
+struct LineToks {
+    /// Code tokens (non-trivia) whose first byte sits on this line.
+    toks: Vec<Tok>,
     /// True inside a `#[cfg(test)]`-gated item.
     in_test: bool,
+    /// A `// lint: sorted-iter` hatch comment starts on this line.
+    sorted_iter: bool,
+    /// Rule ids from `// lint: allow(RULE, reason)` hatch comments
+    /// starting on this line.
+    allows: Vec<String>,
 }
 
-/// Scans one source file. `sim_scope` turns on D1/D2, `engine_scope`
-/// turns on D4; D3 and the P1 count always run.
+/// The text a rule needle sees for a token: literal bodies are opaque
+/// (a needle can never match into or across a string/char literal),
+/// everything else is the token's own spelling.
+fn needle_text<'a>(src: &'a str, t: &Tok) -> &'a str {
+    if t.kind.is_literal() {
+        "\u{0}"
+    } else {
+        t.text(src)
+    }
+}
+
+/// True when `needle` matches the code tokens starting at `i`.
+fn match_at(src: &str, toks: &[Tok], i: usize, needle: &[&str]) -> bool {
+    toks.len() - i >= needle.len()
+        && needle
+            .iter()
+            .enumerate()
+            .all(|(k, n)| needle_text(src, &toks[i + k]) == *n)
+}
+
+/// True when `needle` matches anywhere in the line's code tokens.
+fn line_has(src: &str, toks: &[Tok], needle: &[&str]) -> bool {
+    (0..toks.len()).any(|i| match_at(src, toks, i, needle))
+}
+
+/// Counts non-overlapping needle matches in a line.
+fn count_matches(src: &str, toks: &[Tok], needle: &[&str]) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        if match_at(src, toks, i, needle) {
+            n += 1;
+            i += needle.len();
+        } else {
+            i += 1;
+        }
+    }
+    n
+}
+
+/// True when the line holds a whole-token identifier from `idents`.
+fn line_has_ident(src: &str, toks: &[Tok], idents: &[&str]) -> bool {
+    toks.iter()
+        .any(|t| t.kind == TokKind::Ident && idents.contains(&t.text(src)))
+}
+
+/// Lexes the file and builds the per-line view: code tokens grouped by
+/// line, `#[cfg(test)]` region tracking (brace-depth based, with the
+/// braceless-item `;` disarm), and escape-hatch comments.
+fn preprocess(src: &str) -> Vec<LineToks> {
+    let toks = lex(src);
+    let n_lines = toks.last().map(|t| t.line).unwrap_or(0).max(src.lines().count());
+    let mut lines: Vec<LineToks> = (0..n_lines)
+        .map(|_| LineToks {
+            toks: Vec::new(),
+            in_test: false,
+            sorted_iter: false,
+            allows: Vec::new(),
+        })
+        .collect();
+
+    for t in &toks {
+        let Some(line) = lines.get_mut(t.line - 1) else { continue };
+        if t.kind.is_comment() {
+            let text = t.text(src);
+            if text.contains("lint: sorted-iter") {
+                line.sorted_iter = true;
+            }
+            if let Some(rest) = text.split("lint: allow(").nth(1) {
+                let rule: String = rest
+                    .chars()
+                    .take_while(|c| *c != ',' && *c != ')')
+                    .collect::<String>()
+                    .trim()
+                    .to_string();
+                if !rule.is_empty() {
+                    line.allows.push(rule);
+                }
+            }
+        } else if t.kind != TokKind::Whitespace {
+            line.toks.push(*t);
+        }
+    }
+
+    // Test-region tracking, token-based: `#[cfg(test)]` arms, the next
+    // `{` opens a region at its depth, the matching `}` closes it, and
+    // a `;` before any `{` disarms (a cfg-gated braceless item).
+    const CFG_TEST: &[&str] = &["#", "[", "cfg", "(", "test", ")", "]"];
+    let mut depth: i32 = 0;
+    let mut regions: Vec<i32> = Vec::new();
+    let mut armed = false;
+    for line in &mut lines {
+        let before = !regions.is_empty();
+        if line_has(src, &line.toks, CFG_TEST) {
+            armed = true;
+        }
+        for t in &line.toks {
+            match needle_text(src, t) {
+                "{" => {
+                    depth += 1;
+                    if armed {
+                        regions.push(depth);
+                        armed = false;
+                    }
+                }
+                "}" => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                ";" if armed => armed = false,
+                _ => {}
+            }
+        }
+        line.in_test = before || !regions.is_empty() || armed;
+    }
+    lines
+}
+
+/// The escape hatch check: a matching hatch comment on the same line
+/// or the line directly above.
+fn hatched(lines: &[LineToks], i: usize, check: impl Fn(&LineToks) -> bool) -> bool {
+    check(&lines[i]) || (i > 0 && check(&lines[i - 1]))
+}
+
+/// Scans one source file. `sim_scope` turns on D1/D2/N1, `engine_scope`
+/// turns on D4/D5; D3 and the P1 count always run.
 pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool, engine_scope: bool) -> FileScan {
     let lines = preprocess(text);
+    let src = text;
     let mut out = FileScan::default();
+    // Dedupe (rule, line, message): a needle matching twice on one line
+    // is still one finding, matching the v1 per-line semantics.
+    let mut seen: BTreeSet<(usize, &'static str, String)> = BTreeSet::new();
+    let push = |out: &mut FileScan,
+                    seen: &mut BTreeSet<(usize, &'static str, String)>,
+                    lineno: usize,
+                    rule: Rule,
+                    message: String,
+                    hint: &str| {
+        if seen.insert((lineno, rule.as_str(), message.clone())) {
+            out.findings.push(Finding {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule,
+                message,
+                hint: hint.to_string(),
+            });
+        }
+    };
 
     for (i, line) in lines.iter().enumerate() {
         let lineno = i + 1;
+        let toks = &line.toks;
 
         // D1: anywhere in sim crates, test code included — a test that
         // consults the wall clock flakes just as surely.
         let mut d1_on_line = false;
         if sim_scope {
-            for (token, name) in D1_TOKENS {
-                if line.code.contains(token) {
+            for (needle, name) in D1_NEEDLES {
+                if line_has(src, toks, needle) {
                     d1_on_line = true;
-                    out.findings.push(Finding {
-                        file: rel_path.to_string(),
-                        line: lineno,
-                        rule: Rule::D1,
-                        message: format!("{name} is a nondeterminism source"),
-                        hint: "derive all randomness from the seeded RngStreams; take \
-                               time from the simulation clock"
-                            .to_string(),
-                    });
+                    push(
+                        &mut out,
+                        &mut seen,
+                        lineno,
+                        Rule::D1,
+                        format!("{name} is a nondeterminism source"),
+                        "derive all randomness from the seeded RngStreams; take time from \
+                         the simulation clock",
+                    );
                 }
             }
         }
@@ -207,16 +414,18 @@ pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool, engine_scope: bool
         // D2: non-test sim code only, with the sorted-iter escape hatch.
         if sim_scope && !line.in_test {
             for token in ["HashMap", "HashSet"] {
-                if line.code.contains(token) && !justified(&lines, i) {
-                    out.findings.push(Finding {
-                        file: rel_path.to_string(),
-                        line: lineno,
-                        rule: Rule::D2,
-                        message: format!("{token} in simulation code iterates in seeded hash order"),
-                        hint: "use BTreeMap/BTreeSet, or justify get-only use with \
-                               `// lint: sorted-iter`"
-                            .to_string(),
-                    });
+                if line_has_ident(src, toks, &[token])
+                    && !hatched(&lines, i, |l| l.sorted_iter)
+                {
+                    push(
+                        &mut out,
+                        &mut seen,
+                        lineno,
+                        Rule::D2,
+                        format!("{token} in simulation code iterates in seeded hash order"),
+                        "use BTreeMap/BTreeSet, or justify get-only use with \
+                         `// lint: sorted-iter`",
+                    );
                 }
             }
         }
@@ -225,20 +434,20 @@ pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool, engine_scope: bool
         // (e.g. racing two sims to prove independence); the event loop
         // and its models may not.
         if engine_scope && !line.in_test {
-            for (token, name) in D4_TOKENS {
-                if line.code.contains(token) {
-                    out.findings.push(Finding {
-                        file: rel_path.to_string(),
-                        line: lineno,
-                        rule: Rule::D4,
-                        message: format!(
-                            "{name} inside an engine crate — parallelism is only \
-                             allowed across independent simulations"
+            for (needle, name) in D4_NEEDLES {
+                if line_has(src, toks, needle) {
+                    push(
+                        &mut out,
+                        &mut seen,
+                        lineno,
+                        Rule::D4,
+                        format!(
+                            "{name} inside an engine crate — parallelism is only allowed \
+                             across independent simulations"
                         ),
-                        hint: "keep the event loop single-threaded; fan out whole runs \
-                               via titan-runner::replicate instead"
-                            .to_string(),
-                    });
+                        "keep the event loop single-threaded; fan out whole runs via \
+                         titan-runner::replicate instead",
+                    );
                     break; // one finding per line is enough
                 }
             }
@@ -247,23 +456,23 @@ pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool, engine_scope: bool
         // D5: non-test engine code may only record telemetry through
         // the sim-time titan-obs API. A line D1 already reported (the
         // `::now()` call) is not reported twice — D5 exists for the
-        // wall-clock *types* D1's constructor tokens miss.
+        // wall-clock *types* D1's constructor needles miss.
         if engine_scope && !line.in_test && !d1_on_line {
-            for (token, name) in D5_TOKENS {
-                if line.code.contains(token) {
-                    out.findings.push(Finding {
-                        file: rel_path.to_string(),
-                        line: lineno,
-                        rule: Rule::D5,
-                        message: format!(
-                            "{name} inside an engine crate — telemetry there must stay \
-                             in the sim time domain"
+            for (needle, name) in D5_NEEDLES {
+                if line_has(src, toks, needle) {
+                    push(
+                        &mut out,
+                        &mut seen,
+                        lineno,
+                        Rule::D5,
+                        format!(
+                            "{name} inside an engine crate — telemetry there must stay in \
+                             the sim time domain"
                         ),
-                        hint: "record through titan-obs (sim-time counters/spans); \
-                               wall-clock profiling belongs in the runner/bench/CLI \
-                               layer — see OBSERVABILITY.md"
-                            .to_string(),
-                    });
+                        "record through titan-obs (sim-time counters/spans); wall-clock \
+                         profiling belongs in the runner/bench/CLI layer — see \
+                         OBSERVABILITY.md",
+                    );
                     break; // one finding per line is enough
                 }
             }
@@ -271,152 +480,57 @@ pub fn scan_file(rel_path: &str, text: &str, sim_scope: bool, engine_scope: bool
 
         // D3: everywhere, tests included — a NaN panic in a test
         // comparator hides the regression it was written to catch.
-        if line.code.contains("partial_cmp") {
+        if line_has_ident(src, toks, &["partial_cmp"]) {
             let ctx_lo = i.saturating_sub(3);
             let in_comparator = lines[ctx_lo..=i]
                 .iter()
-                .any(|l| D3_CONTEXTS.iter().any(|c| l.code.contains(c)));
+                .any(|l| line_has_ident(src, &l.toks, D3_CONTEXTS));
             let ctx_hi = (i + 3).min(lines.len());
-            let unwrapped = lines[i..ctx_hi]
-                .iter()
-                .any(|l| l.code.contains(".unwrap()") || l.code.contains(".expect("));
+            let unwrapped = lines[i..ctx_hi].iter().any(|l| {
+                line_has(src, &l.toks, &[".", "unwrap", "(", ")"])
+                    || line_has(src, &l.toks, &[".", "expect", "("])
+            });
             if in_comparator && unwrapped {
-                out.findings.push(Finding {
-                    file: rel_path.to_string(),
-                    line: lineno,
-                    rule: Rule::D3,
-                    message: "partial_cmp().unwrap() comparator panics on NaN and is not a \
-                              total order"
+                push(
+                    &mut out,
+                    &mut seen,
+                    lineno,
+                    Rule::D3,
+                    "partial_cmp().unwrap() comparator panics on NaN and is not a total \
+                     order"
                         .to_string(),
-                    hint: "use f64::total_cmp (flip operands to keep direction)".to_string(),
-                });
+                    "use f64::total_cmp (flip operands to keep direction)",
+                );
+            }
+        }
+
+        // N1 input: `as <numeric-type>` casts in non-test sim code,
+        // minus hatched sites. Sites are *counted* per crate (the
+        // ratchet), not reported one-by-one — the json n1_sites list is
+        // the burn-down worklist.
+        if sim_scope && !line.in_test && !hatched(&lines, i, |l| l.allows.iter().any(|r| r == "N1"))
+        {
+            for w in 0..toks.len().saturating_sub(1) {
+                let a = &toks[w];
+                let b = &toks[w + 1];
+                if a.kind == TokKind::Ident
+                    && a.text(src) == "as"
+                    && b.kind == TokKind::Ident
+                    && N1_NUM_TYPES.contains(&b.text(src))
+                {
+                    out.n1_sites.push(N1Site {
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        cast: format!("as {}", b.text(src)),
+                    });
+                }
             }
         }
 
         // P1 input: non-test unwrap/panic density.
         if !line.in_test {
-            out.unwrap_panic += line.code.matches(".unwrap()").count();
-            out.unwrap_panic += line.code.matches("panic!").count();
-        }
-    }
-    out
-}
-
-/// The D2 escape hatch: `// lint: sorted-iter` on the same line or the
-/// line directly above.
-fn justified(lines: &[Line], i: usize) -> bool {
-    let has = |l: &Line| l.raw.contains("// lint: sorted-iter");
-    has(&lines[i]) || (i > 0 && has(&lines[i - 1]))
-}
-
-/// Strips comments/strings and tracks `#[cfg(test)]` regions.
-fn preprocess(text: &str) -> Vec<Line<'_>> {
-    let mut out = Vec::new();
-    let mut in_block_comment = false;
-    let mut depth: i32 = 0;
-    // Depth at which each active #[cfg(test)] region opened.
-    let mut test_regions: Vec<i32> = Vec::new();
-    // A #[cfg(test)] was seen and its item's `{` is still ahead.
-    let mut test_armed = false;
-
-    for raw in text.lines() {
-        let code = strip_line(raw, &mut in_block_comment);
-        let in_test_before = !test_regions.is_empty();
-
-        if code.contains("#[cfg(test)]") {
-            test_armed = true;
-        }
-
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    if test_armed {
-                        test_regions.push(depth);
-                        test_armed = false;
-                    }
-                }
-                '}' => {
-                    if test_regions.last() == Some(&depth) {
-                        test_regions.pop();
-                    }
-                    depth -= 1;
-                }
-                // `#[cfg(test)] use ...;` gates a braceless item.
-                ';' if test_armed && depth >= 0 => test_armed = false,
-                _ => {}
-            }
-        }
-
-        // A line is test code if it was inside a region OR opened one
-        // (the `mod tests {` line itself, and its attribute line, are
-        // exempt from D2 — they declare the region).
-        let in_test = in_test_before || !test_regions.is_empty() || test_armed;
-        out.push(Line { raw, code, in_test });
-    }
-    out
-}
-
-/// Blanks string literals, char literals, and comments from a line,
-/// leaving structure (braces) intact. Raw strings and multi-line
-/// strings are not handled — the workspace style avoids both, and a
-/// miss only risks a false positive, never a false negative.
-fn strip_line(raw: &str, in_block_comment: &mut bool) -> String {
-    let mut out = String::with_capacity(raw.len());
-    let bytes: Vec<char> = raw.chars().collect();
-    let mut i = 0;
-    while i < bytes.len() {
-        if *in_block_comment {
-            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match bytes[i] {
-            '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
-            '/' if bytes.get(i + 1) == Some(&'*') => {
-                *in_block_comment = true;
-                i += 2;
-            }
-            '"' => {
-                // Skip the string body.
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                out.push_str("\"\"");
-            }
-            '\'' => {
-                // Char literal or lifetime. `'a'`-style literals are
-                // skipped; lifetimes (`'a`) pass through.
-                if bytes.get(i + 1) == Some(&'\\') {
-                    // e.g. '\n', '\\', '\u{..}'
-                    let mut j = i + 2;
-                    while j < bytes.len() && bytes[j] != '\'' {
-                        j += 1;
-                    }
-                    i = j + 1;
-                } else if bytes.get(i + 2) == Some(&'\'') {
-                    i += 3;
-                } else {
-                    out.push('\'');
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
+            out.unwrap_panic += count_matches(src, toks, &[".", "unwrap", "(", ")"]);
+            out.unwrap_panic += count_matches(src, toks, &["panic", "!"]);
         }
     }
     out
@@ -424,7 +538,7 @@ fn strip_line(raw: &str, in_block_comment: &mut bool) -> String {
 
 // --- workspace walking -----------------------------------------------------
 
-/// A crate to scan: name, root dir, and whether D1/D2 apply.
+/// A crate to scan: name, root dir, and which rule scopes apply.
 #[derive(Debug, Clone)]
 pub struct CrateTarget {
     pub name: String,
@@ -528,108 +642,21 @@ pub fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-// --- baseline --------------------------------------------------------------
-
-/// The committed unwrap/panic budgets.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Baseline {
-    /// crate name → allowed non-test unwrap/panic count.
-    pub budgets: BTreeMap<String, usize>,
-}
-
-impl Baseline {
-    /// Parses the minimal TOML subset the baseline file uses
-    /// (`[budgets]` section of `"name" = count` lines).
-    pub fn parse(text: &str) -> Result<Baseline, String> {
-        let mut budgets = BTreeMap::new();
-        let mut in_budgets = false;
-        for (n, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            if line.starts_with('[') {
-                in_budgets = line == "[budgets]";
-                continue;
-            }
-            if !in_budgets {
-                continue;
-            }
-            let (k, v) = line
-                .split_once('=')
-                .ok_or_else(|| format!("lint-baseline.toml:{}: expected `name = count`", n + 1))?;
-            let key = k.trim().trim_matches('"').to_string();
-            let count: usize = v
-                .trim()
-                .parse()
-                .map_err(|_| format!("lint-baseline.toml:{}: bad count `{}`", n + 1, v.trim()))?;
-            budgets.insert(key, count);
-        }
-        Ok(Baseline { budgets })
-    }
-
-    /// Renders the committed form of the baseline.
-    pub fn render(&self) -> String {
-        let mut out = String::from(
-            "# titan-lint P1 baseline: non-test `.unwrap()` + `panic!` count per crate.\n\
-             # The budget ratchets: counts may only go down. After removing unwraps,\n\
-             # run `cargo xtask lint --update-baseline` to lock in the improvement.\n\
-             \n[budgets]\n",
-        );
-        for (name, count) in &self.budgets {
-            out.push_str(&format!("\"{name}\" = {count}\n"));
-        }
-        out
-    }
-}
-
-/// Compares measured counts against the baseline; returns P1 findings
-/// (regressions and missing entries) and improvement notes.
-pub fn check_baseline(
-    baseline: &Baseline,
-    counts: &BTreeMap<String, usize>,
-) -> (Vec<Finding>, Vec<String>) {
-    let mut findings = Vec::new();
-    let mut notes = Vec::new();
-    for (name, &count) in counts {
-        match baseline.budgets.get(name) {
-            None => findings.push(Finding {
-                file: format!("crates/xtask/lint-baseline.toml ({name})"),
-                line: 0,
-                rule: Rule::P1,
-                message: format!("crate `{name}` has no unwrap/panic budget (measured {count})"),
-                hint: "run `cargo xtask lint --update-baseline` and commit the file".to_string(),
-            }),
-            Some(&budget) if count > budget => findings.push(Finding {
-                file: format!("crates/xtask/lint-baseline.toml ({name})"),
-                line: 0,
-                rule: Rule::P1,
-                message: format!(
-                    "unwrap/panic count in `{name}` rose from {budget} to {count}"
-                ),
-                hint: "replace the new .unwrap()/panic! with error returns; the budget \
-                       only ratchets down"
-                    .to_string(),
-            }),
-            Some(&budget) if count < budget => notes.push(format!(
-                "`{name}` improved: {budget} → {count} unwrap/panic; run \
-                 `cargo xtask lint --update-baseline` to ratchet the budget down"
-            )),
-            _ => {}
-        }
-    }
-    (findings, notes)
-}
-
 // --- report ----------------------------------------------------------------
 
 /// Full lint result for one run.
 #[derive(Debug, Default)]
 pub struct LintReport {
+    /// All findings, sorted by (file, line, rule, message) — the sort
+    /// is what makes `--format json` byte-stable.
     pub findings: Vec<Finding>,
     pub notes: Vec<String>,
-    /// Measured per-crate unwrap/panic counts.
-    pub counts: BTreeMap<String, usize>,
+    /// Measured per-crate unwrap/panic counts (every scanned crate).
+    pub counts: std::collections::BTreeMap<String, usize>,
+    /// Measured per-crate N1 cast counts (sim-scope crates only).
+    pub n1_counts: std::collections::BTreeMap<String, usize>,
+    /// Every unhatched cast site, sorted (the burn-down worklist).
+    pub n1_sites: Vec<N1Site>,
     pub files_scanned: usize,
 }
 
@@ -638,7 +665,8 @@ pub struct LintReport {
 pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport> {
     let mut report = LintReport::default();
     for target in workspace_targets(root)? {
-        let mut crate_count = 0usize;
+        let mut crate_unwraps = 0usize;
+        let mut crate_casts = 0usize;
         for file in rust_files(&target.src_dir)? {
             let text = std::fs::read_to_string(&file)?;
             let rel = file
@@ -648,47 +676,48 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport>
                 .replace('\\', "/");
             let scan = scan_file(&rel, &text, target.sim_scope, target.engine_scope);
             report.findings.extend(scan.findings);
-            crate_count += scan.unwrap_panic;
+            crate_unwraps += scan.unwrap_panic;
+            crate_casts += scan.n1_sites.len();
+            report.n1_sites.extend(scan.n1_sites);
             report.files_scanned += 1;
         }
-        report.counts.insert(target.name, crate_count);
+        report.counts.insert(target.name.clone(), crate_unwraps);
+        if target.sim_scope {
+            report.n1_counts.insert(target.name, crate_casts);
+        }
     }
-    let (p1, notes) = check_baseline(baseline, &report.counts);
-    report.findings.extend(p1);
-    report.notes = notes;
-    Ok(report)
-}
 
-/// Renders findings as a JSON array (machine-readable `--format json`).
-pub fn render_json(report: &LintReport) -> String {
-    fn esc(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
-    }
-    let mut out = String::from("{\n  \"findings\": [\n");
-    for (i, f) in report.findings.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
-             \"message\": \"{}\", \"hint\": \"{}\"}}{}\n",
-            esc(&f.file),
-            f.line,
-            f.rule,
-            esc(&f.message),
-            esc(&f.hint),
-            if i + 1 < report.findings.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ],\n  \"unwrap_panic_counts\": {\n");
-    let n = report.counts.len();
-    for (i, (name, count)) in report.counts.iter().enumerate() {
-        out.push_str(&format!(
-            "    \"{}\": {}{}\n",
-            esc(name),
-            count,
-            if i + 1 < n { "," } else { "" }
-        ));
-    }
-    out.push_str("  }\n}\n");
-    out
+    // L1: the manifest-level layering contract.
+    report
+        .findings
+        .extend(layering::check_layering(&layering::read_manifests(root)?));
+
+    // S1: frozen output schemas against their golden specs.
+    let (specs, spec_findings) = schema::load_specs(root)?;
+    report.findings.extend(spec_findings);
+    report.findings.extend(schema::check_schemas(root, &specs));
+
+    // P1 + N1 ratchets.
+    let (p1, mut notes) = check_baseline(baseline, &report.counts);
+    report.findings.extend(p1);
+    let (n1, n1_notes) = check_n1_baseline(baseline, &report.n1_counts);
+    report.findings.extend(n1);
+    notes.extend(n1_notes);
+    report.notes = notes;
+
+    // Deterministic order regardless of scan interleaving.
+    report.findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str(), a.message.as_str())
+            .cmp(&(b.file.as_str(), b.line, b.rule.as_str(), b.message.as_str()))
+    });
+    report
+        .n1_sites
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.cast.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.cast.as_str(),
+        )));
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -703,6 +732,10 @@ mod tests {
         scan_file("test.rs", text, true, true).findings.iter().map(|f| f.rule).collect()
     }
 
+    fn n1_count(text: &str) -> usize {
+        scan_file("test.rs", text, true, false).n1_sites.len()
+    }
+
     #[test]
     fn d1_flags_entropy_sources_in_sim_scope_only() {
         let src = "fn f() { let t = std::time::Instant::now(); }\n\
@@ -714,6 +747,35 @@ mod tests {
     #[test]
     fn d1_applies_inside_test_modules_too() {
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { let t = SystemTime::now(); }\n}\n";
+        assert_eq!(findings(src, true), vec![Rule::D1]);
+    }
+
+    #[test]
+    fn d1_ignores_comments_strings_and_doc_comments() {
+        // The v1 substring scanner flagged all of these; the token
+        // scanner must not.
+        let src = "// Instant::now() would break determinism here\n\
+                   /// Never call SystemTime::now() in engine code.\n\
+                   /* thread_rng() is banned: /* even nested */ still banned */\n\
+                   let s = \"Instant::now\";\n\
+                   let r = r#\"rand::random inside a raw string\"#;\n\
+                   let c = '\"';\n";
+        assert!(findings(src, true).is_empty(), "{:?}", findings(src, true));
+    }
+
+    #[test]
+    fn d1_matches_whole_identifiers_only() {
+        // `Instantaneous` contains `Instant`; `thread_rng_like` contains
+        // `thread_rng`. Neither is the banned token.
+        let src = "struct Instantaneous;\nfn thread_rng_like() {}\nlet from_entropy_doc = 1;\n";
+        assert!(findings(src, true).is_empty());
+        assert!(engine_findings(src).is_empty(), "D5 `Instant` must not match a prefix");
+    }
+
+    #[test]
+    fn d1_matches_spaced_paths() {
+        // Tokens, not substrings: `Instant :: now` is the same call.
+        let src = "let t = Instant :: now();\n";
         assert_eq!(findings(src, true), vec![Rule::D1]);
     }
 
@@ -754,7 +816,8 @@ mod tests {
     #[test]
     fn d2_ignores_comments_and_strings() {
         let src = "// a HashMap would be wrong here\n\
-                   let msg = \"HashSet iteration order\";\n";
+                   let msg = \"HashSet iteration order\";\n\
+                   /// Compare with a HashMap-based design.\n";
         assert!(findings(src, true).is_empty());
     }
 
@@ -793,8 +856,9 @@ mod tests {
     }
 
     #[test]
-    fn d4_exempts_test_modules_and_comments() {
+    fn d4_exempts_test_modules_comments_and_strings() {
         let src = "// rayon would be wrong here\n\
+                   let why = \"std::thread breaks replay\";\n\
                    fn f() {}\n\
                    #[cfg(test)]\n\
                    mod tests {\n\
@@ -834,11 +898,60 @@ mod tests {
     fn d5_exempts_test_modules_comments_and_strings() {
         let src = "// an Instant would be wrong here\n\
                    let msg = \"SystemTime drift\";\n\
+                   /// `.elapsed()` readings belong in the runner.\n\
                    #[cfg(test)]\n\
                    mod tests {\n\
                        fn t(d: std::time::Duration) -> u64 { d.as_secs() }\n\
                    }\n";
         assert!(engine_findings(src).is_empty());
+    }
+
+    #[test]
+    fn n1_counts_numeric_casts_in_non_test_sim_code() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n\
+                   fn g(t: f64) -> u64 { t as u64 }\n\
+                   fn h(n: usize) -> usize { n }\n";
+        assert_eq!(n1_count(src), 2);
+        // Outside sim scope nothing is counted.
+        assert!(scan_file("t.rs", src, false, false).n1_sites.is_empty());
+        // Cast sites carry the spelled-out target type.
+        let sites = scan_file("t.rs", src, true, false).n1_sites;
+        assert_eq!(sites[0].cast, "as u32");
+        assert_eq!(sites[0].line, 1);
+        assert_eq!(sites[1].cast, "as u64");
+    }
+
+    #[test]
+    fn n1_two_casts_on_one_line_both_count() {
+        let src = "let (a, b) = (x as u32, y as usize);\n";
+        assert_eq!(n1_count(src), 2);
+    }
+
+    #[test]
+    fn n1_exempts_tests_hatches_comments_and_non_numeric_as() {
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn t(x: u64) -> u32 { x as u32 }\n}\n";
+        assert_eq!(n1_count(test_mod), 0);
+
+        let hatched_same = "let e = big as u32; // lint: allow(N1, bounded by heap size)\n";
+        assert_eq!(n1_count(hatched_same), 0);
+        let hatched_prev = "// lint: allow(N1, slot index < 4 by construction)\n\
+                            let s = slot as u8;\n";
+        assert_eq!(n1_count(hatched_prev), 0);
+
+        let comment = "// casting `t as u64` here would truncate\n\
+                       let msg = \"x as u32\";\n";
+        assert_eq!(n1_count(comment), 0);
+
+        // `use x as y` renames and trait casts to non-numeric types are
+        // not numeric casts.
+        let renames = "use std::io::Result as IoResult;\nlet d = x as SimTime;\n";
+        assert_eq!(n1_count(renames), 0);
+    }
+
+    #[test]
+    fn n1_hatch_for_other_rules_does_not_silence_it() {
+        let src = "// lint: allow(D2, unrelated)\nlet e = big as u32;\n";
+        assert_eq!(n1_count(src), 1);
     }
 
     #[test]
@@ -855,48 +968,27 @@ mod tests {
     }
 
     #[test]
-    fn baseline_roundtrip_and_ratchet() {
-        let mut baseline = Baseline::default();
-        baseline.budgets.insert("titan-stats".into(), 5);
-        baseline.budgets.insert("titan-sim".into(), 0);
-        let text = baseline.render();
-        assert_eq!(Baseline::parse(&text).unwrap(), baseline);
-
-        // Regression fails.
-        let mut counts = BTreeMap::new();
-        counts.insert("titan-stats".to_string(), 6);
-        counts.insert("titan-sim".to_string(), 0);
-        let (findings, notes) = check_baseline(&baseline, &counts);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, Rule::P1);
-        assert!(notes.is_empty());
-
-        // Improvement passes with a ratchet note.
-        counts.insert("titan-stats".to_string(), 3);
-        let (findings, notes) = check_baseline(&baseline, &counts);
-        assert!(findings.is_empty());
-        assert_eq!(notes.len(), 1);
-
-        // Unknown crate requires a baseline entry.
-        counts.insert("titan-new".to_string(), 0);
-        let (findings, _) = check_baseline(&baseline, &counts);
-        assert_eq!(findings.len(), 1);
+    fn p1_ignores_unwrap_in_comments_and_strings() {
+        let src = "// don't .unwrap() here\nlet s = \"x.unwrap()\"; /* panic! */\n";
+        let scan = scan_file("test.rs", src, false, false);
+        assert_eq!(scan.unwrap_panic, 0);
     }
 
     #[test]
-    fn json_output_is_parseable_shape() {
-        let mut report = LintReport::default();
-        report.findings.push(Finding {
-            file: "crates/x/src/lib.rs".into(),
-            line: 7,
-            rule: Rule::D2,
-            message: "m".into(),
-            hint: "h \"quoted\"".into(),
-        });
-        report.counts.insert("c".into(), 2);
-        let json = render_json(&report);
-        assert!(json.contains("\"rule\": \"D2\""));
-        assert!(json.contains("\\\"quoted\\\""));
-        assert!(json.contains("\"c\": 2"));
+    fn multiline_strings_no_longer_confuse_the_scanner() {
+        // v1's line-based stripper couldn't see a string spanning
+        // lines: the `HashMap` below sits inside one and must not flag,
+        // and the stray `}` inside it must not unbalance test tracking.
+        let src = "static DOC: &str = \"\n   HashMap iteration }\n   Instant::now()\n\";\n\
+                   fn real() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+        let scan = scan_file("test.rs", src, true, true);
+        let d2: Vec<usize> = scan
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::D2)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(d2, vec![5], "{:?}", scan.findings);
+        assert!(scan.findings.iter().all(|f| f.rule == Rule::D2));
     }
 }

@@ -1,23 +1,31 @@
 //! `cargo xtask` — workspace task runner. The one task so far is
-//! `lint`, the titan-lint determinism & panic-safety pass (see lib.rs
-//! and DETERMINISM.md).
+//! `lint`, the titan-lint determinism & panic-safety pass (see lib.rs,
+//! DETERMINISM.md, and the LINTS.md rule catalog).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{find_workspace_root, run_lint, Baseline};
+use xtask::{find_workspace_root, run_lint, Baseline, LintReport, Rule};
 
 const USAGE: &str = "\
 usage: cargo xtask <task>
 
 tasks:
-  lint [--format json] [--update-baseline]
-        Run the titan-lint determinism & panic-safety pass over all
+  lint [--format text|json|github] [--out FILE] [--update-baseline]
+        Run the titan-lint pass (rules D1-D5, N1, L1, S1, P1) over all
         workspace crates. Exits 1 on any violation.
 
-        --format json       machine-readable findings on stdout
+        --format json       machine-readable titan-lint/2 document on
+                            stdout (byte-stable: sorted findings, sorted
+                            maps)
+        --format github     GitHub Actions ::error annotations on stdout
+        --out FILE          always write the titan-lint/2 JSON document
+                            to FILE, regardless of --format (the CI
+                            artifact), even when the lint fails
         --update-baseline   rewrite crates/xtask/lint-baseline.toml with
-                            the measured unwrap/panic counts (P1 ratchet)
+                            the measured unwrap/panic and N1 cast counts
+                            (deterministic: sorted keys, trailing
+                            newline)
 ";
 
 fn main() -> ExitCode {
@@ -40,17 +48,35 @@ fn main() -> ExitCode {
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 fn lint(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
+    let mut out_path: Option<PathBuf> = None;
     let mut update_baseline = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--format" => match it.next().map(String::as_str) {
-                Some("json") => json = true,
-                Some("text") => json = false,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                Some("text") => format = Format::Text,
                 other => {
-                    eprintln!("xtask lint: --format takes `json` or `text`, got {other:?}");
+                    eprintln!(
+                        "xtask lint: --format takes `text`, `json`, or `github`, got {other:?}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask lint: --out needs a file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -94,14 +120,22 @@ fn lint(args: &[String]) -> ExitCode {
     };
 
     if update_baseline {
-        let new = Baseline { budgets: report.counts.clone() };
-        for (name, &count) in &new.budgets {
-            if let Some(&old) = baseline.budgets.get(name) {
-                if count > old {
-                    eprintln!(
-                        "xtask lint: warning: raising `{name}` budget {old} -> {count}; \
-                         the ratchet is meant to go down"
-                    );
+        let new = Baseline {
+            budgets: report.counts.clone(),
+            n1: report.n1_counts.clone(),
+        };
+        for (section, old_map, new_map) in [
+            ("budgets", &baseline.budgets, &new.budgets),
+            ("n1", &baseline.n1, &new.n1),
+        ] {
+            for (name, &count) in new_map {
+                if let Some(&old) = old_map.get(name) {
+                    if count > old {
+                        eprintln!(
+                            "xtask lint: warning: raising [{section}] `{name}` {old} -> \
+                             {count}; the ratchet is meant to go down"
+                        );
+                    }
                 }
             }
         }
@@ -112,37 +146,54 @@ fn lint(args: &[String]) -> ExitCode {
         eprintln!("xtask lint: wrote {}", baseline_path.display());
     }
 
-    // With a fresh baseline, P1 findings from this run are stale; the
-    // D-rule findings still stand.
-    let findings: Vec<_> = if update_baseline {
-        report.findings.iter().filter(|f| f.rule != xtask::Rule::P1).collect()
-    } else {
-        report.findings.iter().collect()
+    // With a fresh baseline, ratchet findings from this run are stale;
+    // the token-rule and structural findings still stand.
+    let shown = LintReport {
+        findings: if update_baseline {
+            report
+                .findings
+                .iter()
+                .filter(|f| f.rule != Rule::P1 && f.rule != Rule::N1)
+                .cloned()
+                .collect()
+        } else {
+            report.findings.clone()
+        },
+        notes: report.notes.clone(),
+        counts: report.counts.clone(),
+        n1_counts: report.n1_counts.clone(),
+        n1_sites: report.n1_sites.clone(),
+        files_scanned: report.files_scanned,
     };
 
-    if json {
-        let shown = xtask::LintReport {
-            findings: findings.iter().map(|f| (*f).clone()).collect(),
-            notes: report.notes.clone(),
-            counts: report.counts.clone(),
-            files_scanned: report.files_scanned,
-        };
-        print!("{}", xtask::render_json(&shown));
-    } else {
-        for f in &findings {
-            println!("{f}");
+    // The JSON artifact is written unconditionally and before the exit
+    // path, so CI can upload findings from a failing run.
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, xtask::render_json(&shown)) {
+            eprintln!("xtask lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
-        for note in &report.notes {
-            eprintln!("note: {note}");
-        }
-        eprintln!(
-            "xtask lint: {} file(s) scanned, {} violation(s)",
-            report.files_scanned,
-            findings.len()
-        );
     }
 
-    if findings.is_empty() {
+    match format {
+        Format::Json => print!("{}", xtask::render_json(&shown)),
+        Format::Github => print!("{}", xtask::render_github(&shown)),
+        Format::Text => {
+            for f in &shown.findings {
+                println!("{f}");
+            }
+            for note in &shown.notes {
+                eprintln!("note: {note}");
+            }
+            eprintln!(
+                "xtask lint: {} file(s) scanned, {} violation(s)",
+                shown.files_scanned,
+                shown.findings.len()
+            );
+        }
+    }
+
+    if shown.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,209 @@
+//! Finding renderers: `--format text` (human), `--format json`
+//! (machine-readable, byte-stable), `--format github` (workflow
+//! annotation commands).
+//!
+//! The JSON document is itself a frozen schema, `titan-lint/2`: CI
+//! uploads it as an artifact and downstream dashboards diff it between
+//! runs, so its key order and separators must be byte-identical for
+//! identical input — everything it serializes is either a BTreeMap or
+//! a pre-sorted vector, and the writer uses no HashMap anywhere.
+
+use crate::LintReport;
+
+/// The lint report's own output schema version.
+pub const JSON_SCHEMA: &str = "titan-lint/2";
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `titan-lint/2` JSON document. Findings are emitted in
+/// the report's (already sorted) order; maps iterate in BTreeMap key
+/// order; two runs over an identical tree produce identical bytes.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{JSON_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"hint\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
+            f.rule,
+            esc(&f.message),
+            esc(&f.hint),
+        ));
+    }
+    out.push_str(if report.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    out.push_str("  \"notes\": [");
+    for (i, n) in report.notes.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{}\"", esc(n)));
+    }
+    out.push_str(if report.notes.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    render_count_map(&mut out, "unwrap_panic_counts", &report.counts);
+    out.push_str(",\n");
+    render_count_map(&mut out, "n1_counts", &report.n1_counts);
+    out.push_str(",\n");
+
+    out.push_str("  \"n1_sites\": [");
+    for (i, s) in report.n1_sites.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"cast\": \"{}\"}}",
+            esc(&s.file),
+            s.line,
+            esc(&s.cast),
+        ));
+    }
+    out.push_str(if report.n1_sites.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+fn render_count_map(
+    out: &mut String,
+    key: &str,
+    map: &std::collections::BTreeMap<String, usize>,
+) {
+    out.push_str(&format!("  \"{key}\": {{"));
+    for (i, (name, count)) in map.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{}\": {}", esc(name), count));
+    }
+    out.push_str(if map.is_empty() { "}" } else { "\n  }" });
+}
+
+/// Escapes a GitHub annotation *property* value (file=, title=):
+/// percent, CR, LF, colon, and comma are significant there.
+fn esc_gh_prop(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// Escapes a GitHub annotation *message*: only percent, CR, LF.
+fn esc_gh_data(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Renders findings as GitHub Actions workflow commands — one
+/// `::error` per finding, so they surface as inline PR annotations —
+/// followed by a plain summary line.
+pub fn render_github(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let mut props = format!("file={}", esc_gh_prop(&f.file));
+        if f.line > 0 {
+            props.push_str(&format!(",line={}", f.line));
+        }
+        props.push_str(&format!(",title={}", esc_gh_prop(&format!("titan-lint {}", f.rule))));
+        out.push_str(&format!(
+            "::error {props}::{}\n",
+            esc_gh_data(&format!("{} (hint: {})", f.message, f.hint))
+        ));
+    }
+    for n in &report.notes {
+        out.push_str(&format!("::notice title=titan-lint::{}\n", esc_gh_data(n)));
+    }
+    out.push_str(&format!(
+        "titan-lint: {} file(s) scanned, {} violation(s)\n",
+        report.files_scanned,
+        report.findings.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, N1Site, Rule};
+
+    fn sample_report() -> LintReport {
+        let mut report = LintReport::default();
+        report.files_scanned = 3;
+        report.findings.push(Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: Rule::D2,
+            message: "m".into(),
+            hint: "h \"quoted\"".into(),
+        });
+        report.findings.push(Finding {
+            file: "crates/xtask/lint-baseline.toml (titan-x)".into(),
+            line: 0,
+            rule: Rule::P1,
+            message: "rose from 0 to 1".into(),
+            hint: "ratchet".into(),
+        });
+        report.counts.insert("titan-x".into(), 2);
+        report.n1_counts.insert("titan-x".into(), 1);
+        report.n1_sites.push(N1Site {
+            file: "crates/x/src/lib.rs".into(),
+            line: 9,
+            cast: "as u32".into(),
+        });
+        report.notes.push("a note".into());
+        report
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_escaped() {
+        let json = render_json(&sample_report());
+        assert!(json.starts_with("{\n  \"schema\": \"titan-lint/2\",\n"));
+        assert!(json.contains("\"rule\": \"D2\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"titan-x\": 2"));
+        assert!(json.contains("\"n1_counts\""));
+        assert!(json.contains("\"cast\": \"as u32\""));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_is_byte_stable_for_equal_reports() {
+        assert_eq!(render_json(&sample_report()), render_json(&sample_report()));
+    }
+
+    #[test]
+    fn json_empty_report_has_empty_collections() {
+        let json = render_json(&LintReport::default());
+        assert!(json.contains("\"findings\": [],"));
+        assert!(json.contains("\"unwrap_panic_counts\": {},"));
+        assert!(json.contains("\"n1_sites\": []\n"));
+    }
+
+    #[test]
+    fn github_format_emits_error_commands() {
+        let gh = render_github(&sample_report());
+        assert!(gh.contains(
+            "::error file=crates/x/src/lib.rs,line=7,title=titan-lint D2::m (hint: h \"quoted\")"
+        ));
+        // Line-0 findings (crate-level) omit the line= property, and
+        // significant property characters are percent-escaped.
+        assert!(gh.contains("::error file=crates/xtask/lint-baseline.toml (titan-x),title="));
+        assert!(!gh.contains("line=0"));
+        assert!(gh.contains("::notice title=titan-lint::a note"));
+        assert!(gh.ends_with("3 file(s) scanned, 2 violation(s)\n"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the titan-lint lexer: it must be *total* (never
+//! panic on any input) and its token spans must partition the source
+//! exactly — every byte belongs to exactly one token, in order, so
+//! reassembling the spans reproduces the input byte-for-byte.
+
+use proptest::prelude::*;
+use xtask::lexer::{lex, TokKind};
+
+/// Fragments chosen to stress the tricky lexer states: unterminated
+/// strings, raw-string hash counting, nested comments, lifetime/char
+/// ambiguity, and quote/backslash soup.
+fn fragments() -> impl Strategy<Value = String> {
+    prop::sample::select(
+        [
+            "fn main() {}",
+            "let s = \"str with // comment\";",
+            "r#\"raw \" quote\"#",
+            "r###\"deep\"## not closed by two\"###",
+            "br#\"bytes\"#",
+            "/* outer /* inner */ still */",
+            "/* never closed",
+            "\"never closed",
+            "'a'",
+            "'\\n'",
+            "'static",
+            "b'x'",
+            "// line comment",
+            "//! inner doc",
+            "/// outer doc",
+            "////not a doc",
+            "0..10",
+            "1_000.5e-3",
+            "x as u32",
+            "'\\''",
+            "\"\\\"escaped\\\\\"",
+            "r\"no hashes\"",
+            "\\",
+            "\"",
+            "'",
+            "#",
+            "🦀",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect::<Vec<_>>(),
+    )
+}
+
+fn assemble(parts: Vec<String>, soup: String) -> String {
+    let mut src = parts.join(" ");
+    src.push_str(&soup);
+    src
+}
+
+proptest! {
+    /// Spans partition arbitrary printable soup exactly.
+    #[test]
+    fn printable_soup_round_trips(src in "\\PC{0,200}") {
+        let toks = lex(&src);
+        let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    /// Spans partition adversarial Rust-shaped input exactly, and every
+    /// span is non-empty, in-order, and lands on UTF-8 boundaries (the
+    /// `text` slicing below would panic otherwise).
+    #[test]
+    fn rust_shaped_input_round_trips(
+        parts in prop::collection::vec(fragments(), 0..12),
+        soup in "\\PC{0,60}",
+    ) {
+        let src = assemble(parts, soup);
+        let toks = lex(&src);
+        let mut pos = 0;
+        for t in &toks {
+            prop_assert_eq!(t.start, pos, "gap or overlap before byte {}", t.start);
+            prop_assert!(t.end > t.start, "empty token at byte {}", t.start);
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len(), "tokens must cover the whole input");
+        let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    /// Line numbers are 1-based and non-decreasing, and a token's line
+    /// equals 1 + the number of newlines before its start.
+    #[test]
+    fn line_numbers_are_consistent(
+        parts in prop::collection::vec(fragments(), 0..8),
+        soup in "\\PC{0,40}",
+    ) {
+        let mut src = assemble(parts, soup);
+        src.push('\n');
+        src.push_str("second line");
+        let toks = lex(&src);
+        let mut prev = 1;
+        for t in &toks {
+            let expected = 1 + src[..t.start].bytes().filter(|&b| b == b'\n').count();
+            prop_assert_eq!(t.line, expected, "token at byte {}", t.start);
+            prop_assert!(t.line >= prev);
+            prev = t.line;
+        }
+    }
+
+    /// Comment and literal kinds never leak trailing context: a line
+    /// comment token never contains a newline, and whitespace tokens are
+    /// all-whitespace.
+    #[test]
+    fn token_kinds_hold_their_invariants(
+        parts in prop::collection::vec(fragments(), 0..12),
+        soup in "\\PC{0,60}",
+    ) {
+        let src = assemble(parts, soup);
+        for t in lex(&src) {
+            let text = t.text(&src);
+            match t.kind {
+                TokKind::LineComment | TokKind::DocComment if text.starts_with("//") => {
+                    prop_assert!(!text.contains('\n'), "line comment spans lines: {text:?}");
+                }
+                TokKind::Whitespace => {
+                    prop_assert!(text.chars().all(char::is_whitespace), "{text:?}");
+                }
+                _ => {}
+            }
+        }
+    }
+}

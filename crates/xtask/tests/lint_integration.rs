@@ -147,7 +147,15 @@ fn p1_budget_ratchets() {
     let report = run_lint(&root, &b).expect("scan");
     assert!(report.findings.is_empty());
     assert_eq!(report.notes.len(), 1, "improvement should be noted");
-    let updated = Baseline { budgets: report.counts.clone() };
+    assert!(
+        report.notes[0].contains("--update-baseline"),
+        "the note must point at the writer: {}",
+        report.notes[0]
+    );
+    let updated = Baseline {
+        budgets: report.counts.clone(),
+        n1: report.n1_counts.clone(),
+    };
     assert_eq!(updated.budgets["stats"], 0);
 
     // The updated baseline round-trips through its TOML form and now
@@ -250,6 +258,199 @@ fn missing_baseline_entry_is_reported() {
     // One P1 per crate: budgets must exist even at zero, so that a new
     // crate cannot silently join with unwraps in it.
     assert_eq!(found.iter().filter(|(r, _)| *r == Rule::P1).count(), 2);
+}
+
+/// The v2 acceptance fixture: every banned token spelled inside a
+/// string literal, raw string, char literal, line comment, doc
+/// comment, or (nested) block comment. The v1 substring scanner
+/// flagged several of these; the token-aware scanner must flag none.
+#[test]
+fn tokens_inside_strings_and_comments_do_not_flag() {
+    let root = scaffold("lint_fixture_strings");
+    fs::write(
+        root.join("crates/simulator/src/fixture.rs"),
+        "//! Discusses Instant::now(), thread_rng(), and std::thread freely.\n\
+         /// A HashMap would break replay; so would SystemTime::now().\n\
+         // rayon, into_par_iter, scope_map( — all banned: see DETERMINISM.md\n\
+         /* block comment: Instant /* nested: HashSet */ still comment */\n\
+         pub const WHY: &str = \"never call Instant::now() or thread_rng()\";\n\
+         pub const RAW: &str = r#\"std::thread::spawn(|| {}) in a raw string\"#;\n\
+         pub const QUOTE: char = '\"';\n\
+         pub struct Instantaneous; // identifier *containing* a banned name\n\
+         pub fn from_entropy_docs() {} // same, for from_entropy\n",
+    )
+    .unwrap();
+    let found = lint(&root, &zero_baseline());
+    assert!(found.is_empty(), "false positives: {found:?}");
+}
+
+#[test]
+fn injected_n1_cast_ratchets_and_hatch_silences() {
+    let root = scaffold("lint_n1");
+    fs::write(
+        root.join("crates/simulator/src/cast.rs"),
+        "pub fn f(x: u64) -> u32 { x as u32 }\n",
+    )
+    .unwrap();
+    // No [n1] entry: implicit zero budget, the new cast is a regression.
+    let found = lint(&root, &zero_baseline());
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].0, Rule::N1);
+
+    // A budget covering it passes.
+    let mut b = zero_baseline();
+    b.n1.insert("simulator".into(), 1);
+    assert!(lint(&root, &b).is_empty());
+
+    // So does the allow hatch, against the zero budget.
+    fs::write(
+        root.join("crates/simulator/src/cast.rs"),
+        "// lint: allow(N1, x is a node index < 18,688)\n\
+         pub fn f(x: u64) -> u32 { x as u32 }\n",
+    )
+    .unwrap();
+    assert!(lint(&root, &zero_baseline()).is_empty());
+
+    // The same cast in an analysis-scope crate never counts.
+    let root2 = scaffold("lint_n1_stats");
+    fs::write(
+        root2.join("crates/stats/src/cast.rs"),
+        "pub fn f(x: u64) -> u32 { x as u32 }\n",
+    )
+    .unwrap();
+    assert!(lint(&root2, &zero_baseline()).is_empty());
+}
+
+#[test]
+fn injected_l1_layering_violation_fails() {
+    let root = scaffold("lint_l1");
+    // stats sits below the engine: depending on the simulator inverts
+    // the declared DAG.
+    fs::write(
+        root.join("crates/stats/Cargo.toml"),
+        "[package]\nname = \"stats\"\n\n[dependencies]\n\
+         simulator = { path = \"../simulator\" }\n",
+    )
+    .unwrap();
+    let found = lint(&root, &zero_baseline());
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].0, Rule::L1);
+    assert!(found[0].1.starts_with("crates/stats/Cargo.toml:"), "got {}", found[0].1);
+
+    // A dev-dependency on the same crate is fine: tests may reach up.
+    fs::write(
+        root.join("crates/stats/Cargo.toml"),
+        "[package]\nname = \"stats\"\n\n[dev-dependencies]\n\
+         simulator = { path = \"../simulator\" }\n",
+    )
+    .unwrap();
+    assert!(lint(&root, &zero_baseline()).is_empty());
+}
+
+#[test]
+fn engine_manifest_listing_rayon_is_an_l1_violation() {
+    let root = scaffold("lint_l1_rayon");
+    fs::write(
+        root.join("crates/simulator/Cargo.toml"),
+        "[package]\nname = \"simulator\"\n\n[dependencies]\nrayon = \"1\"\n",
+    )
+    .unwrap();
+    let found = lint(&root, &zero_baseline());
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].0, Rule::L1);
+}
+
+#[test]
+fn s1_unspecced_schema_literal_and_field_drift_fail() {
+    let root = scaffold("lint_s1");
+    // A root façade minting a schema version: S1 guards src/main.rs.
+    mkdirs(&root.join("src"));
+    fs::write(
+        root.join("src/main.rs"),
+        "struct FooDoc { schema: String, count: u64 }\n\
+         fn main() { let _ = (\"titan-foo/1\", FooDoc { schema: String::new(), count: 0 }); }\n",
+    )
+    .unwrap();
+    let mut b = zero_baseline();
+    b.budgets.insert("root".into(), 0); // the façade joins the scan
+
+    // No golden spec for titan-foo/1: the minted literal is flagged.
+    let found = lint(&root, &b);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].0, Rule::S1);
+    assert!(found[0].1.starts_with("src/main.rs:"), "got {}", found[0].1);
+
+    // With a matching spec the tree is clean...
+    mkdirs(&root.join("crates/xtask/schemas"));
+    fs::write(
+        root.join("crates/xtask/schemas/titan-foo-1.toml"),
+        "schema = \"titan-foo/1\"\nfile = \"src/main.rs\"\nstruct = \"FooDoc\"\n\
+         fields = [\"schema\", \"count\"]\n",
+    )
+    .unwrap();
+    assert!(lint(&root, &b).is_empty());
+
+    // ...until the struct drifts (field renamed without a version bump).
+    fs::write(
+        root.join("src/main.rs"),
+        "struct FooDoc { schema: String, total: u64 }\n\
+         fn main() { let _ = (\"titan-foo/1\", FooDoc { schema: String::new(), total: 0 }); }\n",
+    )
+    .unwrap();
+    let found = lint(&root, &b);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].0, Rule::S1);
+}
+
+/// The real tree satisfies the layering contract and the golden
+/// schemas: the committed LAYERS table matches every manifest, and the
+/// three frozen document schemas match their specs.
+#[test]
+fn real_tree_layering_and_schemas_are_clean() {
+    let root = xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let baseline_text =
+        fs::read_to_string(root.join("crates/xtask/lint-baseline.toml")).expect("baseline");
+    let baseline = Baseline::parse(&baseline_text).expect("parse baseline");
+    let report = run_lint(&root, &baseline).expect("scan");
+    let structural: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::L1 || f.rule == Rule::S1)
+        .map(|f| format!("{f}"))
+        .collect();
+    assert!(structural.is_empty(), "layering/schema violations: {structural:?}");
+    // The golden specs themselves must have loaded (an empty schemas
+    // dir would pass vacuously).
+    let (specs, spec_errs) = xtask::schema::load_specs(&root).expect("specs");
+    assert!(spec_errs.is_empty(), "unreadable specs: {spec_errs:?}");
+    let mut names: Vec<&str> = specs.iter().map(|s| s.schema.as_str()).collect();
+    names.sort_unstable();
+    assert_eq!(
+        names,
+        ["titan-check/1", "titan-obs-replicate/1", "titan-obs/1"],
+        "golden specs missing from crates/xtask/schemas/"
+    );
+}
+
+/// Acceptance criterion: `--format json` is byte-identical across
+/// repeated runs of the real binary on the real tree.
+#[test]
+fn json_output_is_byte_stable_across_runs() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let run = || {
+        std::process::Command::new(bin)
+            .args(["lint", "--format", "json"])
+            .output()
+            .expect("spawn xtask")
+    };
+    let a = run();
+    let b = run();
+    assert!(a.status.success(), "lint failed: {}", String::from_utf8_lossy(&a.stdout));
+    assert_eq!(a.stdout, b.stdout, "json output must be byte-identical");
+    let doc = String::from_utf8(a.stdout).expect("utf8");
+    assert!(doc.contains("\"schema\": \"titan-lint/2\""));
+    assert!(doc.contains("\"n1_sites\""));
 }
 
 #[test]
