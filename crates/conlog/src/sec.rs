@@ -93,6 +93,34 @@ pub enum SecAction {
     },
 }
 
+impl SecAction {
+    /// When the action fired.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            SecAction::Alert { time, .. }
+            | SecAction::ThresholdAlarm { time, .. }
+            | SecAction::ClusterAlarm { time, .. } => time,
+        }
+    }
+
+    /// The node the action is scoped to (cluster alarms are fleet-wide).
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            SecAction::Alert { node, .. } | SecAction::ThresholdAlarm { node, .. } => Some(node),
+            SecAction::ClusterAlarm { .. } => None,
+        }
+    }
+
+    /// Stable snake_case label for telemetry payloads.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SecAction::Alert { .. } => "alert",
+            SecAction::ThresholdAlarm { .. } => "threshold_alarm",
+            SecAction::ClusterAlarm { .. } => "cluster_alarm",
+        }
+    }
+}
+
 /// Errors loading a rule file.
 #[derive(Debug)]
 pub struct RuleFileError(String);

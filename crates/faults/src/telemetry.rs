@@ -130,6 +130,32 @@ impl SoftDraftStats {
     }
 }
 
+/// Flight-recorder payload for a DBE draft (the `titan-trace/1` root
+/// record minted when the draft enters the event heap). Stable,
+/// format-only strings: the trace schema freezes the record shape, and
+/// these keep the payloads deterministic and greppable.
+pub fn dbe_draft_payload(d: &DbeDraft) -> String {
+    format!(
+        "dbe_draft structure={:?} persisted={}",
+        d.structure, d.inforom_persisted
+    )
+}
+
+/// Flight-recorder payload for an off-the-bus draft.
+pub fn otb_draft_payload(d: &OtbDraft) -> String {
+    format!("otb_draft cluster_root={}", d.cluster_root)
+}
+
+/// Flight-recorder payload for an SBE draft.
+pub fn sbe_draft_payload(d: &SbeDraft) -> String {
+    format!("sbe_draft structure={:?}", d.structure)
+}
+
+/// Flight-recorder payload for a software-XID incident draft.
+pub fn soft_draft_payload(i: &SoftwareIncident) -> String {
+    format!("soft_draft kind={:?} job_wide={}", i.kind, i.job_wide)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +218,41 @@ mod tests {
         assert_eq!(per[0], (MemoryStructure::DeviceMemory, 1));
         assert_eq!(per[1], (MemoryStructure::L2Cache, 2));
         assert_eq!(per[2], (MemoryStructure::RegisterFile, 0));
+    }
+
+    #[test]
+    fn draft_payloads_are_stable_strings() {
+        let d = DbeDraft {
+            time: 1,
+            structure: MemoryStructure::DeviceMemory,
+            page: None,
+            inforom_persisted: false,
+        };
+        assert_eq!(
+            dbe_draft_payload(&d),
+            "dbe_draft structure=DeviceMemory persisted=false"
+        );
+        assert_eq!(
+            otb_draft_payload(&OtbDraft { time: 2, cluster_root: true }),
+            "otb_draft cluster_root=true"
+        );
+        assert_eq!(
+            sbe_draft_payload(&SbeDraft {
+                time: 3,
+                structure: MemoryStructure::L2Cache,
+                page: None,
+            }),
+            "sbe_draft structure=L2Cache"
+        );
+        let i = SoftwareIncident {
+            time: 4,
+            kind: titan_gpu::GpuErrorKind::GraphicsEngineException,
+            job_wide: true,
+        };
+        assert_eq!(
+            soft_draft_payload(&i),
+            "soft_draft kind=GraphicsEngineException job_wide=true"
+        );
     }
 
     #[test]

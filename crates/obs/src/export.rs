@@ -12,11 +12,14 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::series::TsSeries;
 use crate::trace::TraceRing;
 use crate::Obs;
 
-/// Current schema identifier written into every document.
-pub const SCHEMA: &str = "titan-obs/1";
+/// Current schema identifier written into every document. `/2` added
+/// the `timeseries` section (fixed sim-time buckets of a curated
+/// counter subset) on top of `/1`.
+pub const SCHEMA: &str = "titan-obs/2";
 
 /// Snapshot of one fixed-bucket histogram.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,6 +91,20 @@ impl TraceSummary {
     }
 }
 
+/// The `timeseries` section: fixed sim-time buckets of the curated
+/// counter subset ([`TsSeries::ALL`]). Every series is padded to the
+/// same length (`buckets`), covering the whole window, so the buckets
+/// of each series sum exactly to the run-end counter of the same name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSeriesDoc {
+    /// Bucket width in sim seconds (default one week).
+    pub bucket_secs: u64,
+    /// Bucket count (`ceil(window / bucket_secs)`).
+    pub buckets: u64,
+    /// Per-series bucket counts, keyed by the shadowed counter name.
+    pub series: BTreeMap<String, Vec<u64>>,
+}
+
 /// The full metrics document for one simulated window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsDoc {
@@ -109,6 +126,8 @@ pub struct MetricsDoc {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Span-ring summary.
     pub spans: TraceSummary,
+    /// Time-bucketed counter subset (new in `/2`).
+    pub timeseries: TimeSeriesDoc,
 }
 
 impl MetricsDoc {
@@ -117,6 +136,14 @@ impl MetricsDoc {
     /// unknown section lands in `engine` under `section.name` so it is
     /// never silently lost.
     pub fn from_obs(obs: &Obs, seed: u64, window_days: u64) -> Self {
+        let bucket_secs = obs.ts.bucket_secs();
+        let window_secs = window_days * 86_400;
+        let n_buckets = window_secs.div_ceil(bucket_secs).max(1);
+        let mut series = BTreeMap::new();
+        for s in TsSeries::ALL {
+            // lint: allow(N1, bucket count: window/bucket_secs is far below 2^32)
+            series.insert(s.name().to_string(), obs.ts.padded(s, n_buckets as usize));
+        }
         let mut doc = MetricsDoc {
             schema: SCHEMA.to_string(),
             seed,
@@ -127,6 +154,11 @@ impl MetricsDoc {
             nvsmi: BTreeMap::new(),
             histograms: BTreeMap::new(),
             spans: TraceSummary::from_ring(&obs.trace),
+            timeseries: TimeSeriesDoc {
+                bucket_secs,
+                buckets: n_buckets,
+                series,
+            },
         };
         let entries = obs
             .reg
@@ -244,6 +276,82 @@ mod tests {
         assert_eq!(back, doc);
         // Rendering twice is byte-identical.
         assert_eq!(json, doc.to_json());
+    }
+
+    #[test]
+    fn timeseries_pads_every_series_to_the_window() {
+        let mut obs = Obs::enabled();
+        obs.ts.inc(crate::TsSeries::EvDbe, 0);
+        obs.ts.inc(crate::TsSeries::EvDbe, 8 * 86_400); // second weekly bucket
+        let doc = MetricsDoc::from_obs(&obs, 1, 60);
+        assert_eq!(doc.schema, "titan-obs/2");
+        let ts = &doc.timeseries;
+        assert_eq!(ts.bucket_secs, 7 * 86_400);
+        // 60 days / 7-day buckets = 9 buckets (ceil).
+        assert_eq!(ts.buckets, 9);
+        for s in crate::TsSeries::ALL {
+            assert_eq!(ts.series[s.name()].len(), 9, "{}", s.name());
+        }
+        assert_eq!(ts.series["ev_dbe"], vec![1, 1, 0, 0, 0, 0, 0, 0, 0]);
+        // Buckets sum to what was counted.
+        assert_eq!(ts.series["ev_dbe"].iter().sum::<u64>(), 2);
+    }
+
+    /// Satellite pin: `spans.recent` is oldest→newest at the exact
+    /// capacity boundary — a full-but-unwrapped ring (capacity spans)
+    /// and a just-wrapped one (capacity + 1) both export in record
+    /// order with the oldest survivor first.
+    #[test]
+    fn spans_recent_is_oldest_first_at_capacity_boundaries() {
+        let cap = 4usize;
+        let starts = |doc: &MetricsDoc| -> Vec<u64> {
+            doc.spans.recent.iter().map(|s| s.start).collect()
+        };
+        // Exactly `capacity` spans: nothing evicted, insertion order.
+        let mut obs = Obs::with_span_capacity(true, cap);
+        for t in 0..cap as u64 {
+            obs.trace.record(Span {
+                kind: SpanKind::JobLifecycle,
+                start: t,
+                end: t,
+                key: t,
+                extra: 0,
+            });
+        }
+        let doc = MetricsDoc::from_obs(&obs, 0, 1);
+        assert_eq!(doc.spans.capacity, cap as u64);
+        assert_eq!(doc.spans.dropped, 0);
+        assert_eq!(starts(&doc), vec![0, 1, 2, 3]);
+
+        // `capacity + 1` spans: the oldest evicted, order preserved.
+        obs.trace.record(Span {
+            kind: SpanKind::FaultChain,
+            start: 4,
+            end: 4,
+            key: 4,
+            extra: 0,
+        });
+        let doc = MetricsDoc::from_obs(&obs, 0, 1);
+        assert_eq!(doc.spans.dropped, 1);
+        assert_eq!(starts(&doc), vec![1, 2, 3, 4]);
+        // by_kind totals survive eviction exactly.
+        assert_eq!(doc.spans.by_kind["job_lifecycle"], 4);
+        assert_eq!(doc.spans.by_kind["fault_chain"], 1);
+
+        // Well past capacity: still oldest-first, still exact totals.
+        for t in 5..20u64 {
+            obs.trace.record(Span {
+                kind: SpanKind::JobLifecycle,
+                start: t,
+                end: t,
+                key: t,
+                extra: 0,
+            });
+        }
+        let doc = MetricsDoc::from_obs(&obs, 0, 1);
+        assert_eq!(starts(&doc), vec![16, 17, 18, 19]);
+        assert_eq!(doc.spans.by_kind["job_lifecycle"], 19);
+        assert_eq!(doc.spans.recorded, 20);
     }
 
     #[test]

@@ -35,11 +35,18 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
+pub mod series;
 pub mod trace;
 
-pub use export::{HistogramSnapshot, MetricsDoc, SpanRecord, TraceSummary, SCHEMA};
+pub use export::{HistogramSnapshot, MetricsDoc, SpanRecord, TimeSeriesDoc, TraceSummary, SCHEMA};
+pub use flight::{
+    chrome_trace, parse_trace, summarize_trace, verify_trace, TraceFilter, TraceHeader,
+    TraceKind, TraceRecord, TraceStream, VerifyReport, TRACE_SCHEMA,
+};
 pub use metrics::{metric_key, Counter, Gauge, HistId, Registry};
+pub use series::{TimeBuckets, TsSeries, DEFAULT_BUCKET_SECS};
 pub use trace::{Span, SpanKind, TraceRing};
 
 /// Default span-ring capacity: enough to hold every interesting span of
@@ -167,6 +174,12 @@ pub struct Obs {
     pub reg: Registry,
     /// The bounded span ring.
     pub trace: TraceRing,
+    /// The causal flight recorder (off by default; see
+    /// [`Obs::enable_trace`]).
+    pub stream: TraceStream,
+    /// Fixed sim-time bucket counters for the `timeseries` document
+    /// section (enabled together with the registry).
+    pub ts: TimeBuckets,
     /// Pre-registered handles for the standard catalog.
     pub cat: Catalog,
     phase_hook: Option<Box<dyn FnMut(&'static str)>>,
@@ -177,6 +190,7 @@ impl std::fmt::Debug for Obs {
         f.debug_struct("Obs")
             .field("enabled", &self.reg.enabled())
             .field("trace", &self.trace)
+            .field("stream_enabled", &self.stream.is_enabled())
             .field("phase_hook", &self.phase_hook.is_some())
             .finish()
     }
@@ -187,6 +201,13 @@ impl Obs {
     /// sinks still carry the catalog so the engine code is identical on
     /// both paths; every record call is a cheap no-op.
     pub fn new(enabled: bool) -> Self {
+        Obs::with_span_capacity(enabled, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// [`Obs::new`] with an explicit span-ring capacity (the
+    /// `--span-capacity` CLI flag). The exported `spans.capacity` field
+    /// reflects this value.
+    pub fn with_span_capacity(enabled: bool, span_capacity: usize) -> Self {
         let mut reg = Registry::new(enabled);
         let cat = Catalog {
             engine: EngineCat {
@@ -238,7 +259,9 @@ impl Obs {
         };
         Obs {
             reg,
-            trace: TraceRing::new(enabled, DEFAULT_SPAN_CAPACITY),
+            trace: TraceRing::new(enabled, span_capacity),
+            stream: TraceStream::new(false),
+            ts: TimeBuckets::new(enabled, series::DEFAULT_BUCKET_SECS),
             cat,
             phase_hook: None,
         }
@@ -257,6 +280,18 @@ impl Obs {
     /// Whether metric collection is on.
     pub fn is_enabled(&self) -> bool {
         self.reg.enabled()
+    }
+
+    /// Turns the causal flight recorder on (`--trace FILE`). Tracing is
+    /// independent of metric collection and is a pure observer either
+    /// way: the per-seed digests are identical with it on or off.
+    pub fn enable_trace(&mut self) {
+        self.stream = TraceStream::new(true);
+    }
+
+    /// Whether the flight recorder is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.stream.is_enabled()
     }
 
     /// Installs a phase-boundary callback. The engine calls
@@ -309,6 +344,43 @@ mod tests {
         obs.reg.set_max(obs.cat.engine.heap_high_water, 10);
         obs.reg.set_max(obs.cat.engine.heap_high_water, 7);
         assert_eq!(obs.reg.gauge_value(obs.cat.engine.heap_high_water), 10);
+    }
+
+    #[test]
+    fn span_capacity_is_configurable() {
+        let mut obs = Obs::with_span_capacity(true, 2);
+        for t in 0..5 {
+            obs.trace.record(Span {
+                kind: SpanKind::JobLifecycle,
+                start: t,
+                end: t,
+                key: t,
+                extra: 0,
+            });
+        }
+        assert_eq!(obs.trace.capacity(), 2);
+        assert_eq!(obs.trace.recorded(), 5);
+        assert_eq!(obs.trace.spans().len(), 2);
+        // The default constructor keeps the documented default.
+        assert_eq!(Obs::enabled().trace.capacity(), DEFAULT_SPAN_CAPACITY);
+    }
+
+    #[test]
+    fn trace_stream_is_off_by_default_and_opt_in() {
+        let mut obs = Obs::enabled();
+        assert!(!obs.trace_enabled());
+        assert_eq!(
+            obs.stream
+                .mint(TraceKind::FaultDraft, 0, 1, None, None, None, String::new),
+            0
+        );
+        obs.enable_trace();
+        assert!(obs.trace_enabled());
+        assert_eq!(
+            obs.stream
+                .mint(TraceKind::FaultDraft, 0, 1, None, None, None, String::new),
+            1
+        );
     }
 
     #[test]

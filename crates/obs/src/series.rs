@@ -1,0 +1,166 @@
+//! Fixed sim-time bucket counters: the `timeseries` section of
+//! `titan-obs/2`.
+//!
+//! The paper's trend figures (weekly error rates, the Jan-14 driver
+//! cutover) need time-resolved counts, not run-end totals. A
+//! [`TimeBuckets`] sink counts a curated subset of engine events into
+//! fixed-width sim-time buckets (default one week), so one run's
+//! metrics document shows the whole trend. Bucketing is pure integer
+//! arithmetic on sim timestamps — nothing here can perturb a run or
+//! break byte-identity.
+
+use titan_conlog::time::SimTime;
+
+/// Default bucket width: one week of sim time, matching the paper's
+/// weekly-rate figures.
+pub const DEFAULT_BUCKET_SECS: u64 = 7 * 86_400;
+
+/// The curated counter subset carried as time series. Each variant
+/// mirrors the engine counter of the same name; a runner test pins that
+/// the buckets of each series sum exactly to the run-end counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsSeries {
+    /// Console lines emitted (`engine.console_lines`).
+    ConsoleLines,
+    /// DBE events executed (`engine.ev_dbe`).
+    EvDbe,
+    /// Off-the-bus events executed (`engine.ev_otb`).
+    EvOtb,
+    /// SBE draft events executed (`engine.ev_sbe`).
+    EvSbe,
+    /// SBE drafts accepted after thinning (`engine.sbe_accepted`).
+    SbeAccepted,
+    /// Hot-spare swaps fired (`engine.swaps_fired`).
+    SwapsFired,
+}
+
+impl TsSeries {
+    /// All series, in stable export order.
+    pub const ALL: [TsSeries; 6] = [
+        TsSeries::ConsoleLines,
+        TsSeries::EvDbe,
+        TsSeries::EvOtb,
+        TsSeries::EvSbe,
+        TsSeries::SbeAccepted,
+        TsSeries::SwapsFired,
+    ];
+
+    /// Stable name used as the key in the metrics document (matches the
+    /// engine counter it shadows).
+    pub fn name(self) -> &'static str {
+        match self {
+            TsSeries::ConsoleLines => "console_lines",
+            TsSeries::EvDbe => "ev_dbe",
+            TsSeries::EvOtb => "ev_otb",
+            TsSeries::EvSbe => "ev_sbe",
+            TsSeries::SbeAccepted => "sbe_accepted",
+            TsSeries::SwapsFired => "swaps_fired",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TsSeries::ConsoleLines => 0,
+            TsSeries::EvDbe => 1,
+            TsSeries::EvOtb => 2,
+            TsSeries::EvSbe => 3,
+            TsSeries::SbeAccepted => 4,
+            TsSeries::SwapsFired => 5,
+        }
+    }
+}
+
+/// Bucketed counters for every [`TsSeries`]. Buckets grow on demand, so
+/// the sink needs no window length up front; the exporter pads every
+/// series to the window's bucket count.
+#[derive(Debug)]
+pub struct TimeBuckets {
+    enabled: bool,
+    bucket_secs: u64,
+    series: [Vec<u64>; 6],
+}
+
+impl TimeBuckets {
+    /// A sink with `bucket_secs`-wide buckets (clamped to ≥ 1).
+    pub fn new(enabled: bool, bucket_secs: u64) -> Self {
+        TimeBuckets {
+            enabled,
+            bucket_secs: bucket_secs.max(1),
+            series: Default::default(),
+        }
+    }
+
+    /// Bucket width in sim seconds.
+    pub fn bucket_secs(&self) -> u64 {
+        self.bucket_secs
+    }
+
+    /// Counts one event of `series` at sim time `t` (no-op disabled).
+    #[inline]
+    pub fn inc(&mut self, series: TsSeries, t: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        // lint: allow(N1, bucket index: window/bucket_secs is far below 2^32 for any real window)
+        let bucket = (t / self.bucket_secs) as usize;
+        let v = &mut self.series[series.index()];
+        if v.len() <= bucket {
+            v.resize(bucket + 1, 0);
+        }
+        v[bucket] += 1;
+    }
+
+    /// The raw (unpadded) buckets of one series.
+    pub fn series(&self, series: TsSeries) -> &[u64] {
+        &self.series[series.index()]
+    }
+
+    /// One series padded with trailing zeros to `n_buckets` (the export
+    /// shape: every series the same length, covering the whole window).
+    pub fn padded(&self, series: TsSeries, n_buckets: usize) -> Vec<u64> {
+        let mut v = self.series(series).to_vec();
+        if v.len() < n_buckets {
+            v.resize(n_buckets, 0);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_by_fixed_width() {
+        let mut ts = TimeBuckets::new(true, 100);
+        ts.inc(TsSeries::EvDbe, 0);
+        ts.inc(TsSeries::EvDbe, 99);
+        ts.inc(TsSeries::EvDbe, 100);
+        ts.inc(TsSeries::EvDbe, 350);
+        assert_eq!(ts.series(TsSeries::EvDbe), &[2, 1, 0, 1]);
+        assert!(ts.series(TsSeries::EvOtb).is_empty());
+    }
+
+    #[test]
+    fn padding_extends_with_zeros_only() {
+        let mut ts = TimeBuckets::new(true, 100);
+        ts.inc(TsSeries::SwapsFired, 150);
+        assert_eq!(ts.padded(TsSeries::SwapsFired, 4), vec![0, 1, 0, 0]);
+        // Never truncates.
+        assert_eq!(ts.padded(TsSeries::SwapsFired, 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let mut ts = TimeBuckets::new(false, 100);
+        ts.inc(TsSeries::ConsoleLines, 5);
+        assert!(ts.series(TsSeries::ConsoleLines).is_empty());
+        assert_eq!(ts.padded(TsSeries::ConsoleLines, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn zero_width_clamps_to_one() {
+        let ts = TimeBuckets::new(true, 0);
+        assert_eq!(ts.bucket_secs(), 1);
+    }
+}

@@ -22,6 +22,7 @@ use titan_conlog::SecEngine;
 // Re-exported so CLI code can name the telemetry types through the
 // runner without a direct titan-obs dependency.
 pub use titan_obs::{MetricsDoc, Obs};
+use titan_obs::TraceKind;
 use titan_reliability::{evaluate_all, Expectation, Study, StudyConfig, Verdict};
 use titan_sim::SimOutput;
 use titan_stats::Summary;
@@ -54,6 +55,10 @@ pub struct ReplicateOptions {
     /// the per-seed metrics document into the report; its flattened
     /// scalars join the metric bands under an `obs.` prefix.
     pub collect_obs: bool,
+    /// When true, run every seed with an enabled flight recorder and
+    /// return the rendered `titan-trace/1` JSONL per seed (see
+    /// [`replicate_full`]). Like `collect_obs`, a pure observer.
+    pub collect_trace: bool,
 }
 
 impl ReplicateOptions {
@@ -66,6 +71,7 @@ impl ReplicateOptions {
             threads,
             skip_expectations: false,
             collect_obs: false,
+            collect_trace: false,
         }
     }
 }
@@ -184,10 +190,29 @@ pub fn run_seed_obs(
     skip_expectations: bool,
     collect_obs: bool,
 ) -> SeedRun {
+    run_seed_full(base, seed, skip_expectations, collect_obs, false).0
+}
+
+/// [`run_seed_obs`] plus optional flight-recorder capture: when
+/// `collect_trace` is set the seed runs with an enabled trace stream,
+/// the collect-time SEC replay and nvsmi rollups are stitched into the
+/// causal chains, and the rendered `titan-trace/1` JSONL comes back
+/// alongside the summary. Tracing is a pure observer — the [`SeedRun`]
+/// (digest included) is identical with it on or off.
+pub fn run_seed_full(
+    base: &StudyConfig,
+    seed: u64,
+    skip_expectations: bool,
+    collect_obs: bool,
+    collect_trace: bool,
+) -> (SeedRun, Option<String>) {
     let mut config = base.clone();
     config.sim.seed = seed;
     let window = config.sim.window;
     let mut obs = Obs::new(collect_obs);
+    if collect_trace {
+        obs.enable_trace();
+    }
     let study = Study::new(config).run_with_obs(&mut obs);
     let expectations = if skip_expectations {
         Vec::new()
@@ -195,22 +220,36 @@ pub fn run_seed_obs(
         evaluate_all(&study.figures())
     };
     let mut metrics = seed_metrics(&study.sim);
-    let obs_doc = if collect_obs {
+    // Collection runs for tracing too: the SEC replay and nvsmi rollups
+    // it performs are what mint the collect-time trace records.
+    let obs_doc = if collect_obs || collect_trace {
         let doc = collect_metrics(&study.sim, seed, window, &mut obs);
-        for (k, v) in doc.flatten() {
-            metrics.insert(format!("obs.{k}"), v);
+        if collect_obs {
+            for (k, v) in doc.flatten() {
+                metrics.insert(format!("obs.{k}"), v);
+            }
+            Some(doc)
+        } else {
+            None
         }
-        Some(doc)
     } else {
         None
     };
-    SeedRun {
-        seed,
-        output_digest: output_digest(&study.sim),
-        metrics,
-        expectations,
-        obs: obs_doc,
-    }
+    let trace = if collect_trace {
+        Some(obs.stream.render_jsonl(seed, window / 86_400))
+    } else {
+        None
+    };
+    (
+        SeedRun {
+            seed,
+            output_digest: output_digest(&study.sim),
+            metrics,
+            expectations,
+            obs: obs_doc,
+        },
+        trace,
+    )
 }
 
 /// Fills the SEC and nvsmi sections of the registry from a finished
@@ -221,6 +260,11 @@ pub fn run_seed_obs(
 /// the SEC during simulation (the paper's correlators run on the SMW,
 /// outside the machine), so its rule-hit/suppression counters live in
 /// the collector, not the hot loop.
+///
+/// When the flight recorder is on, the replay runs line by line so each
+/// SEC action can be parented to the exact console-line trace record
+/// that triggered it, and an `nvsmi_rollup` record is minted per card
+/// with retired pages, parented to that card's last retirement.
 pub fn collect_metrics(
     sim: &SimOutput,
     seed: u64,
@@ -228,7 +272,27 @@ pub fn collect_metrics(
     obs: &mut Obs,
 ) -> MetricsDoc {
     let mut sec = SecEngine::olcf_default();
-    sec.ingest_all(&sim.console);
+    // The engine's stable time-sort makes console-line record i describe
+    // console line i (see `TraceStream::console_ids_in_log_order`); the
+    // length check keeps a stream from a different run from misparenting.
+    let console_ids = obs.stream.console_ids_in_log_order();
+    let tracing = obs.stream.is_enabled() && console_ids.len() == sim.console.len();
+    for (i, ev) in sim.console.iter().enumerate() {
+        let actions = sec.ingest(ev);
+        if tracing {
+            for a in &actions {
+                obs.stream.mint(
+                    TraceKind::SecAlert,
+                    console_ids[i],
+                    a.time(),
+                    None,
+                    a.node().map(|n| u64::from(n.0)),
+                    ev.apid,
+                    || format!("sec {}", a.label()),
+                );
+            }
+        }
+    }
     let stats = sec.stats();
     for (name, value) in [
         ("events_ingested", stats.events_ingested),
@@ -259,6 +323,47 @@ pub fn collect_metrics(
         obs.reg.add(c, value);
     }
 
+    if tracing {
+        // Last retirement record per card: the rollup's causal parent.
+        let mut last_retirement: BTreeMap<u64, u64> = BTreeMap::new();
+        for r in obs.stream.records() {
+            if r.kind == TraceKind::Retirement.name() {
+                if let Some(c) = r.card {
+                    last_retirement.insert(c, r.id);
+                }
+            }
+        }
+        let rollups: Vec<(u64, u64, u64, u32, u32)> = sim
+            .final_snapshots
+            .iter()
+            .filter(|s| s.retired_pages != (0, 0))
+            .map(|s| {
+                let card = u64::from(s.serial.0);
+                (
+                    last_retirement.get(&card).copied().unwrap_or(0),
+                    card,
+                    u64::from(s.node.0),
+                    s.retired_pages.0,
+                    s.retired_pages.1,
+                )
+            })
+            .collect();
+        for (parent, card, node, pd, ps) in rollups {
+            // A rollup with no retirement ancestor mints parent 0, which
+            // `verify_trace` rejects — retired pages with no recorded
+            // cause are exactly the provenance hole verify exists for.
+            obs.stream.mint(
+                TraceKind::NvsmiRollup,
+                parent,
+                window,
+                Some(card),
+                Some(node),
+                None,
+                || format!("retired_pages dbe={pd} sbe={ps}"),
+            );
+        }
+    }
+
     MetricsDoc::from_obs(obs, seed, window / 86_400)
 }
 
@@ -269,6 +374,16 @@ pub fn collect_metrics(
 /// at any thread width (the same guarantee the vendored pool makes for
 /// every `map`/`reduce`, see `rayon::scope_map`).
 pub fn replicate(opts: &ReplicateOptions) -> Result<ReplicationReport, String> {
+    replicate_full(opts).map(|(report, _)| report)
+}
+
+/// [`replicate`] that also returns each seed's rendered `titan-trace/1`
+/// JSONL (all `None` unless `collect_trace` was set). Traces ride the
+/// same seed-order merge, so for a fixed seed list every trace is
+/// byte-identical at any thread width.
+pub fn replicate_full(
+    opts: &ReplicateOptions,
+) -> Result<(ReplicationReport, Vec<Option<String>>), String> {
     if opts.seeds.is_empty() {
         return Err("replicate: need at least one seed".into());
     }
@@ -288,11 +403,19 @@ pub fn replicate(opts: &ReplicateOptions) -> Result<ReplicationReport, String> {
     let base = &opts.base;
     let skip = opts.skip_expectations;
     let collect = opts.collect_obs;
-    let runs: Vec<SeedRun> = rayon::scope_map(opts.seeds.clone(), opts.threads, |seed| {
-        run_seed_obs(base, seed, skip, collect)
-    });
+    let collect_trace = opts.collect_trace;
+    let pairs: Vec<(SeedRun, Option<String>)> =
+        rayon::scope_map(opts.seeds.clone(), opts.threads, |seed| {
+            run_seed_full(base, seed, skip, collect, collect_trace)
+        });
+    let mut runs = Vec::with_capacity(pairs.len());
+    let mut traces = Vec::with_capacity(pairs.len());
+    for (run, trace) in pairs {
+        runs.push(run);
+        traces.push(trace);
+    }
 
-    Ok(merge(runs, opts.threads, base.sim.window / 86_400))
+    Ok((merge(runs, opts.threads, base.sim.window / 86_400), traces))
 }
 
 /// Merges per-seed runs (already in seed order) into the report.
@@ -659,6 +782,87 @@ mod tests {
         assert!(json.contains("titan-obs-replicate/1"));
         // Without collection there is no artifact.
         assert!(obs_replicate_doc(&replicate(&opts(10, 2, 1)).unwrap()).is_none());
+    }
+
+    /// Acceptance pin: the fixed-bucket timeseries in the metrics doc
+    /// sums exactly to the run-end counters it shadows.
+    #[test]
+    fn timeseries_buckets_sum_to_run_end_counters() {
+        let base = StudyConfig::quick(30, 0);
+        let run = run_seed_obs(&base, 100, true, true);
+        let doc = run.obs.expect("collected");
+        assert_eq!(doc.schema, "titan-obs/2");
+        for name in [
+            "console_lines",
+            "ev_dbe",
+            "ev_otb",
+            "ev_sbe",
+            "sbe_accepted",
+            "swaps_fired",
+        ] {
+            let series = &doc.timeseries.series[name];
+            assert_eq!(series.len() as u64, doc.timeseries.buckets, "{name} length");
+            assert_eq!(
+                series.iter().sum::<u64>(),
+                doc.engine[name],
+                "{name} bucket sum != counter"
+            );
+        }
+        // 30 days at the default weekly bucket = 5 buckets.
+        assert_eq!(doc.timeseries.bucket_secs, 7 * 86_400);
+        assert_eq!(doc.timeseries.buckets, 5);
+        assert!(doc.engine["console_lines"] > 0);
+    }
+
+    /// Tracing must be a pure observer: the seed summary (digest
+    /// included) and the metrics document are identical with the flight
+    /// recorder on or off.
+    #[test]
+    fn trace_capture_never_perturbs_run_or_metrics() {
+        let base = StudyConfig::quick(10, 0);
+        let plain = run_seed_obs(&base, 100, true, true);
+        let (traced, trace) = run_seed_full(&base, 100, true, true, true);
+        assert_eq!(plain, traced, "tracing changed the seed summary");
+        let text = trace.expect("trace requested");
+        assert!(text.starts_with("{\"schema\":\"titan-trace/1\""));
+        // Trace-only capture (no metrics) leaves the digest alone too.
+        let (bare, _) = run_seed_full(&base, 100, true, false, true);
+        assert_eq!(plain.output_digest, bare.output_digest);
+        assert!(bare.obs.is_none());
+    }
+
+    /// Full-pipeline provenance: a traced run's chains — SEC alerts and
+    /// nvsmi rollups included — all walk back to injected fault drafts.
+    #[test]
+    fn traced_run_passes_provenance_verification() {
+        let base = StudyConfig::quick(30, 0);
+        let (_, trace) = run_seed_full(&base, 7, true, false, true);
+        let text = trace.expect("trace requested");
+        let (header, records) = titan_obs::parse_trace(&text).expect("parse");
+        let report = titan_obs::verify_trace(&header, &records);
+        assert!(report.ok(), "{:?}", report.errors);
+        assert!(report.chains_walked > 0, "no SEC alerts in 30 days");
+        // draft -> engine event -> console line -> SEC alert.
+        assert!(report.max_depth >= 4, "max depth {}", report.max_depth);
+        assert!(records
+            .iter()
+            .any(|r| r.kind == TraceKind::SecAlert.name()));
+    }
+
+    /// Replicate traces are byte-identical at any thread width.
+    #[test]
+    fn replicate_traces_are_thread_width_invariant() {
+        let mut a = opts(10, 2, 1);
+        a.collect_trace = true;
+        let mut b = opts(10, 2, 2);
+        b.collect_trace = true;
+        let (_, seq) = replicate_full(&a).unwrap();
+        let (_, par) = replicate_full(&b).unwrap();
+        assert_eq!(seq, par);
+        assert!(seq.iter().all(|t| t.is_some()));
+        let texts: std::collections::BTreeSet<&String> =
+            seq.iter().flatten().collect();
+        assert_eq!(texts.len(), 2, "different seeds must trace differently");
     }
 
     #[test]

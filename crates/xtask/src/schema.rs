@@ -1,8 +1,10 @@
 //! Rule **S1** — frozen output-schema drift guard.
 //!
-//! Three JSON document schemas are public contracts: `titan-obs/1`
-//! (metrics documents), `titan-check/1` (per-check verdicts), and
-//! `titan-obs-replicate/1` (replication bands). Downstream tooling
+//! Several JSON document schemas are public contracts: `titan-obs/2`
+//! (metrics documents), `titan-check/1` (per-check verdicts),
+//! `titan-obs-replicate/1` (replication bands), `titan-trace/1`
+//! (flight-recorder records), and `titan-profile/1` (profile
+//! documents). Downstream tooling
 //! parses them by field name, so a renamed or reordered field is a
 //! silent break — the same failure shape as the nvidia-smi DBE counter
 //! the paper found undercounting for years.
@@ -24,7 +26,12 @@ use crate::{Finding, Rule};
 /// Files whose `titan-*/N` string literals must all be spec'd. Schema
 /// strings are only ever *minted* in these files; everywhere else they
 /// are compared against, not defined.
-pub const S1_FILES: &[&str] = &["crates/obs/src/export.rs", "crates/runner/src/lib.rs", "src/main.rs"];
+pub const S1_FILES: &[&str] = &[
+    "crates/obs/src/export.rs",
+    "crates/obs/src/flight.rs",
+    "crates/runner/src/lib.rs",
+    "src/main.rs",
+];
 
 /// One golden schema spec, parsed from `crates/xtask/schemas/*.toml`.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -428,7 +428,13 @@ fn real_tree_layering_and_schemas_are_clean() {
     names.sort_unstable();
     assert_eq!(
         names,
-        ["titan-check/1", "titan-obs-replicate/1", "titan-obs/1"],
+        [
+            "titan-check/1",
+            "titan-obs-replicate/1",
+            "titan-obs/2",
+            "titan-profile/1",
+            "titan-trace/1",
+        ],
         "golden specs missing from crates/xtask/schemas/"
     );
 }

@@ -53,6 +53,7 @@ fn main() -> ExitCode {
         "logs" => logs(&args[1..]),
         "replicate" => replicate(&args[1..]),
         "profile" => profile(&args[1..]),
+        "trace" => trace_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -72,27 +73,44 @@ const USAGE: &str = "usage: titan-repro <command> [options]
 
 commands:
   taxonomy                          print Tables 1 & 2 (the XID taxonomy)
-  run   [--days N] [--seed S] [--metrics FILE]
+  run   [--days N] [--seed S] [--metrics FILE] [--trace FILE]
+        [--span-capacity N]
                                     simulate and print the full report;
                                     --metrics writes the sim-time telemetry
-                                    document (stable JSON, seed-deterministic)
+                                    document (stable JSON, seed-deterministic);
+                                    --trace writes the titan-trace/1 causal
+                                    flight-recorder JSONL
   check [--days N] [--seed S] [--metrics FILE] [--json FILE]
+        [--span-capacity N]
                                     run the paper-shape checks; exit 1 on FAIL;
                                     --json writes per-check verdicts as JSON
   logs  [--days N] [--seed S] --out DIR
                                     write console.log / job.log / aprun.log
   replicate --seeds N [--threads T] [--days D] [--seed S]
             [--skip-expectations] [--out FILE.json] [--metrics FILE.json]
+            [--trace DIR]
                                     run N independent seeds across T threads
                                     (default: all cores) and report mean/95% CI
                                     bands; per-seed output is byte-identical
                                     to a sequential run of the same seed;
                                     --metrics writes per-seed telemetry
-                                    documents plus aggregate metric bands
-  profile [--days N] [--seed S] [--metrics FILE]
+                                    documents plus aggregate metric bands;
+                                    --trace writes DIR/trace-seed-<seed>.jsonl
+                                    per seed
+  profile [--days N] [--seed S] [--metrics FILE] [--json FILE]
+          [--span-capacity N]
                                     run one window with telemetry enabled and
                                     print a per-phase wall-time table plus a
-                                    per-subsystem sim-metrics breakdown
+                                    per-subsystem sim-metrics breakdown;
+                                    --json writes the titan-profile/1 document
+  trace <verify|summarize|show> FILE
+        [--card N] [--node N] [--job APID] [--window LO:HI] [--chrome FILE]
+                                    inspect a titan-trace/1 JSONL: verify walks
+                                    every alert/retirement back to an injected
+                                    fault draft (exit 1 on provenance holes);
+                                    summarize prints per-kind counts; show
+                                    prints matching records; --chrome exports
+                                    Chrome trace events (open in Perfetto)
 
 Without --days the full 21-month study window runs (~2 min in release).";
 
@@ -103,6 +121,8 @@ struct Opts {
     out: Option<String>,
     metrics: Option<String>,
     json: Option<String>,
+    trace: Option<String>,
+    span_capacity: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -112,6 +132,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out: None,
         metrics: None,
         json: None,
+        trace: None,
+        span_capacity: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -138,6 +160,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--json" => {
                 opts.json = Some(it.next().ok_or("--json needs a file")?.clone());
+            }
+            "--trace" => {
+                opts.trace = Some(it.next().ok_or("--trace needs a file")?.clone());
+            }
+            "--span-capacity" => {
+                let v = it.next().ok_or("--span-capacity needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--span-capacity: `{v}` is not a positive integer"))?;
+                if n == 0 {
+                    return Err("--span-capacity must be at least 1".into());
+                }
+                opts.span_capacity = Some(n);
             }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -181,13 +216,28 @@ fn run_study(
     let seed = config.sim.seed;
     let window = config.sim.window;
     let study = Study::new(config).run_with_obs(obs);
-    let doc = if obs.is_enabled() {
+    // Collection also runs for a trace-only capture: the SEC replay and
+    // nvsmi rollup it performs mint the collect-time trace records.
+    let doc = if obs.is_enabled() || obs.trace_enabled() {
         obs.phase("cli:collect_metrics");
-        Some(titan_runner::collect_metrics(&study.sim, seed, window, obs))
+        let doc = titan_runner::collect_metrics(&study.sim, seed, window, obs);
+        obs.is_enabled().then_some(doc)
     } else {
         None
     };
     (study, doc)
+}
+
+/// Builds the CLI's observability sink from the common options.
+fn build_obs(opts: &Opts, metrics_on: bool) -> Obs {
+    let mut obs = match opts.span_capacity {
+        Some(cap) => Obs::with_span_capacity(metrics_on, cap),
+        None => Obs::new(metrics_on),
+    };
+    if opts.trace.is_some() {
+        obs.enable_trace();
+    }
+    obs
 }
 
 fn taxonomy(args: &[String]) -> Result<ExitCode, String> {
@@ -227,14 +277,19 @@ fn print_kind(k: GpuErrorKind) {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.json.is_some() {
-        return Err("--json applies to `check` only".into());
+        return Err("--json applies to `check` and `profile` only".into());
     }
     let config = study_config(&opts)?;
-    let mut obs = Obs::new(opts.metrics.is_some());
+    let seed = config.sim.seed;
+    let window_days = config.sim.window / 86_400;
+    let mut obs = build_obs(&opts, opts.metrics.is_some());
     let (study, doc) = run_study(config, &mut obs);
     println!("{}", full_report(&study));
     if let (Some(path), Some(doc)) = (&opts.metrics, &doc) {
         write_text(path, &doc.to_json())?;
+    }
+    if let Some(path) = &opts.trace {
+        write_text(path, &obs.stream.render_jsonl(seed, window_days))?;
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -262,10 +317,13 @@ struct CheckDoc {
 
 fn check(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
+    if opts.trace.is_some() {
+        return Err("--trace applies to `run` and `replicate` only".into());
+    }
     let config = study_config(&opts)?;
     let seed = config.sim.seed;
     let window_days = config.sim.window / 86_400;
-    let mut obs = Obs::new(opts.metrics.is_some());
+    let mut obs = build_obs(&opts, opts.metrics.is_some());
     let (study, doc) = run_study(config, &mut obs);
     let figures = study.figures();
     let (mut pass, mut weak, mut fail) = (0u32, 0u32, 0u32);
@@ -316,6 +374,7 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
     let mut threads: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut skip_expectations = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -333,6 +392,9 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
             "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
             "--metrics" => {
                 metrics = Some(it.next().ok_or("--metrics needs a file")?.clone());
+            }
+            "--trace" => {
+                trace_dir = Some(it.next().ok_or("--trace needs a directory")?.clone());
             }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -353,8 +415,18 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
     let mut opts = titan_runner::ReplicateOptions::consecutive(base, base_seed, n, threads);
     opts.skip_expectations = skip_expectations;
     opts.collect_obs = metrics.is_some();
-    let report = titan_runner::replicate(&opts)?;
+    opts.collect_trace = trace_dir.is_some();
+    let (report, traces) = titan_runner::replicate_full(&opts)?;
     print!("{}", titan_runner::render_report(&report));
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir}: {e}"))?;
+        for (run, trace) in report.runs.iter().zip(&traces) {
+            let Some(text) = trace else {
+                return Err("replicate produced no trace (internal error)".into());
+            };
+            write_text(&format!("{dir}/trace-seed-{}.jsonl", run.seed), text)?;
+        }
+    }
     if let Some(path) = out {
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| format!("serialize report: {e}"))?;
@@ -403,17 +475,36 @@ impl PhaseClock {
     }
 }
 
+/// One phase row of the `profile --json` document. Wall-clock numbers
+/// are host-dependent by nature: the *shape* of the document is frozen
+/// (lint S1), the millisecond values are not expected to replicate.
+#[derive(serde::Serialize)]
+struct ProfilePhase {
+    name: String,
+    wall_ms: f64,
+}
+
+/// The `profile --json` document.
+#[derive(serde::Serialize)]
+struct ProfileDoc {
+    schema: String,
+    seed: u64,
+    window_days: u64,
+    phases: Vec<ProfilePhase>,
+    metrics: titan_runner::MetricsDoc,
+}
+
 fn profile(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
-    if opts.json.is_some() || opts.out.is_some() {
-        return Err("profile takes --days / --seed / --metrics only".into());
+    if opts.out.is_some() || opts.trace.is_some() {
+        return Err("profile takes --days / --seed / --metrics / --json only".into());
     }
     let config = study_config(&opts)?;
     let seed = config.sim.seed;
     let window_days = config.sim.window / 86_400;
 
     let clock = Rc::new(RefCell::new(PhaseClock::new()));
-    let mut obs = Obs::enabled();
+    let mut obs = build_obs(&opts, true);
     let hook_clock = Rc::clone(&clock);
     obs.set_phase_hook(Box::new(move |name| hook_clock.borrow_mut().mark(name)));
 
@@ -468,12 +559,133 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
     if let Some(path) = &opts.metrics {
         write_text(path, &doc.to_json())?;
     }
+    if let Some(path) = &opts.json {
+        let profile_doc = ProfileDoc {
+            schema: "titan-profile/1".to_string(),
+            seed,
+            window_days,
+            phases: clock
+                .borrow()
+                .done
+                .iter()
+                .map(|(name, dur)| ProfilePhase {
+                    name: (*name).to_string(),
+                    wall_ms: dur.as_secs_f64() * 1e3,
+                })
+                .collect(),
+            metrics: doc,
+        };
+        let mut json = serde_json::to_string_pretty(&profile_doc)
+            .map_err(|e| format!("serialize profile: {e}"))?;
+        json.push('\n');
+        write_text(path, &json)?;
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `trace` subcommand: verify / summarize / show over a
+/// `titan-trace/1` JSONL file written by `run --trace` or
+/// `replicate --trace`.
+fn trace_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut mode: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut filter = titan_obs::TraceFilter::default();
+    let mut chrome: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            let v = it.next().ok_or(format!("{name} needs a value"))?;
+            v.parse()
+                .map_err(|_| format!("{name}: `{v}` is not a non-negative integer"))
+        };
+        match arg.as_str() {
+            "--card" => filter.card = Some(num("--card")?),
+            "--node" => filter.node = Some(num("--node")?),
+            "--job" => filter.apid = Some(num("--job")?),
+            "--window" => {
+                let v = it.next().ok_or("--window needs LO:HI (sim seconds)")?;
+                let Some((lo, hi)) = v.split_once(':') else {
+                    return Err(format!("--window: `{v}` is not LO:HI"));
+                };
+                let lo: u64 = lo
+                    .parse()
+                    .map_err(|_| format!("--window: `{lo}` is not a non-negative integer"))?;
+                let hi: u64 = hi
+                    .parse()
+                    .map_err(|_| format!("--window: `{hi}` is not a non-negative integer"))?;
+                if lo > hi {
+                    return Err(format!("--window: {lo} > {hi}"));
+                }
+                filter.window = Some((lo, hi));
+            }
+            "--chrome" => {
+                chrome = Some(it.next().ok_or("--chrome needs a file")?.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            word if mode.is_none() => mode = Some(word.to_string()),
+            word if file.is_none() => file = Some(word.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let mode = mode.ok_or(format!("trace needs a mode\n{USAGE}"))?;
+    let file = file.ok_or(format!("trace needs a FILE\n{USAGE}"))?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file}: {e}"))?;
+    let (header, records) = titan_obs::parse_trace(&text)?;
+    match mode.as_str() {
+        "verify" => {
+            let report = titan_obs::verify_trace(&header, &records);
+            println!(
+                "{}: {} records, {} chains walked, max depth {}",
+                file, report.records, report.chains_walked, report.max_depth
+            );
+            if report.ok() {
+                println!("provenance OK: every alert and retirement walks back to a fault draft");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for e in &report.errors {
+                    println!("VIOLATION: {e}");
+                }
+                println!("{} provenance violation(s)", report.errors.len());
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        "summarize" => {
+            let kept: Vec<titan_obs::TraceRecord> = records
+                .iter()
+                .filter(|r| filter.matches(r))
+                .cloned()
+                .collect();
+            print!("{}", titan_obs::summarize_trace(&header, &kept));
+            Ok(ExitCode::SUCCESS)
+        }
+        "show" => {
+            let kept: Vec<titan_obs::TraceRecord> = records
+                .iter()
+                .filter(|r| filter.matches(r))
+                .cloned()
+                .collect();
+            if let Some(path) = chrome {
+                write_text(&path, &titan_obs::chrome_trace(&kept))?;
+            } else {
+                for r in &kept {
+                    println!(
+                        "{}",
+                        serde_json::to_string(r).map_err(|e| format!("serialize record: {e}"))?
+                    );
+                }
+                eprintln!("{} of {} records matched", kept.len(), records.len());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown trace mode `{other}`\n{USAGE}")),
+    }
 }
 
 fn logs(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
-    if opts.metrics.is_some() || opts.json.is_some() {
+    if opts.metrics.is_some() || opts.json.is_some() || opts.trace.is_some() {
         return Err("logs takes --days / --seed / --out only".into());
     }
     let out_dir = opts.out.clone().ok_or("logs requires --out DIR")?;

@@ -65,7 +65,7 @@ fn replicate_metrics_json_identical_at_threads_1_vs_8() {
     assert_eq!(a, b, "metrics JSON differs between --threads 1 and --threads 8");
     let text = String::from_utf8(a).expect("utf8 metrics");
     assert!(text.contains("\"titan-obs-replicate/1\""), "replicate schema tag");
-    assert!(text.contains("\"titan-obs/1\""), "per-seed schema tag");
+    assert!(text.contains("\"titan-obs/2\""), "per-seed schema tag");
     for section in ["\"engine\"", "\"faults\"", "\"sec\"", "\"nvsmi\"", "\"spans\""] {
         assert!(text.contains(section), "metrics doc missing {section} section");
     }
@@ -101,8 +101,9 @@ fn metrics_flag_never_changes_the_report() {
         "--metrics changed the simulation report"
     );
     let doc = std::fs::read_to_string(&path).expect("metrics file");
-    assert!(doc.contains("\"schema\": \"titan-obs/1\""));
+    assert!(doc.contains("\"schema\": \"titan-obs/2\""));
     assert!(doc.contains("\"events_dequeued\""));
+    assert!(doc.contains("\"timeseries\""), "titan-obs/2 doc missing timeseries section");
 }
 
 /// `check --json` writes machine-readable per-check verdicts with the
@@ -175,4 +176,127 @@ fn profile_prints_phases_and_matches_run_metrics() {
     let a = std::fs::read(&prof_path).expect("profile metrics");
     let b = std::fs::read(&run_path).expect("run metrics");
     assert_eq!(a, b, "profile and run metrics documents differ");
+}
+
+/// Tentpole guarantee: the flight-recorder trace a replication writes
+/// is byte-identical at --threads 1 and --threads 8 for the same seed
+/// set. Trace ids are minted in sim order, so thread width must be
+/// invisible in the JSONL.
+#[test]
+fn replicate_traces_identical_at_threads_1_vs_8() {
+    let d1 = tmp("traces_t1");
+    let d8 = tmp("traces_t8");
+    for (threads, dir) in [("1", &d1), ("8", &d8)] {
+        run_ok(&[
+            "replicate",
+            "--seeds",
+            "2",
+            "--days",
+            "6",
+            "--seed",
+            "42",
+            "--threads",
+            threads,
+            "--skip-expectations",
+            "--trace",
+            dir.to_str().expect("utf8 path"),
+        ]);
+    }
+    for seed in ["42", "43"] {
+        let a = std::fs::read(d1.join(format!("trace-seed-{seed}.jsonl"))).expect("t1 trace");
+        let b = std::fs::read(d8.join(format!("trace-seed-{seed}.jsonl"))).expect("t8 trace");
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "trace for seed {seed} differs between thread widths");
+        let text = String::from_utf8(a).expect("utf8 trace");
+        assert!(text.starts_with("{\"schema\":\"titan-trace/1\""), "trace header");
+    }
+}
+
+/// Tentpole guarantee: `--trace` is a pure observer — the printed
+/// report is identical with and without it.
+#[test]
+fn trace_flag_never_changes_the_report() {
+    let plain = run_ok(&["run", "--days", "6", "--seed", "7"]);
+    let path = tmp("observer.jsonl");
+    let traced = run_ok(&[
+        "run",
+        "--days",
+        "6",
+        "--seed",
+        "7",
+        "--trace",
+        path.to_str().expect("utf8 path"),
+    ]);
+    let strip = |out: &Output| -> String {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("wrote "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&plain), strip(&traced), "--trace changed the simulation report");
+}
+
+/// Acceptance criterion: `trace verify` proves complete provenance on
+/// the default 60-day window — every chain terminates at a FaultDraft
+/// root and every console line / SEC alert has a causal parent.
+#[test]
+fn trace_verify_passes_on_default_window() {
+    let path = tmp("verify_60d.jsonl");
+    run_ok(&["run", "--days", "60", "--seed", "42", "--trace", path.to_str().expect("utf8 path")]);
+    let out = run_ok(&["trace", "verify", path.to_str().expect("utf8 path")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("provenance OK"), "verify did not report OK:\n{stdout}");
+    // Summarize and Chrome export both accept the same file.
+    let sum = run_ok(&["trace", "summarize", path.to_str().expect("utf8 path")]);
+    let sum_text = String::from_utf8_lossy(&sum.stdout);
+    for marker in ["records", "fault_draft", "console_line", "sec_alert"] {
+        assert!(sum_text.contains(marker), "summary missing `{marker}`:\n{sum_text}");
+    }
+    let chrome = tmp("verify_60d.chrome.json");
+    run_ok(&[
+        "trace",
+        "show",
+        path.to_str().expect("utf8 path"),
+        "--chrome",
+        chrome.to_str().expect("utf8 path"),
+    ]);
+    let chrome_doc = std::fs::read_to_string(&chrome).expect("chrome export");
+    assert!(chrome_doc.contains("\"traceEvents\""), "not a Chrome trace document");
+}
+
+/// Satellite guarantee: `profile --json` writes the frozen
+/// `titan-profile/1` document — phase wall times plus the embedded
+/// sim-time metrics document.
+#[test]
+fn profile_json_writes_titan_profile_doc() {
+    let path = tmp("profile_doc.json");
+    run_ok(&["profile", "--days", "6", "--seed", "42", "--json", path.to_str().expect("utf8 path")]);
+    let doc = std::fs::read_to_string(&path).expect("profile doc");
+    assert!(doc.contains("\"schema\": \"titan-profile/1\""));
+    for field in ["\"phases\"", "\"wall_ms\"", "\"engine:event_loop\"", "\"metrics\""] {
+        assert!(doc.contains(field), "profile doc missing {field}");
+    }
+    // The embedded metrics document is the titan-obs/2 shape.
+    assert!(doc.contains("\"titan-obs/2\""), "embedded metrics schema tag");
+}
+
+/// Satellite guarantee: `--span-capacity` resizes the recent-span ring
+/// and the chosen capacity is recorded in the metrics document.
+#[test]
+fn span_capacity_flag_is_recorded_in_metrics() {
+    let path = tmp("span_cap.json");
+    run_ok(&[
+        "run",
+        "--days",
+        "6",
+        "--seed",
+        "7",
+        "--span-capacity",
+        "8",
+        "--metrics",
+        path.to_str().expect("utf8 path"),
+    ]);
+    let doc = std::fs::read_to_string(&path).expect("metrics file");
+    assert!(doc.contains("\"capacity\": 8"), "span ring capacity not recorded:\n{doc}");
 }
