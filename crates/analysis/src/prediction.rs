@@ -210,7 +210,7 @@ mod tests {
 
     #[test]
     fn learns_strong_precursor() {
-        let model = train(&synthetic(200, 0), 300);
+        let model = train(&synthetic(200, 0), DEFAULT_HORIZON_SECS);
         let p13 = model.follow_prob[&GraphicsEngineException];
         assert!(p13 > 0.95, "{p13}");
         let p63 = model.follow_prob[&EccPageRetirement];
@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn prediction_scores_high_on_stationary_process() {
         let events = synthetic(400, 0);
-        let (model, score) = train_and_evaluate(&events, 2_000_000, 300, 0.5);
+        let (model, score) = train_and_evaluate(&events, 2_000_000, DEFAULT_HORIZON_SECS, 0.5);
         assert!(model.support[&GraphicsEngineException] >= 5);
         assert!(score.alarms > 0);
         assert!(score.precision > 0.9, "precision {}", score.precision);
@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn threshold_one_disables_alarms() {
         let events = synthetic(100, 0);
-        let (_, score) = train_and_evaluate(&events, 500_000, 300, 1.1);
+        let (_, score) = train_and_evaluate(&events, 500_000, DEFAULT_HORIZON_SECS, 1.1);
         assert_eq!(score.alarms, 0);
         assert_eq!(score.precision, 0.0);
     }
@@ -247,7 +247,7 @@ mod tests {
             ev(10, 1, GpuStoppedProcessing, None),
         ];
         events.extend(synthetic(50, 1_000_000));
-        let model = train(&events[..2], 300);
+        let model = train(&events[..2], DEFAULT_HORIZON_SECS);
         let score = evaluate(&model, &events[2..], 0.5);
         // DriverFirmware had support 1 -> no alarms from it.
         assert_eq!(score.alarms, 0);
@@ -255,7 +255,7 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        let model = train(&[], 300);
+        let model = train(&[], DEFAULT_HORIZON_SECS);
         assert!(model.follow_prob.is_empty());
         let score = evaluate(&model, &[], 0.5);
         assert_eq!(score.alarms, 0);

@@ -219,6 +219,15 @@ mod tests {
     }
 
     #[test]
+    fn dbe_normalizer_sums_per_card_weights() {
+        let s = build(2_000);
+        let total = s.total_dbe_weight();
+        assert!(total > 0.0);
+        let summed: f64 = (0..2_000).map(|c| s.dbe_weight(c)).sum();
+        assert!((total - summed).abs() < 1e-9, "total {total} vs {summed}");
+    }
+
+    #[test]
     fn alias_sampler_matches_weights() {
         let s = build(2_000);
         let sampler = SbeAliasSampler::new(&s).unwrap();

@@ -65,6 +65,9 @@ mod tests {
         assert_eq!(K20X::SM_COUNT, 14);
         assert_eq!(K20X::L2_BYTES, 1_572_864);
         assert_eq!(K20X::DEVICE_MEMORY_BYTES, 6_442_450_944);
+        assert!((K20X::PEAK_SP_GFLOPS - 3950.0).abs() < 1e-9);
+        assert!((K20X::PEAK_DP_GFLOPS - 1310.0).abs() < 1e-9);
+        assert_eq!(K20X::PROCESS_NM, 28);
     }
 
     #[test]

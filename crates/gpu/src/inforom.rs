@@ -192,6 +192,8 @@ mod tests {
         ir.record_dbe(DeviceMemory, true);
         ir.record_dbe(DeviceMemory, true);
         assert!(ir.total_aggregate_dbe() > ir.total_aggregate_sbe());
+        // The volatile view forgot the pre-reload SBE entirely.
+        assert_eq!(ir.total_volatile_sbe(), 0);
     }
 
     #[test]

@@ -226,6 +226,10 @@ mod tests {
         let sums = g.column_sums();
         assert_eq!(sums[0], 25.0);
         assert_eq!(sums[1], 0.0);
+        // Each row carries exactly its four even-column units.
+        let rows = g.row_sums();
+        assert_eq!(rows.len(), ROWS);
+        assert!(rows.iter().all(|&s| (s - 4.0).abs() < 1e-12), "{rows:?}");
     }
 
     #[test]

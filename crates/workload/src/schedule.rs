@@ -222,6 +222,10 @@ mod tests {
             assert!(j.end <= 30 * 86_400);
             assert!(j.wall_seconds() <= j.spec.wall);
             assert_eq!(j.nodes.len(), j.spec.nodes as usize);
+            if let Some(&n) = j.nodes.first() {
+                assert!(j.occupies(n, j.start));
+                assert!(!j.occupies(n, j.end), "end is exclusive");
+            }
         }
     }
 

@@ -1,32 +1,40 @@
 //! The committed ratchet baseline (`crates/xtask/lint-baseline.toml`).
 //!
-//! Two sections, both per-crate, both ratcheting downward only:
+//! Three sections, all ratcheting downward only:
 //!
-//! - `[budgets]` — non-test `.unwrap()` + `panic!` count (rule P1)
-//! - `[n1]` — non-test lossy `as <numeric-type>` cast count in
-//!   simulation crates (rule N1)
+//! - `[p2]` — non-test panic-surface sites (`.unwrap()` / `.expect(` /
+//!   `panic!` / indexing) per fully-qualified *function* path (rule
+//!   P2). Paths with zero sites carry no entry.
+//! - `[n1]` — non-test lossy `as <numeric-type>` cast count per
+//!   simulation crate (rule N1).
+//! - `[x1]` — unreferenced `pub` items per `crates/*` package (rule
+//!   X1).
 //!
-//! The file is never hand-edited: `cargo xtask lint --update-baseline`
-//! rewrites it deterministically (BTreeMap key order, fixed header,
-//! trailing newline), and CI fails when the committed bytes differ from
-//! the regenerated ones.
+//! Every section uses implicit-zero budgets: a key missing from the
+//! file may measure zero and nothing else. The file is never
+//! hand-edited: `cargo xtask lint --update-baseline` rewrites it
+//! deterministically (BTreeMap key order, fixed header, trailing
+//! newline), and CI fails when the committed bytes differ from the
+//! regenerated ones.
 
 use std::collections::BTreeMap;
 
 use crate::{Finding, Rule};
 
-/// The committed per-crate budgets.
+/// The committed budgets.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
-    /// crate name → allowed non-test unwrap/panic count (P1).
-    pub budgets: BTreeMap<String, usize>,
+    /// fn path → allowed non-test panic-surface site count (P2).
+    pub p2: BTreeMap<String, usize>,
     /// crate name → allowed non-test numeric-cast count (N1).
     pub n1: BTreeMap<String, usize>,
+    /// crate name → allowed dead-pub count (X1).
+    pub x1: BTreeMap<String, usize>,
 }
 
 impl Baseline {
     /// Parses the minimal TOML subset the baseline file uses:
-    /// `[budgets]` / `[n1]` sections of `"name" = count` lines.
+    /// `[p2]` / `[n1]` / `[x1]` sections of `"name" = count` lines.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut out = Baseline::default();
         let mut section: Option<&str> = None;
@@ -37,11 +45,13 @@ impl Baseline {
             }
             if line.starts_with('[') {
                 section = match line {
-                    "[budgets]" => Some("budgets"),
+                    "[p2]" => Some("p2"),
                     "[n1]" => Some("n1"),
+                    "[x1]" => Some("x1"),
                     other => {
                         return Err(format!(
-                            "lint-baseline.toml:{}: unknown section `{other}`",
+                            "lint-baseline.toml:{}: unknown section `{other}` (stale \
+                             format? regenerate with `cargo xtask lint --update-baseline`)",
                             n + 1
                         ))
                     }
@@ -58,8 +68,9 @@ impl Baseline {
                 .parse()
                 .map_err(|_| format!("lint-baseline.toml:{}: bad count `{}`", n + 1, v.trim()))?;
             match section {
-                "budgets" => out.budgets.insert(key, count),
-                _ => out.n1.insert(key, count),
+                "p2" => out.p2.insert(key, count),
+                "n1" => out.n1.insert(key, count),
+                _ => out.x1.insert(key, count),
             };
         }
         Ok(out)
@@ -73,94 +84,125 @@ impl Baseline {
             "# titan-lint ratchet baseline — never hand-edit; regenerate with\n\
              # `cargo xtask lint --update-baseline`. Counts may only go down.\n\
              #\n\
-             # [budgets]: non-test `.unwrap()` + `panic!` per crate (rule P1).\n\
-             # [n1]:      non-test `as <numeric-type>` casts per sim crate (rule N1);\n\
-             #            burn down via u64 widening / try_into, or annotate benign\n\
-             #            sites with `// lint: allow(N1, reason)`.\n\
-             \n[budgets]\n",
+             # [p2]: non-test panic-surface sites (.unwrap()/.expect(/panic!/indexing)\n\
+             #       per fully-qualified fn path (rule P2); zero-site fns carry no\n\
+             #       entry. Burn down with error returns / .get()-style access, or\n\
+             #       annotate invariant-backed sites with `// lint: allow(P2, reason)`.\n\
+             # [n1]: non-test `as <numeric-type>` casts per sim crate (rule N1);\n\
+             #       burn down via u64 widening / try_into, or annotate benign\n\
+             #       sites with `// lint: allow(N1, reason)`.\n\
+             # [x1]: unreferenced `pub` items per crate (rule X1); delete the item,\n\
+             #       reference it, or annotate with `// lint: allow(X1, reason)`.\n\
+             \n[p2]\n",
         );
-        for (name, count) in &self.budgets {
+        for (name, count) in &self.p2 {
             out.push_str(&format!("\"{name}\" = {count}\n"));
         }
         out.push_str("\n[n1]\n");
         for (name, count) in &self.n1 {
             out.push_str(&format!("\"{name}\" = {count}\n"));
         }
+        out.push_str("\n[x1]\n");
+        for (name, count) in &self.x1 {
+            out.push_str(&format!("\"{name}\" = {count}\n"));
+        }
         out
     }
 }
 
-/// Compares measured P1 counts against `[budgets]`: every scanned crate
-/// must have an entry (even at zero), counts may only fall. Returns
-/// findings (regressions, missing entries) and improvement notes.
-pub fn check_baseline(
-    baseline: &Baseline,
-    counts: &BTreeMap<String, usize>,
+/// Shared ratchet comparison: implicit-zero budgets, regressions are
+/// findings, improvements are notes, stale nonzero entries for
+/// now-clean keys are notes.
+fn check_ratchet(
+    rule: Rule,
+    what: &str,
+    budgets: &BTreeMap<String, usize>,
+    measured: &BTreeMap<String, usize>,
+    hint: &str,
 ) -> (Vec<Finding>, Vec<String>) {
     let mut findings = Vec::new();
     let mut notes = Vec::new();
-    for (name, &count) in counts {
-        match baseline.budgets.get(name) {
-            None => findings.push(Finding {
+    for (name, &count) in measured {
+        let budget = budgets.get(name).copied().unwrap_or(0);
+        if count > budget {
+            findings.push(Finding {
                 file: format!("crates/xtask/lint-baseline.toml ({name})"),
                 line: 0,
-                rule: Rule::P1,
-                message: format!("crate `{name}` has no unwrap/panic budget (measured {count})"),
-                hint: "run `cargo xtask lint --update-baseline` and commit the file".to_string(),
-            }),
-            Some(&budget) if count > budget => findings.push(Finding {
-                file: format!("crates/xtask/lint-baseline.toml ({name})"),
-                line: 0,
-                rule: Rule::P1,
-                message: format!("unwrap/panic count in `{name}` rose from {budget} to {count}"),
-                hint: "replace the new .unwrap()/panic! with error returns; the budget \
-                       only ratchets down"
-                    .to_string(),
-            }),
-            Some(&budget) if count < budget => notes.push(format!(
-                "`{name}` improved: {budget} → {count} unwrap/panic; run \
+                rule,
+                message: format!("{what} in `{name}` rose from {budget} to {count}"),
+                hint: hint.to_string(),
+            });
+        } else if count < budget {
+            notes.push(format!(
+                "`{name}` improved: {budget} → {count} {what}; run \
                  `cargo xtask lint --update-baseline` to ratchet the budget down"
-            )),
-            _ => {}
+            ));
+        }
+    }
+    // Entries whose key measured nothing at all this run.
+    for (name, &budget) in budgets {
+        if budget > 0 && !measured.contains_key(name) {
+            notes.push(format!(
+                "`{name}` improved: {budget} → 0 {what}; run \
+                 `cargo xtask lint --update-baseline` to drop the stale entry"
+            ));
         }
     }
     (findings, notes)
 }
 
-/// Compares measured N1 cast counts against `[n1]`. Unlike P1, a crate
-/// missing from the section carries an implicit zero budget — the N1
-/// ratchet only has to stop *new* casts, not force an entry for every
-/// cast-free crate.
+/// Compares measured per-fn P2 counts against `[p2]`. A fn path
+/// missing from the section carries an implicit zero budget, so brand
+/// new functions must be panic-free (or hatched) from the start.
+pub fn check_p2_baseline(
+    baseline: &Baseline,
+    p2_counts: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    check_ratchet(
+        Rule::P2,
+        "panic-surface sites",
+        &baseline.p2,
+        p2_counts,
+        "return Result / use .get()-style access instead of the new \
+         unwrap/expect/panic!/indexing, or annotate an invariant-backed site with \
+         `// lint: allow(P2, reason)`; the budget only ratchets down \
+         (p2_counts in `--format json` lists every fn)",
+    )
+}
+
+/// Compares measured N1 cast counts against `[n1]` (implicit zero for
+/// missing crates).
 pub fn check_n1_baseline(
     baseline: &Baseline,
     n1_counts: &BTreeMap<String, usize>,
 ) -> (Vec<Finding>, Vec<String>) {
-    let mut findings = Vec::new();
-    let mut notes = Vec::new();
-    for (name, &count) in n1_counts {
-        let budget = baseline.n1.get(name).copied().unwrap_or(0);
-        if count > budget {
-            findings.push(Finding {
-                file: format!("crates/xtask/lint-baseline.toml ({name})"),
-                line: 0,
-                rule: Rule::N1,
-                message: format!(
-                    "lossy-cast count in `{name}` rose from {budget} to {count}"
-                ),
-                hint: "widen to u64 / use try_into with an explicit policy, or annotate a \
-                       provably-benign cast with `// lint: allow(N1, reason)`; if the new \
-                       count is truly the floor, run `cargo xtask lint --update-baseline` \
-                       (n1_sites in `--format json` lists every cast)"
-                    .to_string(),
-            });
-        } else if count < budget {
-            notes.push(format!(
-                "`{name}` improved: {budget} → {count} numeric casts; run \
-                 `cargo xtask lint --update-baseline` to ratchet the budget down"
-            ));
-        }
-    }
-    (findings, notes)
+    check_ratchet(
+        Rule::N1,
+        "numeric casts",
+        &baseline.n1,
+        n1_counts,
+        "widen to u64 / use try_into with an explicit policy, or annotate a \
+         provably-benign cast with `// lint: allow(N1, reason)`; if the new \
+         count is truly the floor, run `cargo xtask lint --update-baseline` \
+         (n1_sites in `--format json` lists every cast)",
+    )
+}
+
+/// Compares measured X1 dead-pub counts against `[x1]` (implicit zero
+/// for missing crates).
+pub fn check_x1_baseline(
+    baseline: &Baseline,
+    x1_counts: &BTreeMap<String, usize>,
+) -> (Vec<Finding>, Vec<String>) {
+    check_ratchet(
+        Rule::X1,
+        "unreferenced pub items",
+        &baseline.x1,
+        x1_counts,
+        "delete the dead item, wire it to a caller, or annotate a deliberate \
+         API surface with `// lint: allow(X1, reason)`; x1_sites in \
+         `--format json` lists every item",
+    )
 }
 
 #[cfg(test)]
@@ -168,41 +210,54 @@ mod tests {
     use super::*;
 
     #[test]
-    fn baseline_roundtrip_and_ratchet() {
+    fn baseline_roundtrip_is_byte_stable() {
         let mut baseline = Baseline::default();
-        baseline.budgets.insert("titan-stats".into(), 5);
-        baseline.budgets.insert("titan-sim".into(), 0);
+        baseline.p2.insert("titan_sim::engine::Engine::run".into(), 3);
+        baseline.p2.insert("titan_stats::quantile".into(), 1);
         baseline.n1.insert("titan-sim".into(), 7);
+        baseline.x1.insert("titan-sim".into(), 0);
+        baseline.x1.insert("titan-gpu".into(), 2);
         let text = baseline.render();
         assert_eq!(Baseline::parse(&text).unwrap(), baseline);
         assert!(text.ends_with('\n'), "trailing newline is part of the format");
-
-        // Rendering is deterministic: same value, same bytes.
-        assert_eq!(text, baseline.render());
-
-        // P1 regression fails.
-        let mut counts = BTreeMap::new();
-        counts.insert("titan-stats".to_string(), 6);
-        counts.insert("titan-sim".to_string(), 0);
-        let (findings, notes) = check_baseline(&baseline, &counts);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, Rule::P1);
-        assert!(notes.is_empty());
-
-        // Improvement passes with a ratchet note.
-        counts.insert("titan-stats".to_string(), 3);
-        let (findings, notes) = check_baseline(&baseline, &counts);
-        assert!(findings.is_empty());
-        assert_eq!(notes.len(), 1);
-
-        // Unknown crate requires a budgets entry.
-        counts.insert("titan-new".to_string(), 0);
-        let (findings, _) = check_baseline(&baseline, &counts);
-        assert_eq!(findings.len(), 1);
+        assert_eq!(text, baseline.render(), "same value, same bytes");
+        // fn paths are quoted TOML keys.
+        assert!(text.contains("\"titan_sim::engine::Engine::run\" = 3"));
     }
 
     #[test]
-    fn n1_ratchet_defaults_missing_entries_to_zero() {
+    fn p2_ratchet_defaults_missing_fns_to_zero() {
+        let mut baseline = Baseline::default();
+        baseline.p2.insert("titan_sim::engine::run".into(), 2);
+
+        let mut counts = BTreeMap::new();
+        counts.insert("titan_sim::engine::run".to_string(), 2);
+        let (findings, notes) = check_p2_baseline(&baseline, &counts);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(notes.is_empty());
+
+        // A brand-new fn with a panic site regresses immediately.
+        counts.insert("titan_sim::engine::drain".to_string(), 1);
+        let (findings, _) = check_p2_baseline(&baseline, &counts);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::P2);
+        assert!(findings[0].message.contains("titan_sim::engine::drain"));
+
+        // Improvement is a note; a fn dropping to zero leaves a stale
+        // entry note (zero-count fns are absent from the measured map).
+        let mut counts = BTreeMap::new();
+        counts.insert("titan_sim::engine::run".to_string(), 1);
+        let (findings, notes) = check_p2_baseline(&baseline, &counts);
+        assert!(findings.is_empty());
+        assert_eq!(notes.len(), 1);
+        let (findings, notes) = check_p2_baseline(&baseline, &BTreeMap::new());
+        assert!(findings.is_empty());
+        assert_eq!(notes.len(), 1, "{notes:?}");
+        assert!(notes[0].contains("stale"));
+    }
+
+    #[test]
+    fn n1_and_x1_ratchets_default_missing_entries_to_zero() {
         let mut baseline = Baseline::default();
         baseline.n1.insert("titan-sim".into(), 7);
 
@@ -213,12 +268,17 @@ mod tests {
         assert!(findings.is_empty(), "{findings:?}");
         assert!(notes.is_empty());
 
-        // A crate with no [n1] entry gets an implicit zero budget.
         counts.insert("titan-faults".to_string(), 1);
         let (findings, _) = check_n1_baseline(&baseline, &counts);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, Rule::N1);
         assert!(findings[0].hint.contains("--update-baseline"));
+
+        let mut x1 = BTreeMap::new();
+        x1.insert("titan-gpu".to_string(), 1);
+        let (findings, _) = check_x1_baseline(&baseline, &x1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::X1);
 
         // Improvement is a note, not a finding.
         counts.insert("titan-faults".to_string(), 0);
@@ -229,9 +289,12 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_unknown_sections() {
-        assert!(Baseline::parse("[budgets]\n\"a\" = 1\n").is_ok());
-        assert!(Baseline::parse("[mystery]\n\"a\" = 1\n").is_err());
-        assert!(Baseline::parse("[budgets]\n\"a\" = many\n").is_err());
+    fn parse_rejects_unknown_sections_and_bad_counts() {
+        assert!(Baseline::parse("[p2]\n\"a::b\" = 1\n").is_ok());
+        assert!(Baseline::parse("[x1]\n\"titan-gpu\" = 0\n").is_ok());
+        let stale = Baseline::parse("[budgets]\n\"a\" = 1\n");
+        assert!(stale.is_err(), "the pre-v3 [budgets] section must be rejected");
+        assert!(stale.unwrap_err().contains("--update-baseline"));
+        assert!(Baseline::parse("[p2]\n\"a\" = many\n").is_err());
     }
 }

@@ -185,6 +185,19 @@ impl<'a> Lexer<'a> {
             return TokKind::Whitespace;
         }
 
+        // A shebang line (`#!/usr/bin/env ...`) is only special at byte
+        // 0, and `#![...]` is an inner attribute, not a shebang.
+        if c == '#'
+            && self.pos == 0
+            && self.peek_byte(1) == Some(b'!')
+            && self.peek_byte(2) != Some(b'[')
+        {
+            while self.peek_char().is_some_and(|c| c != '\n') {
+                self.bump();
+            }
+            return TokKind::LineComment;
+        }
+
         if c == '/' {
             match self.peek_byte(1) {
                 Some(b'/') => return self.line_comment(),
@@ -293,7 +306,22 @@ impl<'a> Lexer<'a> {
                 hashes += 1;
             }
             if rest.get(prefix_len + hashes) != Some(&b'"') {
-                return None; // e.g. `r#foo` raw identifier — lex as ident/punct
+                // `r#foo` is a raw identifier, not a raw string: lex the
+                // whole `r#foo` as one Ident so rules see it as a name
+                // (its text keeps the `r#` prefix). Anything else
+                // (`r#1`, `r##x`) falls back to ident/punct lexing.
+                if prefix_len == 1 && hashes == 1 && rest[0] == b'r' {
+                    let after = self.src[self.pos + 2..].chars().next();
+                    if after.is_some_and(is_ident_start) {
+                        self.bump(); // 'r'
+                        self.bump(); // '#'
+                        while self.peek_char().is_some_and(is_ident_continue) {
+                            self.bump();
+                        }
+                        return Some(TokKind::Ident);
+                    }
+                }
+                return None; // lex as ident/punct
             }
             for _ in 0..prefix_len + hashes + 1 {
                 self.bump();
@@ -586,6 +614,58 @@ mod tests {
             .map(|t| t.text(src))
             .collect();
         assert_eq!(nums, vec!["0", "10", "1.5e3", "0xFF_u64"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        let src = "struct r#type { r#fn: u32 } let x = r#match;";
+        roundtrip(src);
+        let idents: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(
+            idents,
+            vec!["struct", "r#type", "r#fn", "u32", "let", "x", "r#match"]
+        );
+        // Raw strings after a raw identifier still lex as raw strings.
+        let mixed = "let r#type = r#\"raw string\"#;";
+        roundtrip(mixed);
+        let kinds: Vec<TokKind> = lex(mixed)
+            .iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident, // let
+                TokKind::Ident, // r#type
+                TokKind::Punct, // =
+                TokKind::RawStr,
+                TokKind::Punct, // ;
+            ]
+        );
+        // `r#1` is not a raw identifier; it must still lex (as punct soup).
+        roundtrip("r#1 r## r");
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment_only_at_byte_zero() {
+        let src = "#!/usr/bin/env run-cargo-script\nfn main() {}\n";
+        roundtrip(src);
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[0].text(src), "#!/usr/bin/env run-cargo-script");
+        // `#![...]` at byte 0 is an inner attribute, not a shebang.
+        let attr = "#![allow(dead_code)]\nfn main() {}\n";
+        roundtrip(attr);
+        assert_eq!(lex(attr)[0].kind, TokKind::Punct);
+        // `#!` later in the file is just punctuation.
+        let late = "fn f() {}\n#!/not/a/shebang\n";
+        roundtrip(late);
+        assert!(lex(late).iter().all(|t| t.text(late) != "#!/not/a/shebang"));
     }
 
     #[test]

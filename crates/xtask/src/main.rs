@@ -11,21 +11,27 @@ const USAGE: &str = "\
 usage: cargo xtask <task>
 
 tasks:
-  lint [--format text|json|github] [--out FILE] [--update-baseline]
-        Run the titan-lint pass (rules D1-D5, N1, L1, S1, P1) over all
-        workspace crates. Exits 1 on any violation.
+  lint [--format text|json|github|sarif] [--out FILE] [--sarif FILE]
+       [--update-baseline]
+        Run the titan-lint pass (rules D1-D6, E1, N1, L1, S1, P2, X1)
+        over all workspace crates. Exits 1 on any violation.
 
-        --format json       machine-readable titan-lint/2 document on
+        --format json       machine-readable titan-lint/3 document on
                             stdout (byte-stable: sorted findings, sorted
                             maps)
         --format github     GitHub Actions ::error annotations on stdout
-        --out FILE          always write the titan-lint/2 JSON document
+        --format sarif      SARIF 2.1.0 log on stdout (what GitHub code
+                            scanning ingests)
+        --out FILE          always write the titan-lint/3 JSON document
                             to FILE, regardless of --format (the CI
                             artifact), even when the lint fails
+        --sarif FILE        always write the SARIF 2.1.0 log to FILE,
+                            regardless of --format, even when the lint
+                            fails
         --update-baseline   rewrite crates/xtask/lint-baseline.toml with
-                            the measured unwrap/panic and N1 cast counts
-                            (deterministic: sorted keys, trailing
-                            newline)
+                            the measured [p2] panic-surface, [n1] cast,
+                            and [x1] dead-pub counts (deterministic:
+                            sorted keys, trailing newline)
 ";
 
 fn main() -> ExitCode {
@@ -53,11 +59,13 @@ enum Format {
     Text,
     Json,
     Github,
+    Sarif,
 }
 
 fn lint(args: &[String]) -> ExitCode {
     let mut format = Format::Text;
     let mut out_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut update_baseline = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -65,10 +73,12 @@ fn lint(args: &[String]) -> ExitCode {
             "--format" => match it.next().map(String::as_str) {
                 Some("json") => format = Format::Json,
                 Some("github") => format = Format::Github,
+                Some("sarif") => format = Format::Sarif,
                 Some("text") => format = Format::Text,
                 other => {
                     eprintln!(
-                        "xtask lint: --format takes `text`, `json`, or `github`, got {other:?}"
+                        "xtask lint: --format takes `text`, `json`, `github`, or `sarif`, \
+                         got {other:?}"
                     );
                     return ExitCode::FAILURE;
                 }
@@ -77,6 +87,13 @@ fn lint(args: &[String]) -> ExitCode {
                 Some(p) => out_path = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("xtask lint: --out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sarif" => match it.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask lint: --sarif needs a file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -103,6 +120,12 @@ fn lint(args: &[String]) -> ExitCode {
     let baseline = match std::fs::read_to_string(&baseline_path) {
         Ok(text) => match Baseline::parse(&text) {
             Ok(b) => b,
+            Err(e) if update_baseline => {
+                // A stale-format file is exactly what --update-baseline
+                // exists to replace; start from empty budgets.
+                eprintln!("xtask lint: note: replacing unparseable baseline ({e})");
+                Baseline::default()
+            }
             Err(e) => {
                 eprintln!("xtask lint: {e}");
                 return ExitCode::FAILURE;
@@ -120,13 +143,19 @@ fn lint(args: &[String]) -> ExitCode {
     };
 
     if update_baseline {
+        // Budgets are implicit-zero: clean fns/crates carry no entry.
+        let nonzero = |m: &std::collections::BTreeMap<String, usize>| {
+            m.iter().filter(|(_, &n)| n > 0).map(|(k, &n)| (k.clone(), n)).collect()
+        };
         let new = Baseline {
-            budgets: report.counts.clone(),
-            n1: report.n1_counts.clone(),
+            p2: nonzero(&report.p2_counts),
+            n1: nonzero(&report.n1_counts),
+            x1: nonzero(&report.x1_counts),
         };
         for (section, old_map, new_map) in [
-            ("budgets", &baseline.budgets, &new.budgets),
+            ("p2", &baseline.p2, &new.p2),
             ("n1", &baseline.n1, &new.n1),
+            ("x1", &baseline.x1, &new.x1),
         ] {
             for (name, &count) in new_map {
                 if let Some(&old) = old_map.get(name) {
@@ -153,23 +182,32 @@ fn lint(args: &[String]) -> ExitCode {
             report
                 .findings
                 .iter()
-                .filter(|f| f.rule != Rule::P1 && f.rule != Rule::N1)
+                .filter(|f| f.rule != Rule::P2 && f.rule != Rule::N1 && f.rule != Rule::X1)
                 .cloned()
                 .collect()
         } else {
             report.findings.clone()
         },
         notes: report.notes.clone(),
-        counts: report.counts.clone(),
+        p2_counts: report.p2_counts.clone(),
         n1_counts: report.n1_counts.clone(),
         n1_sites: report.n1_sites.clone(),
+        x1_counts: report.x1_counts.clone(),
+        x1_sites: report.x1_sites.clone(),
         files_scanned: report.files_scanned,
     };
 
-    // The JSON artifact is written unconditionally and before the exit
-    // path, so CI can upload findings from a failing run.
+    // The JSON and SARIF artifacts are written unconditionally and
+    // before the exit path, so CI can upload findings from a failing
+    // run.
     if let Some(path) = &out_path {
         if let Err(e) = std::fs::write(path, xtask::render_json(&shown)) {
+            eprintln!("xtask lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, xtask::render_sarif(&shown)) {
             eprintln!("xtask lint: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -178,6 +216,7 @@ fn lint(args: &[String]) -> ExitCode {
     match format {
         Format::Json => print!("{}", xtask::render_json(&shown)),
         Format::Github => print!("{}", xtask::render_github(&shown)),
+        Format::Sarif => print!("{}", xtask::render_sarif(&shown)),
         Format::Text => {
             for f in &shown.findings {
                 println!("{f}");

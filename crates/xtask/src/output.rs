@@ -1,19 +1,24 @@
 //! Finding renderers: `--format text` (human), `--format json`
 //! (machine-readable, byte-stable), `--format github` (workflow
-//! annotation commands).
+//! annotation commands). `--format sarif` lives in [`crate::sarif`].
 //!
-//! The JSON document is itself a frozen schema, `titan-lint/2`: CI
+//! The JSON document is itself a frozen schema, `titan-lint/3`: CI
 //! uploads it as an artifact and downstream dashboards diff it between
 //! runs, so its key order and separators must be byte-identical for
 //! identical input — everything it serializes is either a BTreeMap or
 //! a pre-sorted vector, and the writer uses no HashMap anywhere.
+//!
+//! `titan-lint/3` supersedes `titan-lint/2`: the per-crate
+//! `unwrap_panic_counts` map (old rule P1) is replaced by the
+//! per-function `p2_counts` map, and the `x1_counts` / `x1_sites`
+//! dead-pub worklist is new.
 
 use crate::LintReport;
 
 /// The lint report's own output schema version.
-pub const JSON_SCHEMA: &str = "titan-lint/2";
+pub const JSON_SCHEMA: &str = "titan-lint/3";
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -29,7 +34,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-/// Renders the `titan-lint/2` JSON document. Findings are emitted in
+/// Renders the `titan-lint/3` JSON document. Findings are emitted in
 /// the report's (already sorted) order; maps iterate in BTreeMap key
 /// order; two runs over an identical tree produce identical bytes.
 pub fn render_json(report: &LintReport) -> String {
@@ -60,7 +65,7 @@ pub fn render_json(report: &LintReport) -> String {
     }
     out.push_str(if report.notes.is_empty() { "],\n" } else { "\n  ],\n" });
 
-    render_count_map(&mut out, "unwrap_panic_counts", &report.counts);
+    render_count_map(&mut out, "p2_counts", &report.p2_counts);
     out.push_str(",\n");
     render_count_map(&mut out, "n1_counts", &report.n1_counts);
     out.push_str(",\n");
@@ -75,7 +80,22 @@ pub fn render_json(report: &LintReport) -> String {
             esc(&s.cast),
         ));
     }
-    out.push_str(if report.n1_sites.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str(if report.n1_sites.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    render_count_map(&mut out, "x1_counts", &report.x1_counts);
+    out.push_str(",\n");
+
+    out.push_str("  \"x1_sites\": [");
+    for (i, s) in report.x1_sites.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"path\": \"{}\"}}",
+            esc(&s.file),
+            s.line,
+            esc(&s.path),
+        ));
+    }
+    out.push_str(if report.x1_sites.is_empty() { "]\n" } else { "\n  ]\n" });
     out.push_str("}\n");
     out
 }
@@ -138,7 +158,7 @@ pub fn render_github(report: &LintReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Finding, N1Site, Rule};
+    use crate::{Finding, N1Site, Rule, X1Site};
 
     fn sample_report() -> LintReport {
         let mut report = LintReport::default();
@@ -151,18 +171,24 @@ mod tests {
             hint: "h \"quoted\"".into(),
         });
         report.findings.push(Finding {
-            file: "crates/xtask/lint-baseline.toml (titan-x)".into(),
+            file: "crates/xtask/lint-baseline.toml (titan_x::f)".into(),
             line: 0,
-            rule: Rule::P1,
+            rule: Rule::P2,
             message: "rose from 0 to 1".into(),
             hint: "ratchet".into(),
         });
-        report.counts.insert("titan-x".into(), 2);
+        report.p2_counts.insert("titan_x::f".into(), 2);
         report.n1_counts.insert("titan-x".into(), 1);
         report.n1_sites.push(N1Site {
             file: "crates/x/src/lib.rs".into(),
             line: 9,
             cast: "as u32".into(),
+        });
+        report.x1_counts.insert("titan-x".into(), 1);
+        report.x1_sites.push(X1Site {
+            file: "crates/x/src/lib.rs".into(),
+            line: 11,
+            path: "titan_x::orphan".into(),
         });
         report.notes.push("a note".into());
         report
@@ -171,12 +197,14 @@ mod tests {
     #[test]
     fn json_is_schema_tagged_and_escaped() {
         let json = render_json(&sample_report());
-        assert!(json.starts_with("{\n  \"schema\": \"titan-lint/2\",\n"));
+        assert!(json.starts_with("{\n  \"schema\": \"titan-lint/3\",\n"));
         assert!(json.contains("\"rule\": \"D2\""));
         assert!(json.contains("\\\"quoted\\\""));
-        assert!(json.contains("\"titan-x\": 2"));
+        assert!(json.contains("\"titan_x::f\": 2"));
         assert!(json.contains("\"n1_counts\""));
         assert!(json.contains("\"cast\": \"as u32\""));
+        assert!(json.contains("\"x1_counts\""));
+        assert!(json.contains("\"path\": \"titan_x::orphan\""));
         assert!(json.ends_with("}\n"));
     }
 
@@ -189,8 +217,9 @@ mod tests {
     fn json_empty_report_has_empty_collections() {
         let json = render_json(&LintReport::default());
         assert!(json.contains("\"findings\": [],"));
-        assert!(json.contains("\"unwrap_panic_counts\": {},"));
-        assert!(json.contains("\"n1_sites\": []\n"));
+        assert!(json.contains("\"p2_counts\": {},"));
+        assert!(json.contains("\"n1_sites\": [],"));
+        assert!(json.contains("\"x1_sites\": []\n"));
     }
 
     #[test]
@@ -201,7 +230,7 @@ mod tests {
         ));
         // Line-0 findings (crate-level) omit the line= property, and
         // significant property characters are percent-escaped.
-        assert!(gh.contains("::error file=crates/xtask/lint-baseline.toml (titan-x),title="));
+        assert!(gh.contains("::error file=crates/xtask/lint-baseline.toml (titan_x%3A%3Af),title="));
         assert!(!gh.contains("line=0"));
         assert!(gh.contains("::notice title=titan-lint::a note"));
         assert!(gh.ends_with("3 file(s) scanned, 2 violation(s)\n"));

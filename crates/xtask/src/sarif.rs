@@ -1,0 +1,139 @@
+//! SARIF 2.1.0 rendering (`--format sarif` / `--sarif FILE`).
+//!
+//! SARIF is the interchange format GitHub code scanning ingests, so CI
+//! can upload the lint run and have findings appear in the Security /
+//! Code scanning UI without a custom dashboard. Like the
+//! `titan-lint/3` JSON document, the output is byte-stable: the rule
+//! table is a static array, findings are pre-sorted by the caller, and
+//! nothing here touches a HashMap.
+//!
+//! Only the minimal required subset of the spec is emitted — one run,
+//! one driver, `results` with `ruleId` / `message` / a single physical
+//! location. Crate-level findings (line 0, e.g. ratchet regressions)
+//! omit the `region` object, which SARIF permits.
+
+use crate::output::esc;
+use crate::LintReport;
+
+/// Static rule table for `tool.driver.rules`. Kept in rule-id order so
+/// the document is reproducible; descriptions mirror LINTS.md.
+const RULES: &[(&str, &str)] = &[
+    ("D1", "wall-clock or OS entropy source in a simulation crate"),
+    ("D2", "unordered hash container in non-test simulation code"),
+    ("D3", "thread-based parallelism inside the deterministic core"),
+    ("D4", "float accumulation across unordered iteration"),
+    ("D5", "telemetry emitted outside the deterministic clock"),
+    ("D6", "RNG draw inside a comparator or Drop impl in an engine crate"),
+    ("E1", "fallible simulation result silently discarded"),
+    ("L1", "crate dependency violates the committed layering DAG"),
+    ("N1", "lossy numeric cast budget exceeded in a simulation crate"),
+    ("P2", "per-function panic-surface budget exceeded"),
+    ("S1", "nondeterministic iteration feeding sorted output"),
+    ("X1", "unreferenced pub item budget exceeded"),
+];
+
+/// Renders the report as a SARIF 2.1.0 log. Deterministic: equal
+/// reports produce identical bytes.
+pub fn render_sarif(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"titan-lint\",\n");
+    out.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        crate::output::JSON_SCHEMA.trim_start_matches("titan-lint/")
+    ));
+    out.push_str("          \"informationUri\": \"LINTS.md\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "            {{\"id\": \"{id}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(desc)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", f.rule));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            esc(&format!("{} (hint: {})", f.message, f.hint))
+        ));
+        out.push_str("          \"locations\": [\n");
+        out.push_str("            {\"physicalLocation\": {");
+        out.push_str(&format!("\"artifactLocation\": {{\"uri\": \"{}\"}}", esc(&f.file)));
+        if f.line > 0 {
+            out.push_str(&format!(", \"region\": {{\"startLine\": {}}}", f.line));
+        }
+        out.push_str("}}\n          ]\n        }");
+    }
+    out.push_str(if report.findings.is_empty() { "]\n" } else { "\n      ]\n" });
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, Rule};
+
+    fn report_with(findings: Vec<Finding>) -> LintReport {
+        let mut report = LintReport::default();
+        report.findings = findings;
+        report
+    }
+
+    #[test]
+    fn sarif_document_carries_schema_rules_and_results() {
+        let report = report_with(vec![
+            Finding {
+                file: "crates/gpu/src/ecc.rs".into(),
+                line: 41,
+                rule: Rule::D6,
+                message: "RNG draw `gen_range` inside a `sort_by` closure".into(),
+                hint: "draw before sorting".into(),
+            },
+            Finding {
+                file: "crates/xtask/lint-baseline.toml (titan_sim::run)".into(),
+                line: 0,
+                rule: Rule::P2,
+                message: "panic-surface sites in `titan_sim::run` rose from 0 to 1".into(),
+                hint: "ratchet".into(),
+            },
+        ]);
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("sarif-2.1.0.json"));
+        assert!(sarif.contains("\"name\": \"titan-lint\""));
+        // Every rule id appears in the driver table exactly once.
+        for id in ["D1", "D2", "D3", "D4", "D5", "D6", "E1", "L1", "N1", "P2", "S1", "X1"] {
+            assert_eq!(
+                sarif.matches(&format!("\"id\": \"{id}\"")).count(),
+                1,
+                "rule {id} missing or duplicated"
+            );
+        }
+        assert!(sarif.contains("\"ruleId\": \"D6\""));
+        assert!(sarif.contains("\"startLine\": 41"));
+        assert!(sarif.contains("RNG draw `gen_range` inside a `sort_by` closure (hint: draw before sorting)"));
+        // Line-0 findings omit the region object entirely.
+        assert!(sarif.contains("\"ruleId\": \"P2\""));
+        assert!(!sarif.contains("\"startLine\": 0"));
+        assert_eq!(sarif.matches("\"region\"").count(), 1, "only the D6 finding has a region");
+    }
+
+    #[test]
+    fn sarif_is_byte_stable_and_valid_when_empty() {
+        let empty = render_sarif(&LintReport::default());
+        assert_eq!(empty, render_sarif(&LintReport::default()));
+        assert!(empty.contains("\"results\": []"));
+        assert!(empty.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,237 @@
+//! The workspace symbol graph behind rule **X1** (dead `pub` items).
+//!
+//! Visibility is resolved the only way a zero-dependency-resolution
+//! linter can: from the committed manifests. A `pub` item in crate `C`
+//! can be referenced by `C` itself, by any crate whose `[dependencies]`
+//! closure reaches `C` (the same edges rule L1 polices), and by the
+//! test/example/bench pool — dev-dependencies may reach anywhere, so
+//! every `tests/`, `examples/`, and `benches/` tree counts as a global
+//! reference pool.
+//!
+//! "Referenced" is identifier-level: an item is dead when its name
+//! occurs nowhere in any visible source outside its own definition
+//! span. That is deliberately conservative — a `pub use` re-export, a
+//! doc-link-free mention in test code, even an `impl Foo` block keeps
+//! `Foo` alive — so a nonzero X1 count means *nothing in the workspace
+//! spells the name at all*.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::layering::CrateManifest;
+use crate::lexer::{lex, TokKind};
+
+/// One `pub` item eligible for dead-code analysis, harvested by
+/// [`crate::rules::scan_structure`].
+#[derive(Debug, Clone)]
+pub struct PubItem {
+    /// Workspace-relative file path of the definition.
+    pub file: String,
+    /// 1-based line of the item keyword.
+    pub line: usize,
+    /// Fully-qualified path (`titan_gpu::ecc::retire_page`).
+    pub path: String,
+    /// The unqualified name the reference count is keyed on.
+    pub name: String,
+    /// Occurrences of `name` inside the item's own definition span.
+    pub self_refs: usize,
+}
+
+/// For every package, the set of packages whose sources may reference
+/// its items: itself plus every transitive dependent, following the
+/// committed `[dependencies]` edges (the L1 DAG made concrete).
+pub fn visibility(manifests: &[CrateManifest]) -> BTreeMap<String, BTreeSet<String>> {
+    // dep package -> direct dependents.
+    let mut dependents: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for m in manifests {
+        if m.package.is_empty() {
+            continue;
+        }
+        for (dep, _) in &m.deps {
+            dependents.entry(dep.as_str()).or_default().insert(m.package.as_str());
+        }
+    }
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for m in manifests {
+        if m.package.is_empty() {
+            continue;
+        }
+        // Breadth-first over the dependent edges.
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut frontier = vec![m.package.as_str()];
+        while let Some(pkg) = frontier.pop() {
+            if !seen.insert(pkg) {
+                continue;
+            }
+            if let Some(next) = dependents.get(pkg) {
+                frontier.extend(next.iter().copied());
+            }
+        }
+        out.insert(m.package.clone(), seen.into_iter().map(String::from).collect());
+    }
+    out
+}
+
+/// Identifier counts from the global reference pool: `tests/`,
+/// `examples/`, and `benches/` trees at the root and under every
+/// `crates/*` member. These compile against dev-dependencies, which
+/// may reach any crate, so they keep items alive regardless of the
+/// manifest DAG. Lex-only — the pool needs no item structure.
+pub fn pool_ident_counts(root: &Path) -> std::io::Result<BTreeMap<String, usize>> {
+    let mut dirs: Vec<std::path::PathBuf> = Vec::new();
+    for sub in ["tests", "examples", "benches"] {
+        dirs.push(root.join(sub));
+    }
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut members: Vec<_> =
+            entries.filter_map(|e| e.ok()).map(|e| e.path()).filter(|p| p.is_dir()).collect();
+        members.sort();
+        for member in members {
+            for sub in ["tests", "examples", "benches"] {
+                dirs.push(member.join(sub));
+            }
+        }
+    }
+    let mut counts = BTreeMap::new();
+    for dir in dirs {
+        if !dir.is_dir() {
+            continue;
+        }
+        for file in crate::rust_files(&dir)? {
+            let text = std::fs::read_to_string(&file)?;
+            for t in lex(&text) {
+                if t.kind == TokKind::Ident {
+                    *counts.entry(t.text(&text).to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// The dead `pub` items of one package: every candidate whose name
+/// occurs nowhere in the visible sources beyond its own definition.
+pub fn dead_pubs<'a>(
+    package: &str,
+    items: &'a [PubItem],
+    per_crate_idents: &BTreeMap<String, BTreeMap<String, usize>>,
+    pool: &BTreeMap<String, usize>,
+    visible: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<&'a PubItem> {
+    let own = BTreeSet::from([package.to_string()]);
+    let viewers = visible.get(package).unwrap_or(&own);
+    items
+        .iter()
+        .filter(|it| {
+            let total: usize = viewers
+                .iter()
+                .filter_map(|v| per_crate_idents.get(v))
+                .filter_map(|m| m.get(&it.name))
+                .sum::<usize>()
+                + pool.get(&it.name).copied().unwrap_or(0);
+            total <= it.self_refs
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layering::parse_manifest;
+
+    fn manifests() -> Vec<CrateManifest> {
+        vec![
+            parse_manifest(
+                "stats",
+                "crates/stats/Cargo.toml",
+                "[package]\nname = \"titan-stats\"\n[dependencies]\n",
+            ),
+            parse_manifest(
+                "faults",
+                "crates/faults/Cargo.toml",
+                "[package]\nname = \"titan-faults\"\n[dependencies]\ntitan-stats = {}\n",
+            ),
+            parse_manifest(
+                "simulator",
+                "crates/simulator/Cargo.toml",
+                "[package]\nname = \"titan-sim\"\n[dependencies]\ntitan-faults = {}\n",
+            ),
+        ]
+    }
+
+    #[test]
+    fn visibility_is_the_transitive_dependent_closure() {
+        let vis = visibility(&manifests());
+        let stats: Vec<&str> = vis["titan-stats"].iter().map(String::as_str).collect();
+        assert_eq!(stats, vec!["titan-faults", "titan-sim", "titan-stats"]);
+        let sim: Vec<&str> = vis["titan-sim"].iter().map(String::as_str).collect();
+        assert_eq!(sim, vec!["titan-sim"], "nothing depends on the top of the DAG");
+    }
+
+    #[test]
+    fn dead_pubs_need_a_reference_beyond_the_definition() {
+        let items = vec![
+            PubItem {
+                file: "crates/stats/src/lib.rs".into(),
+                line: 1,
+                path: "titan_stats::mean".into(),
+                name: "mean".into(),
+                self_refs: 1,
+            },
+            PubItem {
+                file: "crates/stats/src/lib.rs".into(),
+                line: 9,
+                path: "titan_stats::orphan".into(),
+                name: "orphan".into(),
+                self_refs: 1,
+            },
+        ];
+        let mut per_crate = BTreeMap::new();
+        per_crate.insert(
+            "titan-stats".to_string(),
+            BTreeMap::from([("mean".to_string(), 1), ("orphan".to_string(), 1)]),
+        );
+        // A dependent crate mentions `mean`, nothing mentions `orphan`.
+        per_crate.insert(
+            "titan-faults".to_string(),
+            BTreeMap::from([("mean".to_string(), 2)]),
+        );
+        let vis = visibility(&manifests());
+        let dead = dead_pubs("titan-stats", &items, &per_crate, &BTreeMap::new(), &vis);
+        let paths: Vec<&str> = dead.iter().map(|d| d.path.as_str()).collect();
+        assert_eq!(paths, vec!["titan_stats::orphan"]);
+
+        // A test-pool mention is a reference too.
+        let pool = BTreeMap::from([("orphan".to_string(), 1)]);
+        assert!(dead_pubs("titan-stats", &items, &per_crate, &pool, &vis).is_empty());
+    }
+
+    #[test]
+    fn references_visible_only_from_non_dependents_do_not_count() {
+        // `titan-sim` (depends on faults -> stats) mentioning `helper`
+        // keeps a stats item alive; a stats mention of a sim item would
+        // not exist in a valid layering, but the closure is directional:
+        // a sim-only name referenced by nothing that *sees* sim is dead
+        // even if stats spells the same word.
+        let items = vec![PubItem {
+            file: "crates/simulator/src/lib.rs".into(),
+            line: 3,
+            path: "titan_sim::launch".into(),
+            name: "launch".into(),
+            self_refs: 1,
+        }];
+        let mut per_crate = BTreeMap::new();
+        per_crate.insert(
+            "titan-sim".to_string(),
+            BTreeMap::from([("launch".to_string(), 1)]),
+        );
+        // stats mentions the word, but stats cannot see titan-sim.
+        per_crate.insert(
+            "titan-stats".to_string(),
+            BTreeMap::from([("launch".to_string(), 5)]),
+        );
+        let vis = visibility(&manifests());
+        let dead = dead_pubs("titan-sim", &items, &per_crate, &BTreeMap::new(), &vis);
+        assert_eq!(dead.len(), 1, "{dead:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! D6 golden fixture: seeded-stream draws in evaluation-order-unstable
+//! positions.
+
+/// Minimal seeded stream standing in for the vendored rand API.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.state % n.max(1)
+    }
+    pub fn gen_bool(&mut self) -> bool {
+        self.gen_range(2) == 0
+    }
+}
+
+/// Hits: a draw inside a comparator closure and inside a retain sweep.
+pub fn hit(nodes: &mut Vec<u64>, rng: &mut Rng) {
+    nodes.sort_by_key(|n| n ^ rng.gen_range(8));
+    nodes.retain(|_| rng.gen_bool());
+}
+
+pub struct Recorder {
+    pub rng: Rng,
+}
+
+/// Hit: a draw inside a `Drop` impl (drop order is not replayed).
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        let jitter = self.rng.gen_range(4);
+        self.rng.state = jitter;
+    }
+}
+
+/// Non-hits: draw before the comparator, stable closure, hatched site.
+pub fn non_hit(nodes: &mut Vec<u64>, rng: &mut Rng) {
+    let jitter = rng.gen_range(4);
+    nodes.sort_by_key(|n| n ^ jitter);
+    // lint: allow(D6, fixture: documents the hatch shape)
+    nodes.retain(|_| rng.gen_bool());
+}

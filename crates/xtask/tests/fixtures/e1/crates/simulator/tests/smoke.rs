@@ -1,0 +1,8 @@
+//! Keeps the fixture's entry points referenced — the X1 dead-pub pool
+//! counts test trees as references.
+
+#[test]
+fn fixture_smoke() {
+    titan_sim::hits(1);
+    assert!(titan_sim::non_hits(2).is_ok());
+}

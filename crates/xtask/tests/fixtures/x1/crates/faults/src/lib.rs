@@ -1,0 +1,12 @@
+//! X1 golden fixture, upper crate: references `titan_stats::mean`
+//! (keeping it alive); its own entry point stays alive through the
+//! test pool, and `dead_report` is referenced by nothing.
+
+pub fn mtbf(samples: &[f64]) -> f64 {
+    titan_stats::mean(samples)
+}
+
+/// Dead: no caller anywhere.
+pub fn dead_report() -> u64 {
+    7
+}

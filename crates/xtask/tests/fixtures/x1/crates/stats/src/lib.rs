@@ -1,0 +1,20 @@
+//! X1 golden fixture, lower crate: one live API, one dead API, one
+//! hatched API.
+
+/// Live: referenced by `titan-faults`, a dependent crate.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Dead: nothing in the workspace spells this name.
+pub fn orphan_quantile(_xs: &[f64]) -> f64 {
+    0.0
+}
+
+// lint: allow(X1, kept as the paper-table replication surface)
+pub fn hatched_api() -> u64 {
+    42
+}

@@ -31,6 +31,12 @@ fn fragments() -> impl Strategy<Value = String> {
             "0..10",
             "1_000.5e-3",
             "x as u32",
+            "r#type",
+            "let r#match = r#fn;",
+            "x.r#await",
+            "r#",
+            "#!/usr/bin/env run-cargo-script",
+            "#![allow(dead_code)]",
             "'\\''",
             "\"\\\"escaped\\\\\"",
             "r\"no hashes\"",
@@ -100,6 +106,45 @@ proptest! {
             prop_assert!(t.line >= prev);
             prev = t.line;
         }
+    }
+
+    /// Raw identifiers are single Ident tokens (`r#type` must not split
+    /// into `r`, `#`, `type` — the v2 lexer did exactly that), and they
+    /// survive arbitrary trailing soup.
+    #[test]
+    fn raw_identifiers_stay_single_tokens(soup in "\\PC{0,40}") {
+        let src = format!("let r#type = ctx.r#match; {soup}");
+        let toks = lex(&src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(&src))
+            .collect();
+        prop_assert!(idents.contains(&"r#type"), "{idents:?}");
+        prop_assert!(idents.contains(&"r#match"), "{idents:?}");
+        let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    /// A shebang line at byte 0 lexes as one comment token (cargo-script
+    /// files start this way; the v2 lexer shredded it into punct soup),
+    /// while `#![...]` at byte 0 must stay an inner attribute.
+    #[test]
+    fn shebang_at_byte_zero_is_one_comment(
+        parts in prop::collection::vec(fragments(), 0..6),
+    ) {
+        let mut src = String::from("#!/usr/bin/env run-cargo-script\n");
+        src.push_str(&parts.join(" "));
+        let toks = lex(&src);
+        prop_assert_eq!(toks[0].kind, TokKind::LineComment);
+        prop_assert!(toks[0].text(&src).starts_with("#!/usr/bin/env"));
+        let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+
+        let attr = format!("#![allow(dead_code)]\n{}", parts.join(" "));
+        let toks = lex(&attr);
+        prop_assert_eq!(toks[0].kind, TokKind::Punct, "inner attr `#` stays punct");
+        prop_assert_eq!(toks[0].text(&attr), "#");
     }
 
     /// Comment and literal kinds never leak trailing context: a line

@@ -1,0 +1,238 @@
+//! Property tests for the titan-lint item parser: it must be total
+//! (never panic on any input), and its item spans must be
+//! token-aligned, ordered, disjoint among siblings, and nested inside
+//! their parents — over adversarial Rust-shaped soup and over every
+//! real source file in the workspace. The real-tree sweep additionally
+//! pins the partition property the structural rules rely on: outside
+//! file-level inner attributes, every code token of a well-formed file
+//! belongs to exactly one top-level item span.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use proptest::prelude::*;
+use xtask::lexer::lex;
+use xtask::parser::{parse, Item};
+
+/// Fragments chosen to stress the parser: every item kind, attribute
+/// and modifier soup, closures in comparator position, plus malformed
+/// input (stray tokens, unbalanced brackets, unterminated headers).
+fn fragments() -> impl Strategy<Value = String> {
+    prop::sample::select(
+        [
+            "fn f(x: u32) -> u32 { x + 1 }",
+            "pub fn g<T: Ord>(v: &mut Vec<T>) { v.sort_by(|a, b| a.cmp(b)); }",
+            "mod m { pub fn inner() {} }",
+            "mod decl;",
+            "#[cfg(test)] mod tests { #[test] fn t() { assert!(x[0] > 1); } }",
+            "impl Foo { fn method(&self) -> u32 { self.x } }",
+            "impl Drop for Foo { fn drop(&mut self) {} }",
+            "impl<T: Ord> From<Vec<T>> for Heap<T> { fn from(v: Vec<T>) -> Self { todo!() } }",
+            "pub struct S { pub x: u32 }",
+            "struct T(u32);",
+            "enum E { A, B(u32) }",
+            "union U { a: u32, b: f32 }",
+            "pub const N: usize = 4;",
+            "static mut COUNTER: u64 = 0;",
+            "type Alias = Vec<u32>;",
+            "use std::collections::BTreeMap;",
+            "pub use crate::engine::Engine;",
+            "extern crate alloc;",
+            "extern \"C\" { fn abort(); }",
+            "extern \"C\" fn callback(x: u32) -> u32 { x }",
+            "macro_rules! m { () => {} }",
+            "#![allow(dead_code)]",
+            "#[must_use] pub fn outcome() -> u32 { 1 }",
+            "trait Tr { fn req(&self); }",
+            "pub(crate) fn scoped() {}",
+            "const unsafe fn tricky() {}",
+            "fn h() { let f = |a: u32| { a * 2 }; f(3); }",
+            "fn r() { v.retain(|n| keep(n)); }",
+            // Malformed tails the parser must survive:
+            "let stray = 4;",
+            "} } )",
+            "fn broken(",
+            "{ { {",
+            "impl",
+            "r#type",
+            "|x| x + 1",
+            "#",
+            "#[",
+            "pub",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect::<Vec<_>>(),
+    )
+}
+
+/// Non-trivia token start/end byte offsets — the only legal span edges.
+fn token_boundaries(src: &str) -> (BTreeSet<usize>, BTreeSet<usize>) {
+    let mut starts = BTreeSet::new();
+    let mut ends = BTreeSet::new();
+    for t in lex(src) {
+        if !t.kind.is_trivia() {
+            starts.insert(t.start);
+            ends.insert(t.end);
+        }
+    }
+    (starts, ends)
+}
+
+/// Recursively checks: siblings ordered and disjoint, spans non-empty
+/// and token-aligned, bodies inside their item, children inside their
+/// parent.
+fn assert_tree_invariants(
+    src: &str,
+    items: &[Item],
+    lo: usize,
+    hi: usize,
+    starts: &BTreeSet<usize>,
+    ends: &BTreeSet<usize>,
+) {
+    let mut prev_end = lo;
+    for it in items {
+        assert!(
+            it.start >= prev_end,
+            "sibling spans unordered/overlapping: {}..{} after end {} in {src:?}",
+            it.start,
+            it.end,
+            prev_end,
+        );
+        assert!(it.start < it.end, "empty item span at byte {} in {src:?}", it.start);
+        assert!(
+            it.end <= hi,
+            "span {}..{} escapes its parent bound {hi} in {src:?}",
+            it.start,
+            it.end,
+        );
+        assert!(
+            starts.contains(&it.start),
+            "span start {} is not a token boundary in {src:?}",
+            it.start,
+        );
+        assert!(
+            ends.contains(&it.end),
+            "span end {} is not a token boundary in {src:?}",
+            it.end,
+        );
+        if let Some((blo, bhi)) = it.body {
+            assert!(
+                it.start <= blo && blo < bhi && bhi <= it.end,
+                "body {blo}..{bhi} escapes item span {}..{} in {src:?}",
+                it.start,
+                it.end,
+            );
+        }
+        assert_tree_invariants(src, &it.children, it.start, it.end, starts, ends);
+        prev_end = it.end;
+    }
+}
+
+/// For a well-formed file: every non-trivia token is covered by some
+/// top-level item span, except file-level inner attributes (`#![...]`),
+/// which the parser deliberately consumes without emitting a node.
+fn assert_full_coverage(file: &Path, src: &str, items: &[Item]) {
+    let code: Vec<_> = lex(src).into_iter().filter(|t| !t.kind.is_trivia()).collect();
+    let spans: Vec<(usize, usize)> = items.iter().map(|it| (it.start, it.end)).collect();
+    let mut k = 0;
+    while k < code.len() {
+        let t = &code[k];
+        if spans.iter().any(|&(lo, hi)| lo <= t.start && t.start < hi) {
+            k += 1;
+            continue;
+        }
+        assert!(
+            t.text(src) == "#"
+                && code.get(k + 1).map(|n| n.text(src)) == Some("!")
+                && code.get(k + 2).map(|n| n.text(src)) == Some("["),
+            "{}:{}: token {:?} belongs to no item and is not an inner attribute",
+            file.display(),
+            t.line,
+            t.text(src),
+        );
+        // Skip the bracketed attribute group.
+        let mut depth = 0usize;
+        k += 2;
+        while k < code.len() {
+            match code[k].text(src) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        k += 1;
+    }
+}
+
+/// The acceptance sweep: parse every real source file in the workspace
+/// (the lint targets AND xtask's own macro/string-heavy sources) and
+/// hold the partition property on each.
+#[test]
+fn real_workspace_files_partition_into_items() {
+    let root =
+        xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let mut files = Vec::new();
+    for target in xtask::workspace_targets(&root).expect("targets") {
+        files.extend(xtask::rust_files(&target.src_dir).expect("files"));
+    }
+    files.extend(xtask::rust_files(&root.join("crates/xtask/src")).expect("files"));
+    let mut checked = 0usize;
+    for file in files {
+        let src = std::fs::read_to_string(&file).expect("read");
+        let toks = lex(&src);
+        let items = parse(&src, &toks);
+        let (starts, ends) = token_boundaries(&src);
+        assert_tree_invariants(&src, &items, 0, src.len(), &starts, &ends);
+        assert_full_coverage(&file, &src, &items);
+        checked += 1;
+    }
+    assert!(checked > 40, "expected to sweep the whole workspace, swept {checked} files");
+}
+
+proptest! {
+    /// The parser is total and its tree invariants hold on adversarial
+    /// item soup glued to printable noise.
+    #[test]
+    fn adversarial_item_soup_keeps_tree_invariants(
+        parts in prop::collection::vec(fragments(), 0..10),
+        soup in "\\PC{0,60}",
+    ) {
+        let mut src = parts.join("\n");
+        src.push('\n');
+        src.push_str(&soup);
+        let toks = lex(&src);
+        let items = parse(&src, &toks);
+        let (starts, ends) = token_boundaries(&src);
+        assert_tree_invariants(&src, &items, 0, src.len(), &starts, &ends);
+    }
+
+    /// Well-formed concatenations (items only, newline-separated) keep
+    /// full coverage: every code token lands in exactly one item span.
+    #[test]
+    fn well_formed_item_sequences_are_fully_covered(
+        parts in prop::collection::vec(fragments(), 1..8),
+    ) {
+        // Filter to the well-formed fragments (the malformed ones are
+        // for totality, not coverage).
+        let clean: Vec<String> = parts
+            .into_iter()
+            .filter(|p| {
+                !matches!(
+                    p.as_str(),
+                    "let stray = 4;" | "} } )" | "fn broken(" | "{ { {" | "impl" | "r#type"
+                        | "|x| x + 1" | "#" | "#[" | "pub"
+                )
+            })
+            .collect();
+        let src = clean.join("\n");
+        let items = xtask::parser::parse_source(&src);
+        assert_full_coverage(Path::new("<generated>"), &src, &items);
+    }
+}
