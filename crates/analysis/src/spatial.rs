@@ -69,6 +69,81 @@ impl SpatialFiltering {
     }
 }
 
+/// Per-incident striping statistic for Fig. 12's claim.
+///
+/// The aggregate even/odd column contrast of a whole panel is *biased
+/// toward zero*: the torus cabling fold gives every job one of two
+/// column parities (outbound jobs stripe 0/2/4/6, return-run jobs
+/// stripe 7/5/3/1 — see `Torus::physical_col_of_y`), so two comparable
+/// incidents of opposite parity cancel each other in the summed grid
+/// even though each one stripes perfectly. The paper's observation is
+/// about structure *within* one incident's footprint ("nodes within the
+/// same job [are] allocated in this alternating manner"), so the honest
+/// estimator scores each incident's own footprint and averages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncidentStripe {
+    /// Event-weighted mean of per-incident `|even − odd| / total`
+    /// column contrast. Near 1 when incident footprints hold one
+    /// column parity; near `null` for parity-blind placement.
+    pub contrast: f64,
+    /// Size-matched uniform null: the same weighted mean of
+    /// `sqrt(2 / (π·nᵢ))` — the expected contrast of `nᵢ` events
+    /// thrown uniformly over the cabinet columns.
+    pub null: f64,
+    /// Number of incidents scored.
+    pub incidents: u64,
+}
+
+/// Groups time-sorted `kind` events into incidents with the same rule as
+/// [`dedup_job_level`] (a parent plus everything within `window_secs` of
+/// the last kept parent) and scores each incident's footprint. `None`
+/// when no events of `kind` exist.
+pub fn incident_stripe(
+    events: &[ConsoleEvent],
+    kind: GpuErrorKind,
+    window_secs: u64,
+) -> Option<IncidentStripe> {
+    let mut weighted_contrast = 0.0;
+    let mut weighted_null = 0.0;
+    let mut total_events = 0.0;
+    let mut incidents = 0u64;
+    let mut current: Vec<ConsoleEvent> = Vec::new();
+    let mut last_kept: Option<u64> = None;
+    let mut flush = |batch: &mut Vec<ConsoleEvent>| {
+        if batch.is_empty() {
+            return;
+        }
+        let grid = spatial_grid(batch, kind, false);
+        if let Some(c) = grid.stripe_contrast() {
+            let n = batch.len() as f64;
+            weighted_contrast += n * c;
+            weighted_null += n * (2.0 / (std::f64::consts::PI * n)).sqrt().min(1.0);
+            total_events += n;
+            incidents += 1;
+        }
+        batch.clear();
+    };
+    for ev in events.iter().filter(|e| e.kind == kind) {
+        match last_kept {
+            Some(t) if ev.time.saturating_sub(t) < window_secs => {}
+            _ => {
+                flush(&mut current);
+                last_kept = Some(ev.time);
+            }
+        }
+        current.push(*ev);
+    }
+    flush(&mut current);
+    if total_events == 0.0 {
+        return None;
+    }
+    Some(IncidentStripe {
+        contrast: weighted_contrast / total_events,
+        null: weighted_null / total_events,
+        incidents,
+    })
+}
+
 /// Builds Fig. 12 for `kind` with the paper's 5-second window.
 pub fn spatial_with_filtering(events: &[ConsoleEvent], kind: GpuErrorKind) -> SpatialFiltering {
     spatial_with_filtering_window(events, kind, 5)
@@ -172,5 +247,30 @@ mod tests {
         let f = spatial_with_filtering(&[], X13);
         assert_eq!(f.unfiltered.total(), 0.0);
         assert_eq!(f.stripe_biases(), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn opposite_parity_incidents_cancel_globally_but_not_per_incident() {
+        use GpuErrorKind::GraphicsEngineException as X13;
+        // Two equal-size incidents: an outbound-run job striped on even
+        // columns and a return-run job striped on odd columns. Their
+        // aggregate column profile is flat — the global even/odd contrast
+        // is exactly 0 — yet each footprint stripes perfectly.
+        let mut events = Vec::new();
+        for (i, c) in [0u8, 2, 4, 6].into_iter().enumerate() {
+            events.push(ev(100 + i as u64, node_at(0, c, 0), X13));
+        }
+        for (i, c) in [7u8, 5, 3, 1].into_iter().enumerate() {
+            events.push(ev(10_000 + i as u64, node_at(0, c, 0), X13));
+        }
+        let panel = spatial_grid(&events, X13, false);
+        assert_eq!(panel.stripe_contrast(), Some(0.0), "global stat cancels");
+        let s = incident_stripe(&events, X13, 5).expect("two incidents");
+        assert_eq!(s.incidents, 2);
+        assert!((s.contrast - 1.0).abs() < 1e-12, "per-incident contrast {}", s.contrast);
+        // Size-matched null for 4-event incidents: sqrt(2/(4π)) ≈ 0.4.
+        assert!(s.null < 0.5, "null {}", s.null);
+        // No events of the kind → no statistic.
+        assert!(incident_stripe(&[], X13, 5).is_none());
     }
 }

@@ -9,7 +9,10 @@ use titan_analysis::interarrival::{retirement_delays, RetirementDelays};
 use titan_analysis::offenders::{sbe_offender_analysis, OffenderAnalysis};
 use titan_analysis::filtering::dedup_by_job;
 use titan_analysis::granularity::{aprun_granularity, GranularityReport};
-use titan_analysis::spatial::{cage_tally, spatial_grid, spatial_with_filtering, SpatialFiltering};
+use titan_analysis::spatial::{
+    cage_tally, incident_stripe, spatial_grid, spatial_with_filtering, IncidentStripe,
+    SpatialFiltering,
+};
 use titan_analysis::timeseries::{burstiness, monthly_counts, mtbf_hours, MonthlySeries};
 use titan_analysis::thermal::{thermal_survey, ThermalSurvey};
 use titan_analysis::user_proxy::{user_level_correlation, UserStudy};
@@ -72,6 +75,11 @@ pub struct Figures {
 
     /// Fig. 12: XID 13 spatial distribution under the three filterings.
     pub fig12_xid13_spatial: SpatialFiltering,
+
+    /// Fig. 12's striping claim scored per incident (the aggregate
+    /// panels cancel when incidents of opposite column parity meet —
+    /// see [`incident_stripe`]).
+    pub fig12_incident_stripe: Option<IncidentStripe>,
 
     /// Fig. 13: the 300 s co-occurrence heatmap (top panel; call
     /// [`Heatmap::without_diagonal`] for the bottom).
@@ -187,6 +195,7 @@ impl Figures {
                 .collect(),
 
             fig12_xid13_spatial: spatial_with_filtering(console, GraphicsEngineException),
+            fig12_incident_stripe: incident_stripe(console, GraphicsEngineException, 5),
 
             fig13_heatmap: heatmap,
             fig14_15_offenders: offenders,

@@ -87,6 +87,14 @@ impl Study {
         let sim = Simulator::new(self.config.sim.clone())
             .expect("config validated by construction")
             .run_with(obs);
+        self.complete_from_sim(sim, obs)
+    }
+
+    /// The post-simulation half of a study: render → parse → bundle.
+    /// Split out so checkpoint/resume paths (which drive the engine
+    /// themselves, see `titan-runner`) produce the same
+    /// [`CompletedStudy`] as a straight-through [`run`](Self::run).
+    pub fn complete_from_sim(&self, sim: SimOutput, obs: &mut Obs) -> CompletedStudy {
         obs.phase("study:render_parse_logs");
         let data = if self.config.skip_text_roundtrip {
             StudyData {

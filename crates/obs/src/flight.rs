@@ -199,6 +199,32 @@ impl TraceStream {
         &self.records
     }
 
+    /// The id the next [`TraceStream::mint`] call will return — the
+    /// trace-id watermark carried in checkpoints.
+    pub fn next_id(&self) -> u64 {
+        self.next
+    }
+
+    /// Raw `(ts, id)` console pairs in emission order (the input to
+    /// [`TraceStream::console_ids_in_log_order`]); checkpoints carry
+    /// these verbatim so a resumed stream aligns SEC replay the same
+    /// way.
+    pub fn console_pairs(&self) -> &[(u64, u64)] {
+        &self.console
+    }
+
+    /// Overwrites the stream wholesale from a checkpoint: id watermark,
+    /// minted records, and console `(ts, id)` pairs. No-op when
+    /// disabled, preserving the disabled-stream-is-inert invariant.
+    pub fn restore(&mut self, next: u64, records: Vec<TraceRecord>, console: Vec<(u64, u64)>) {
+        if !self.enabled {
+            return;
+        }
+        self.next = next.max(1);
+        self.records = records;
+        self.console = console;
+    }
+
     /// Console-line record ids reordered to match the engine's final
     /// console log: the engine pushes lines in heap order and stably
     /// sorts by time afterwards, so a stable sort of the emission-order

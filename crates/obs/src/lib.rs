@@ -38,6 +38,7 @@ pub mod export;
 pub mod flight;
 pub mod metrics;
 pub mod series;
+pub mod snapshot;
 pub mod trace;
 
 pub use export::{HistogramSnapshot, MetricsDoc, SpanRecord, TimeSeriesDoc, TraceSummary, SCHEMA};
@@ -47,6 +48,7 @@ pub use flight::{
 };
 pub use metrics::{metric_key, Counter, Gauge, HistId, Registry};
 pub use series::{TimeBuckets, TsSeries, DEFAULT_BUCKET_SECS};
+pub use snapshot::ObsSnapshot;
 pub use trace::{Span, SpanKind, TraceRing};
 
 /// Default span-ring capacity: enough to hold every interesting span of

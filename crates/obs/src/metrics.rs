@@ -193,6 +193,57 @@ impl Registry {
             .iter()
             .map(|h| (h.name.as_str(), h.bounds.as_slice(), h.counts.as_slice(), h.count, h.sum))
     }
+
+    /// Overwrites `section.name` with `value`, registering it if needed
+    /// (checkpoint restore). No-op when disabled, preserving the
+    /// disabled-sink-is-inert invariant.
+    pub fn restore_counter(&mut self, section: &str, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let c = self.counter(section, name);
+        if let Some(v) = self.counters.get_mut(c.0 as usize) {
+            *v = value;
+        }
+    }
+
+    /// Overwrites gauge `section.name` with `value` (checkpoint
+    /// restore). No-op when disabled.
+    pub fn restore_gauge(&mut self, section: &str, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let g = self.gauge(section, name);
+        if let Some(v) = self.gauges.get_mut(g.0 as usize) {
+            *v = value;
+        }
+    }
+
+    /// Overwrites histogram `name` wholesale (checkpoint restore). The
+    /// snapshot's bucket layout wins; `counts` is padded/truncated to
+    /// `bounds.len() + 1` so a corrupted doc cannot desync the overflow
+    /// bucket. No-op when disabled.
+    pub fn restore_histogram(
+        &mut self,
+        name: &str,
+        bounds: &[u64],
+        counts: &[u64],
+        count: u64,
+        sum: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let h = self.histogram(name, bounds);
+        if let Some(hist) = self.hists.get_mut(h.0 as usize) {
+            hist.bounds = bounds.to_vec();
+            let mut c = counts.to_vec();
+            c.resize(bounds.len() + 1, 0);
+            hist.counts = c;
+            hist.count = count;
+            hist.sum = sum;
+        }
+    }
 }
 
 /// Lowercases a human label ("Device Memory") into a stable metric key

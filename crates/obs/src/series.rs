@@ -124,6 +124,17 @@ impl TimeBuckets {
         }
         v
     }
+
+    /// Overwrites one series wholesale (checkpoint restore). No-op when
+    /// disabled, preserving the disabled-sink-is-inert invariant.
+    pub fn restore(&mut self, series: TsSeries, buckets: &[u64]) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(v) = self.series.get_mut(series.index()) {
+            *v = buckets.to_vec();
+        }
+    }
 }
 
 #[cfg(test)]

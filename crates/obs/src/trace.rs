@@ -146,6 +146,21 @@ impl TraceRing {
         out.extend_from_slice(&self.buf[..self.head]);
         out
     }
+
+    /// Overwrites the ring wholesale from a checkpoint: `spans` oldest
+    /// first (only the newest `capacity` are kept, matching what the
+    /// ring would hold had it seen them live), with exact totals. No-op
+    /// when disabled.
+    pub fn restore(&mut self, spans: &[Span], recorded: u64, by_kind: [u64; 4]) {
+        if !self.enabled {
+            return;
+        }
+        let skip = spans.len().saturating_sub(self.capacity);
+        self.buf = spans.get(skip..).unwrap_or(&[]).to_vec();
+        self.head = 0;
+        self.recorded = recorded;
+        self.by_kind = by_kind;
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,13 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use titan_conlog::SecEngine;
+
+pub mod ckpt;
+
+pub use ckpt::{
+    bisect, checkpoint_digest, parse_checkpoint, render_checkpoint, resume_checkpointed,
+    run_checkpointed, BisectInterval, BisectReport, CheckpointDoc, CKPT_SCHEMA,
+};
 // Re-exported so CLI code can name the telemetry types through the
 // runner without a direct titan-obs dependency.
 pub use titan_obs::{MetricsDoc, Obs};
@@ -63,16 +70,34 @@ pub struct ReplicateOptions {
 
 impl ReplicateOptions {
     /// `count` consecutive seeds derived from `base_seed`, ready to fan
-    /// out over `threads`.
-    pub fn consecutive(base: StudyConfig, base_seed: u64, count: u64, threads: usize) -> Self {
-        ReplicateOptions {
+    /// out over `threads`. Rejects a range that would wrap past
+    /// `u64::MAX`: wrapping silently re-issues seeds already in the
+    /// list, and duplicate seeds make the "independent replications"
+    /// premise of every CI band a lie.
+    pub fn consecutive(
+        base: StudyConfig,
+        base_seed: u64,
+        count: u64,
+        threads: usize,
+    ) -> Result<Self, String> {
+        let mut seeds = Vec::new();
+        for i in 0..count {
+            let Some(seed) = base_seed.checked_add(i) else {
+                return Err(format!(
+                    "seed range overflows: base seed {base_seed} + {count} consecutive seeds \
+                     wraps past u64::MAX and would duplicate seeds; lower --seed or --seeds"
+                ));
+            };
+            seeds.push(seed);
+        }
+        Ok(ReplicateOptions {
             base,
-            seeds: (0..count).map(|i| base_seed.wrapping_add(i)).collect(),
+            seeds,
             threads,
             skip_expectations: false,
             collect_obs: false,
             collect_trace: false,
-        }
+        })
     }
 }
 
@@ -630,12 +655,28 @@ mod tests {
     use super::*;
 
     fn opts(days: u64, n: u64, threads: usize) -> ReplicateOptions {
-        let mut o =
-            ReplicateOptions::consecutive(StudyConfig::quick(days, 0), 100, n, threads);
+        let mut o = ReplicateOptions::consecutive(StudyConfig::quick(days, 0), 100, n, threads)
+            .expect("test seed range never overflows");
         // Figures are the dominant cost; the runner's own tests exercise
         // fan-out and merge, not the registry.
         o.skip_expectations = true;
         o
+    }
+
+    /// Regression: consecutive seed derivation used `wrapping_add`, so a
+    /// base seed near u64::MAX silently wrapped to 0, 1, … and could
+    /// duplicate seeds already in the list. Overflow is now rejected.
+    #[test]
+    fn consecutive_seed_overflow_is_rejected() {
+        let base = StudyConfig::quick(10, 0);
+        // Exactly fits: MAX-2, MAX-1, MAX.
+        let ok = ReplicateOptions::consecutive(base.clone(), u64::MAX - 2, 3, 1)
+            .expect("range that ends exactly at u64::MAX is fine");
+        assert_eq!(ok.seeds, vec![u64::MAX - 2, u64::MAX - 1, u64::MAX]);
+        // One more wraps — rejected, not silently duplicated.
+        let err = ReplicateOptions::consecutive(base, u64::MAX - 2, 4, 1)
+            .expect_err("wrapping range must be rejected");
+        assert!(err.contains("overflows"), "unexpected error: {err}");
     }
 
     /// The tentpole determinism guarantee: a threaded replicate run is

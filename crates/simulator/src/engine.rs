@@ -8,12 +8,19 @@
 //! workspace only ever runs *across* independent simulations (see the
 //! replication runner in `titan-runner` and DETERMINISM.md), never
 //! inside one. titan-lint rule D4 enforces this mechanically.
+//!
+//! The engine is split into an explicit [`EngineState`] so a run can be
+//! paused at any sim-time boundary, captured as an [`EngineSnapshot`],
+//! and resumed later (or in another process) with byte-identical
+//! output — the checkpoint/restore contract pinned by the `titan-ckpt/1`
+//! tests in `titan-runner`.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use titan_conlog::time::SimTime;
 use titan_conlog::{ConsoleEvent, JobRecord};
 use titan_faults::calibration;
@@ -33,15 +40,16 @@ use titan_topology::{node_to_gpu_index, NodeId, TOTAL_SLOTS};
 use titan_workload::{ScheduledJob, WorkloadSchedule};
 
 use crate::config::SimConfig;
-use crate::fleet::Fleet;
+use crate::fleet::{Fleet, FleetSnapshot};
 use crate::output::{DbeTruth, OtbTruth, RetireTruth, SimOutput, SwapTruth};
 
 /// Sentinel: no job on this node / job not active.
 const NO_JOB: u32 = u32::MAX;
 
 /// One schedulable event. Every payload is plain-old-data, so the event
-/// loop reads it by copy — no per-event clone on the hot path.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// loop reads it by copy — no per-event clone on the hot path — and a
+/// checkpoint can serialize the dynamic payload tail directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum Ev {
     JobStart(u32),
     JobEnd(u32),
@@ -96,7 +104,7 @@ enum Ev {
 }
 
 /// Per-job runtime state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 struct JobState {
     started: bool,
     ended: bool,
@@ -124,6 +132,20 @@ struct JobTable {
     spare_pre: Vec<Vec<[u64; 5]>>,
 }
 
+/// Portable [`JobTable`] state for checkpointing. The recycled
+/// `spare_pre` buffers are captured as a *count* only: their contents
+/// are cleared before every reuse, so only how many exist matters (it
+/// decides the `pre_sbe_reuse_hits` / `pre_sbe_allocs` counter split on
+/// the resumed run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JobTableSnapshot {
+    state: Vec<JobState>,
+    node_job: Vec<u32>,
+    active: Vec<u32>,
+    active_pos: Vec<u32>,
+    spare_pre_len: u64,
+}
+
 impl JobTable {
     fn new(n_jobs: usize) -> Self {
         JobTable {
@@ -135,12 +157,30 @@ impl JobTable {
         }
     }
 
+    fn snapshot(&self) -> JobTableSnapshot {
+        JobTableSnapshot {
+            state: self.state.clone(),
+            node_job: self.node_job.clone(),
+            active: self.active.clone(),
+            active_pos: self.active_pos.clone(),
+            // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
+            spare_pre_len: self.spare_pre.len() as u64,
+        }
+    }
+
+    fn from_snapshot(s: &JobTableSnapshot) -> JobTable {
+        JobTable {
+            state: s.state.clone(),
+            node_job: s.node_job.clone(),
+            active: s.active.clone(),
+            active_pos: s.active_pos.clone(),
+            spare_pre: (0..s.spare_pre_len).map(|_| Vec::new()).collect(),
+        }
+    }
+
     /// Marks job `j` started: occupies its nodes and snapshots the
     /// reported SBE counters (the nvidia-smi prologue).
     fn start(&mut self, j: u32, job: &ScheduledJob, fleet: &Fleet, obs: &mut Obs) {
-        let st = &mut self.state[j as usize];
-        st.started = true;
-        st.actual_end = job.end;
         let mut pre = match self.spare_pre.pop() {
             Some(buf) => {
                 obs.reg.inc(obs.cat.engine.pre_sbe_reuse_hits);
@@ -151,16 +191,26 @@ impl JobTable {
                 Vec::new()
             }
         };
+        let Some(st) = self.state.get_mut(j as usize) else {
+            return;
+        };
+        st.started = true;
+        st.actual_end = job.end;
         pre.clear();
         pre.reserve(job.nodes.len());
         for n in &job.nodes {
-            self.node_job[n.0 as usize] = j;
+            if let Some(slot) = self.node_job.get_mut(n.0 as usize) {
+                *slot = j;
+            }
             pre.push(reported_sbe_vector(fleet, *n));
         }
         obs.reg.add(obs.cat.nvsmi.prologue_reads, job.nodes.len() as u64);
         st.pre_sbe = Some(pre);
-        // lint: allow(N1, active job count is bounded by the schedule length, far below 2^32)
-        self.active_pos[j as usize] = self.active.len() as u32;
+        let pos = self.active.len();
+        if let Some(p) = self.active_pos.get_mut(j as usize) {
+            // lint: allow(N1, active job count is bounded by the schedule length, far below 2^32)
+            *p = pos as u32;
+        }
         self.active.push(j);
     }
 
@@ -175,25 +225,41 @@ impl JobTable {
         out: &mut SimOutput,
         obs: &mut Obs,
     ) {
-        let st = &mut self.state[j as usize];
+        let Some(st) = self.state.get_mut(j as usize) else {
+            return;
+        };
         if !st.started || st.ended {
             return;
         }
         st.ended = true;
         st.actual_end = t;
-        let job: &ScheduledJob = &schedule.jobs[j as usize];
+        let Some(job) = schedule.jobs.get(j as usize) else {
+            return;
+        };
         for n in &job.nodes {
-            if self.node_job[n.0 as usize] == j {
-                self.node_job[n.0 as usize] = NO_JOB;
+            if let Some(slot) = self.node_job.get_mut(n.0 as usize) {
+                if *slot == j {
+                    *slot = NO_JOB;
+                }
             }
         }
         // O(1) active-set removal.
-        let pos = self.active_pos[j as usize] as usize;
-        self.active_pos[j as usize] = NO_JOB;
-        self.active.swap_remove(pos);
-        if let Some(&moved) = self.active.get(pos) {
-            // lint: allow(N1, pos indexes the active vec, bounded by the schedule length)
-            self.active_pos[moved as usize] = pos as u32;
+        let pos = self
+            .active_pos
+            .get(j as usize)
+            .copied()
+            .unwrap_or(NO_JOB) as usize;
+        if let Some(p) = self.active_pos.get_mut(j as usize) {
+            *p = NO_JOB;
+        }
+        if pos < self.active.len() {
+            self.active.swap_remove(pos);
+            if let Some(&moved) = self.active.get(pos) {
+                if let Some(p) = self.active_pos.get_mut(moved as usize) {
+                    // lint: allow(N1, pos indexes the active vec, bounded by the schedule length)
+                    *p = pos as u32;
+                }
+            }
         }
 
         // nvidia-smi epilogue: per-node SBE delta.
@@ -203,10 +269,14 @@ impl JobTable {
         for (n, before) in job.nodes.iter().zip(&pre) {
             let after = reported_sbe_vector(fleet, *n);
             let mut node_total = 0;
-            for i in 0..5 {
-                let d = after[i].saturating_sub(before[i]);
+            for ((a, b), ps) in after
+                .iter()
+                .zip(before.iter())
+                .zip(per_structure_sbe.iter_mut())
+            {
+                let d = a.saturating_sub(*b);
                 node_total += d;
-                per_structure_sbe[i] += d;
+                *ps += d;
             }
             per_node_sbe.push((*n, node_total));
         }
@@ -245,46 +315,96 @@ impl JobTable {
     }
 
     fn job_at(&self, node: NodeId) -> Option<u32> {
-        let j = self.node_job[node.0 as usize];
+        let j = self
+            .node_job
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(NO_JOB);
         (j != NO_JOB).then_some(j)
     }
 
     fn apid_at(&self, schedule: &WorkloadSchedule, node: NodeId) -> Option<u64> {
-        self.job_at(node).map(|j| schedule.jobs[j as usize].spec.apid)
+        self.job_at(node)
+            .and_then(|j| schedule.jobs.get(j as usize))
+            .map(|job| job.spec.apid)
     }
 }
 
-/// The fleet simulator.
-#[derive(Debug, Clone)]
-pub struct Simulator {
-    config: SimConfig,
+/// A paused simulation: the full mutable state of the event loop plus
+/// everything needed to keep executing it. [`Simulator::run_with`] is
+/// now a thin `new → run_until(∞) → finalize` over this type; the
+/// checkpoint path instead stops at interval boundaries, captures an
+/// [`EngineSnapshot`], and keeps going.
+pub struct EngineState {
+    cfg: SimConfig,
+    schedule: WorkloadSchedule,
+    heap: BinaryHeap<Reverse<(SimTime, u8, u64)>>,
+    payloads: Vec<Ev>,
+    /// How many payload slots the deterministic setup (job schedule +
+    /// fault drafts) produced. Everything after this index was appended
+    /// dynamically by the event loop — that tail is what a checkpoint
+    /// must carry, because the prefix is regenerated from the config.
+    initial_payload_len: usize,
+    fleet: Fleet,
+    cascades: CascadeModel,
+    sim_rng: StdRng,
+    cascade_rng: StdRng,
+    spare_rng: StdRng,
+    jobs: JobTable,
+    swap_pending: Vec<bool>,
+    /// Scratch for the weighted job pick, reused across soft events.
+    weight_scratch: Vec<f64>,
+    out: SimOutput,
+    /// Test hook (`run --inject-divergence SECS`): burn one extra
+    /// `sim_rng` draw at the first event at/after this time. Never
+    /// serialized — a resumed run does not repeat the burn, which is
+    /// exactly the artificial divergence `ckpt bisect` must localize.
+    divergence_probe: Option<SimTime>,
 }
 
-impl Simulator {
-    /// Creates a simulator; the config must validate.
-    pub fn new(config: SimConfig) -> Result<Self, String> {
-        config.validate()?;
-        Ok(Simulator { config })
-    }
+/// Everything the event loop mutates, captured at a sim-time boundary.
+/// Together with the originating [`SimConfig`] this is sufficient to
+/// resume the run with byte-identical output; the `titan-ckpt/1` doc in
+/// `titan-runner` wraps it with a chained FNV digest.
+///
+/// The deterministic *setup* products (workload schedule, fault drafts,
+/// susceptibility, thermal model) are deliberately not captured — they
+/// are pure functions of the config and are regenerated on restore,
+/// which keeps checkpoints small and makes a config/checkpoint mismatch
+/// detectable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    t: SimTime,
+    /// Remaining `(time, class, seq)` heap entries, ascending. Keys are
+    /// unique (seq is a global sequence number), so heap pop order is a
+    /// pure function of this set.
+    heap: Vec<(SimTime, u8, u64)>,
+    /// Payload slots appended by the event loop after setup.
+    payload_tail: Vec<Ev>,
+    /// Setup payload count — must match the regenerated setup exactly.
+    initial_payload_len: u64,
+    fleet: FleetSnapshot,
+    jobs: JobTableSnapshot,
+    sim_rng: [u64; 4],
+    cascade_rng: [u64; 4],
+    spare_rng: [u64; 4],
+    swap_pending: Vec<bool>,
+    out: SimOutput,
+}
 
-    /// The configuration.
-    pub fn config(&self) -> &SimConfig {
-        &self.config
+impl EngineSnapshot {
+    /// The sim-time boundary this snapshot was taken at.
+    pub fn sim_time(&self) -> SimTime {
+        self.t
     }
+}
 
-    /// Runs the full simulation.
-    pub fn run(&self) -> SimOutput {
-        self.run_with(&mut Obs::disabled())
-    }
-
-    /// Runs the full simulation, recording telemetry into `obs`.
-    ///
-    /// The sink never influences the run: every record call is a pure
-    /// observation of state the engine computes anyway, so
-    /// `run_with(&mut Obs::enabled())` and `run()` produce identical
-    /// [`SimOutput`]s (pinned by the telemetry determinism tests).
-    pub fn run_with(&self, obs: &mut Obs) -> SimOutput {
-        let cfg = &self.config;
+impl EngineState {
+    /// Builds the initial engine state for `cfg`: generates the
+    /// workload, drafts every fault stream, and seeds the runtime RNGs.
+    /// This is the deterministic prefix shared by fresh runs and
+    /// restores alike.
+    pub fn new(cfg: &SimConfig, obs: &mut Obs) -> EngineState {
         let streams = RngStreams::new(cfg.seed);
         let window = cfg.window;
         let cat = obs.cat;
@@ -436,9 +556,10 @@ impl Simulator {
                 }
             }
         }
+        let initial_payload_len = payloads.len();
 
         // --- Runtime state ---------------------------------------------
-        let mut fleet = {
+        let fleet = {
             let mut rng = streams.stream(StreamTag::Susceptibility);
             Fleet::new(cfg.spare_cards, &mut rng)
         };
@@ -447,14 +568,12 @@ impl Simulator {
         } else {
             CascadeModel::disabled()
         };
-        let mut sim_rng = streams.stream(StreamTag::Simulator);
-        let mut cascade_rng = streams.stream(StreamTag::Cascade);
-        let mut spare_rng = streams.stream(StreamTag::HotSpare);
+        let sim_rng = streams.stream(StreamTag::Simulator);
+        let cascade_rng = streams.stream(StreamTag::Cascade);
+        let spare_rng = streams.stream(StreamTag::HotSpare);
 
-        let mut jobs = JobTable::new(schedule.jobs.len());
-        let mut swap_pending: Vec<bool> = vec![false; fleet.n_cards()];
-        // Scratch for the weighted job pick, reused across soft events.
-        let mut weight_scratch: Vec<f64> = Vec::new();
+        let jobs = JobTable::new(schedule.jobs.len());
+        let swap_pending: Vec<bool> = vec![false; fleet.n_cards()];
 
         let mut out = SimOutput {
             schedule_dropped: schedule.dropped,
@@ -469,11 +588,133 @@ impl Simulator {
         out.jobs.reserve(schedule.jobs.len());
         out.job_sbe.reserve(schedule.jobs.len());
 
-        // --- Event loop --------------------------------------------------
+        EngineState {
+            cfg: cfg.clone(),
+            schedule,
+            heap,
+            payloads,
+            initial_payload_len,
+            fleet,
+            cascades,
+            sim_rng,
+            cascade_rng,
+            spare_rng,
+            jobs,
+            swap_pending,
+            weight_scratch: Vec::new(),
+            out,
+            divergence_probe: None,
+        }
+    }
+
+    /// Captures the full mutable loop state at boundary `t`. The caller
+    /// must have advanced the loop to exactly `t` via
+    /// [`EngineState::run_until`] for resume identity to hold.
+    pub fn snapshot(&self, t: SimTime) -> EngineSnapshot {
+        let mut heap: Vec<(SimTime, u8, u64)> = self.heap.iter().map(|r| r.0).collect();
+        heap.sort_unstable();
+        EngineSnapshot {
+            t,
+            heap,
+            payload_tail: self
+                .payloads
+                .get(self.initial_payload_len..)
+                .unwrap_or(&[])
+                .to_vec(),
+            // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
+            initial_payload_len: self.initial_payload_len as u64,
+            fleet: self.fleet.snapshot(),
+            jobs: self.jobs.snapshot(),
+            sim_rng: self.sim_rng.state(),
+            cascade_rng: self.cascade_rng.state(),
+            spare_rng: self.spare_rng.state(),
+            swap_pending: self.swap_pending.clone(),
+            out: self.out.clone(),
+        }
+    }
+
+    /// Rebuilds a paused run from `snap`: re-runs the deterministic
+    /// setup for `cfg`, then overlays the captured loop state. Fails if
+    /// the regenerated setup does not line up with the snapshot — the
+    /// cheap tell that `cfg` is not the config the checkpoint came from.
+    pub fn restore(
+        cfg: &SimConfig,
+        snap: &EngineSnapshot,
+        obs: &mut Obs,
+    ) -> Result<EngineState, String> {
+        let mut st = EngineState::new(cfg, obs);
+        // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
+        if st.payloads.len() as u64 != snap.initial_payload_len {
+            return Err(format!(
+                "checkpoint does not match this config: setup generated {} events, \
+                 checkpoint recorded {}",
+                st.payloads.len(),
+                snap.initial_payload_len
+            ));
+        }
+        st.payloads.extend(snap.payload_tail.iter().copied());
+        st.heap = snap.heap.iter().copied().map(Reverse).collect();
+        st.fleet.restore(&snap.fleet);
+        st.jobs = JobTable::from_snapshot(&snap.jobs);
+        st.sim_rng = StdRng::from_state(snap.sim_rng);
+        st.cascade_rng = StdRng::from_state(snap.cascade_rng);
+        st.spare_rng = StdRng::from_state(snap.spare_rng);
+        st.swap_pending = snap.swap_pending.clone();
+        st.out = snap.out.clone();
+        Ok(st)
+    }
+
+    /// Arms the divergence test hook: the first event dequeued at or
+    /// after `at` burns one extra `sim_rng` draw, silently corrupting
+    /// every draw after it. Deliberately absent from [`EngineSnapshot`].
+    pub fn set_divergence_probe(&mut self, at: Option<SimTime>) {
+        self.divergence_probe = at;
+    }
+
+    /// Executes every queued event strictly before `t_stop` (pass
+    /// `SimTime::MAX` to drain the heap). Calling this repeatedly with
+    /// increasing boundaries pops the exact same event sequence as one
+    /// uninterrupted drain — the slicing only decides *when* control
+    /// returns, never *what* runs.
+    pub fn run_until(&mut self, t_stop: SimTime, obs: &mut Obs) {
         obs.phase("engine:event_loop");
-        while let Some(Reverse((t, _class, seq))) = heap.pop() {
+        let cat = obs.cat;
+        let EngineState {
+            cfg,
+            schedule,
+            heap,
+            payloads,
+            fleet,
+            cascades,
+            sim_rng,
+            cascade_rng,
+            spare_rng,
+            jobs,
+            swap_pending,
+            weight_scratch,
+            out,
+            divergence_probe,
+            ..
+        } = self;
+        let window = cfg.window;
+
+        // --- Event loop --------------------------------------------------
+        while let Some(&Reverse((t, _class, seq))) = heap.peek() {
+            if t >= t_stop {
+                break;
+            }
+            let _popped = heap.pop();
             obs.reg.inc(cat.engine.events_dequeued);
             obs.reg.set_max(cat.engine.heap_high_water, heap.len() as u64 + 1);
+            if let Some(p) = *divergence_probe {
+                if t >= p {
+                    // One stolen draw shifts every subsequent sim_rng
+                    // sample — an artificial nondeterminism for the
+                    // `ckpt bisect` acceptance test.
+                    let _burn: u64 = sim_rng.gen();
+                    *divergence_probe = None;
+                }
+            }
             if t >= window {
                 // Horizon: everything at/after the window is dropped.
                 // Jobs still running are closed at `window` after the
@@ -481,19 +722,23 @@ impl Simulator {
                 obs.reg.inc(cat.engine.events_past_horizon);
                 continue;
             }
-            let ev = payloads[seq as usize];
+            let Some(ev) = payloads.get(seq as usize).copied() else {
+                continue;
+            };
             match ev {
                 Ev::JobStart(j) => {
                     obs.reg.inc(cat.engine.ev_job_start);
-                    jobs.start(j, &schedule.jobs[j as usize], &fleet, obs);
+                    let Some(job) = schedule.jobs.get(j as usize) else {
+                        continue;
+                    };
+                    jobs.start(j, job, fleet, obs);
                     obs.reg
                         .set_max(cat.engine.active_jobs_high_water, jobs.active.len() as u64);
-                    obs.reg
-                        .observe(cat.engine.job_nodes, schedule.jobs[j as usize].nodes.len() as u64);
+                    obs.reg.observe(cat.engine.job_nodes, job.nodes.len() as u64);
                 }
                 Ev::JobEnd(j) => {
                     obs.reg.inc(cat.engine.ev_job_end);
-                    jobs.end(j, t, &schedule, &fleet, &mut out, obs);
+                    jobs.end(j, t, schedule, fleet, out, obs);
                 }
                 Ev::Dbe {
                     structure,
@@ -503,10 +748,10 @@ impl Simulator {
                 } => {
                     obs.reg.inc(cat.engine.ev_dbe);
                     obs.ts.inc(TsSeries::EvDbe, t);
-                    let slot = fleet.pick_dbe_slot(&mut sim_rng);
+                    let slot = fleet.pick_dbe_slot(sim_rng);
                     let node = fleet.node_of_slot(slot);
                     let card = fleet.card_at_slot(slot);
-                    let apid = jobs.apid_at(&schedule, node);
+                    let apid = jobs.apid_at(schedule, node);
                     let ev_id = obs.stream.mint(
                         TraceKind::EngineEvent,
                         trace,
@@ -525,7 +770,7 @@ impl Simulator {
                         .card_mut(card)
                         .apply_dbe(structure, page, persisted, retirement_active);
                     emit_console(
-                        &mut out,
+                        out,
                         obs,
                         ev_id,
                         Some(u64::from(card)),
@@ -549,7 +794,7 @@ impl Simulator {
 
                     // Crash the job and reboot the node.
                     if let Some(j) = jobs.job_at(node) {
-                        jobs.end(j, t, &schedule, &fleet, &mut out, obs);
+                        jobs.end(j, t, schedule, fleet, out, obs);
                     }
                     fleet.card_mut(card).inforom.driver_reload(persisted);
                     // The node repair/reboot is instantaneous in sim
@@ -564,21 +809,12 @@ impl Simulator {
 
                     if let RetireDecision::Retired(cause) = decision {
                         schedule_retirement(
-                            t,
-                            window,
-                            card,
-                            cause,
-                            ev_id,
-                            &mut heap,
-                            &mut payloads,
-                            &mut cascade_rng,
-                            &mut out,
-                            obs,
+                            t, window, card, cause, ev_id, heap, payloads, cascade_rng, out, obs,
                         );
                     }
 
                     // Cascade children (XID 45 and friends).
-                    let children = cascades.spawn(GpuErrorKind::DoubleBitError, &mut cascade_rng);
+                    let children = cascades.spawn(GpuErrorKind::DoubleBitError, cascade_rng);
                     obs.reg.inc(cat.faults.cascade_parents);
                     obs.reg.add(cat.faults.cascade_children, children.len() as u64);
                     obs.reg.observe(cat.faults.cascade_fanout, children.len() as u64);
@@ -598,10 +834,12 @@ impl Simulator {
                     // the swap fires (see Ev::Swap).
                     if cfg.enable_hot_spare_policy
                         && fleet.card(card).lifetime_dbe >= calibration::CARD_PULL_DBE_THRESHOLD
-                        && !swap_pending[card as usize]
+                        && !swap_pending.get(card as usize).copied().unwrap_or(true)
                         && fleet.n_spares() > 0
                     {
-                        swap_pending[card as usize] = true;
+                        if let Some(p) = swap_pending.get_mut(card as usize) {
+                            *p = true;
+                        }
                         let seq2 = payloads.len() as u64;
                         payloads.push(Ev::Swap {
                             slot,
@@ -615,12 +853,12 @@ impl Simulator {
                 Ev::Otb { trace } => {
                     obs.reg.inc(cat.engine.ev_otb);
                     obs.ts.inc(TsSeries::EvOtb, t);
-                    let Some(slot) = fleet.pick_otb_slot(&mut sim_rng) else {
+                    let Some(slot) = fleet.pick_otb_slot(sim_rng) else {
                         continue;
                     };
                     let node = fleet.node_of_slot(slot);
                     let card = fleet.card_at_slot(slot);
-                    let apid = jobs.apid_at(&schedule, node);
+                    let apid = jobs.apid_at(schedule, node);
                     fleet.mark_otb_done(card);
                     let ev_id = obs.stream.mint(
                         TraceKind::EngineEvent,
@@ -632,7 +870,7 @@ impl Simulator {
                         || "otb".to_string(),
                     );
                     emit_console(
-                        &mut out,
+                        out,
                         obs,
                         ev_id,
                         Some(u64::from(card)),
@@ -651,7 +889,7 @@ impl Simulator {
                         card,
                     });
                     if let Some(j) = jobs.job_at(node) {
-                        jobs.end(j, t, &schedule, &fleet, &mut out, obs);
+                        jobs.end(j, t, schedule, fleet, out, obs);
                     }
                     // Node reboots after repair; volatile counters clear.
                     fleet.card_mut(card).inforom.driver_reload(false);
@@ -670,7 +908,7 @@ impl Simulator {
                 } => {
                     obs.reg.inc(cat.engine.ev_sbe);
                     obs.ts.inc(TsSeries::EvSbe, t);
-                    let Some(card) = fleet.pick_sbe_card(&mut sim_rng) else {
+                    let Some(card) = fleet.pick_sbe_card(sim_rng) else {
                         continue;
                     };
                     let Some(slot) = fleet.slot_of_card(card) else {
@@ -679,8 +917,11 @@ impl Simulator {
                     let node = fleet.node_of_slot(slot);
                     // Activity thinning: busy GPUs accumulate SBEs faster
                     // (monotone but sublinear — Observation 12).
-                    let accept_p = match jobs.job_at(node) {
-                        Some(j) => schedule.jobs[j as usize]
+                    let accept_p = match jobs
+                        .job_at(node)
+                        .and_then(|j| schedule.jobs.get(j as usize))
+                    {
+                        Some(job) => job
                             .spec
                             .gpu_util
                             .powf(calibration::SBE_ACTIVITY_EXPONENT),
@@ -716,26 +957,23 @@ impl Simulator {
                     let decision = fleet
                         .card_mut(card)
                         .apply_sbe(structure, page, retirement_active);
-                    out.truth.sbe_by_card[card as usize] += 1;
-                    out.truth.sbe_by_slot[slot as usize] += 1;
+                    if let Some(c) = out.truth.sbe_by_card.get_mut(card as usize) {
+                        *c += 1;
+                    }
+                    if let Some(c) = out.truth.sbe_by_slot.get_mut(slot as usize) {
+                        *c += 1;
+                    }
                     if let Some(i) = MemoryStructure::ECC_COUNTED
                         .iter()
                         .position(|&m| m == structure)
                     {
-                        out.truth.sbe_by_structure[i] += 1;
+                        if let Some(c) = out.truth.sbe_by_structure.get_mut(i) {
+                            *c += 1;
+                        }
                     }
                     if let RetireDecision::Retired(cause) = decision {
                         schedule_retirement(
-                            t,
-                            window,
-                            card,
-                            cause,
-                            ev_id,
-                            &mut heap,
-                            &mut payloads,
-                            &mut cascade_rng,
-                            &mut out,
-                            obs,
+                            t, window, card, cause, ev_id, heap, payloads, cascade_rng, out, obs,
                         );
                     }
                 }
@@ -747,17 +985,19 @@ impl Simulator {
                     obs.reg.inc(cat.engine.ev_soft);
                     if job_wide {
                         // Strike a running job, debug runs 8x as likely.
-                        let Some(&j) = weighted_job_pick(
-                            &jobs.active,
-                            &schedule,
-                            &mut sim_rng,
-                            &mut weight_scratch,
-                        ) else {
+                        let Some(&j) =
+                            weighted_job_pick(&jobs.active, schedule, sim_rng, weight_scratch)
+                        else {
                             out.truth.software_skipped += 1;
                             obs.reg.inc(cat.engine.soft_no_target);
                             continue;
                         };
-                        let job = &schedule.jobs[j as usize];
+                        let Some(job) = schedule.jobs.get(j as usize) else {
+                            continue;
+                        };
+                        let Some(&first) = job.nodes.first() else {
+                            continue;
+                        };
                         let apid = Some(job.spec.apid);
                         let ev_id = obs.stream.mint(
                             TraceKind::EngineEvent,
@@ -778,7 +1018,7 @@ impl Simulator {
                                 sim_rng.gen_range(0..=calibration::APP_XID_NODE_SPREAD_SEC)
                             };
                             emit_console(
-                                &mut out,
+                                out,
                                 obs,
                                 ev_id,
                                 None,
@@ -793,8 +1033,7 @@ impl Simulator {
                             );
                         }
                         // Cascade consequences land on the first node.
-                        let first = job.nodes[0];
-                        let children = cascades.spawn(kind, &mut cascade_rng);
+                        let children = cascades.spawn(kind, cascade_rng);
                         obs.reg.inc(cat.faults.cascade_parents);
                         obs.reg.add(cat.faults.cascade_children, children.len() as u64);
                         obs.reg.observe(cat.faults.cascade_fanout, children.len() as u64);
@@ -805,7 +1044,10 @@ impl Simulator {
                             let target = if child.same_node || job.nodes.len() == 1 {
                                 first
                             } else {
-                                job.nodes[cascade_rng.gen_range(0..job.nodes.len())]
+                                job.nodes
+                                    .get(cascade_rng.gen_range(0..job.nodes.len()))
+                                    .copied()
+                                    .unwrap_or(first)
                             };
                             let seq2 = payloads.len() as u64;
                             payloads.push(Ev::Child {
@@ -817,22 +1059,21 @@ impl Simulator {
                             heap.push(Reverse((t + child.delay, 1, seq2)));
                         }
                         if kind.crashes_application() {
-                            jobs.end(j, t, &schedule, &fleet, &mut out, obs);
+                            jobs.end(j, t, schedule, fleet, out, obs);
                         }
                     } else {
                         // Driver-level: one node, busy nodes preferred.
-                        let node =
-                            match pick_any_job_node(&jobs.active, &schedule, &mut sim_rng) {
-                                Some(n) => n,
-                                None => {
-                                    // Idle machine: any compute node.
-                                    let slot = sim_rng
-                                        // lint: allow(N1, COMPUTE_NODES is the constant 18,688)
-                                        .gen_range(0..titan_topology::COMPUTE_NODES as u32);
-                                    fleet.node_of_slot(slot)
-                                }
-                            };
-                        let apid = jobs.apid_at(&schedule, node);
+                        let node = match pick_any_job_node(&jobs.active, schedule, sim_rng) {
+                            Some(n) => n,
+                            None => {
+                                // Idle machine: any compute node.
+                                let slot = sim_rng
+                                    // lint: allow(N1, COMPUTE_NODES is the constant 18,688)
+                                    .gen_range(0..titan_topology::COMPUTE_NODES as u32);
+                                fleet.node_of_slot(slot)
+                            }
+                        };
+                        let apid = jobs.apid_at(schedule, node);
                         let ev_id = obs.stream.mint(
                             TraceKind::EngineEvent,
                             trace,
@@ -843,7 +1084,7 @@ impl Simulator {
                             || format!("soft {kind:?}"),
                         );
                         emit_console(
-                            &mut out,
+                            out,
                             obs,
                             ev_id,
                             None,
@@ -856,7 +1097,7 @@ impl Simulator {
                                 apid,
                             },
                         );
-                        let children = cascades.spawn(kind, &mut cascade_rng);
+                        let children = cascades.spawn(kind, cascade_rng);
                         obs.reg.inc(cat.faults.cascade_parents);
                         obs.reg.add(cat.faults.cascade_children, children.len() as u64);
                         obs.reg.observe(cat.faults.cascade_fanout, children.len() as u64);
@@ -872,7 +1113,7 @@ impl Simulator {
                         }
                         if kind.crashes_application() {
                             if let Some(j) = jobs.job_at(node) {
-                                jobs.end(j, t, &schedule, &fleet, &mut out, obs);
+                                jobs.end(j, t, schedule, fleet, out, obs);
                             }
                         }
                     }
@@ -894,7 +1135,7 @@ impl Simulator {
                         || format!("cascade {kind:?}"),
                     );
                     emit_console(
-                        &mut out,
+                        out,
                         obs,
                         ev_id,
                         None,
@@ -913,7 +1154,7 @@ impl Simulator {
                     // The card may have moved to the spare pool meanwhile.
                     if let Some(slot) = fleet.slot_of_card(card) {
                         let node = fleet.node_of_slot(slot);
-                        let apid = jobs.apid_at(&schedule, node);
+                        let apid = jobs.apid_at(schedule, node);
                         let ev_id = obs.stream.mint(
                             TraceKind::EngineEvent,
                             trace,
@@ -924,7 +1165,7 @@ impl Simulator {
                             || "retire_record".to_string(),
                         );
                         emit_console(
-                            &mut out,
+                            out,
                             obs,
                             ev_id,
                             Some(u64::from(card)),
@@ -945,8 +1186,10 @@ impl Simulator {
                     // pulling anything, and clear the pending flag either
                     // way so the card can be re-scheduled later (e.g. when
                     // no spare was available at fire time).
-                    swap_pending[card as usize] = false;
-                    if !swap_fire_check(&fleet, slot, card) {
+                    if let Some(p) = swap_pending.get_mut(card as usize) {
+                        *p = false;
+                    }
+                    if !swap_fire_check(fleet, slot, card) {
                         obs.reg.inc(cat.engine.swaps_stale);
                         obs.stream.mint(
                             TraceKind::EngineEvent,
@@ -987,7 +1230,7 @@ impl Simulator {
                         let outcome = crate::hotspare::stress_test(
                             &crate::hotspare::StressTestConfig::default(),
                             fleet.susceptibility.dbe_weight(old_card as usize),
-                            &mut spare_rng,
+                            spare_rng,
                         );
                         if outcome.returned_to_vendor {
                             fleet.card_mut(old_card).return_to_vendor();
@@ -1003,21 +1246,36 @@ impl Simulator {
                 }
             }
         }
+    }
+
+    /// Closes out the run: ends horizon-straddling jobs, derives the
+    /// aprun log, takes the final fleet snapshots, and returns the
+    /// completed [`SimOutput`]. Must only be called once the heap has
+    /// been drained with `run_until(SimTime::MAX, ..)`.
+    pub fn finalize(mut self, obs: &mut Obs) -> SimOutput {
+        let cat = obs.cat;
+        let window = self.cfg.window;
 
         // End any jobs still running at the horizon.
         obs.phase("engine:finalize");
-        let still_active: Vec<u32> = jobs.active.clone();
+        let still_active: Vec<u32> = self.jobs.active.clone();
         obs.reg
             .add(cat.engine.jobs_closed_at_horizon, still_active.len() as u64);
         for j in still_active {
-            jobs.end(j, window, &schedule, &fleet, &mut out, obs);
+            self.jobs
+                .end(j, window, &self.schedule, &self.fleet, &mut self.out, obs);
         }
+        let mut out = self.out;
 
         // Aprun structure for every completed job (the ALPS log). Uses a
-        // dedicated substream so the main workload stream is untouched.
+        // dedicated substream so the main workload stream is untouched;
+        // the substream is re-derived from the seed, so a resumed run
+        // reproduces it without carrying any extra RNG state.
         {
+            let streams = RngStreams::new(self.cfg.seed);
             let mut aprun_rng = streams.substream(StreamTag::Workload, 1);
-            let is_debug: std::collections::BTreeMap<u64, bool> = schedule
+            let is_debug: std::collections::BTreeMap<u64, bool> = self
+                .schedule
                 .jobs
                 .iter()
                 .map(|j| (j.spec.apid, j.spec.is_debug))
@@ -1038,8 +1296,8 @@ impl Simulator {
         // lint: allow(N1, COMPUTE_NODES is the constant 18,688)
         out.final_snapshots = (0..titan_topology::COMPUTE_NODES as u32)
             .map(|slot| {
-                let node = fleet.node_of_slot(slot);
-                GpuSnapshot::take(node, fleet.card(fleet.card_at_slot(slot)), window)
+                let node = self.fleet.node_of_slot(slot);
+                GpuSnapshot::take(node, self.fleet.card(self.fleet.card_at_slot(slot)), window)
             })
             .collect();
 
@@ -1047,7 +1305,8 @@ impl Simulator {
             .add(cat.nvsmi.final_snapshots, out.final_snapshots.len() as u64);
         obs.reg
             .add(cat.engine.console_lines, out.console.len() as u64);
-        obs.reg.set_max(cat.engine.payload_slots, payloads.len() as u64);
+        obs.reg
+            .set_max(cat.engine.payload_slots, self.payloads.len() as u64);
 
         out.console.sort_by_key(|e| e.time);
         out.jobs.sort_by_key(|j| j.start);
@@ -1063,13 +1322,49 @@ impl Simulator {
     }
 }
 
+/// The fleet simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator; the config must validate.
+    pub fn new(config: SimConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Simulator { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the full simulation.
+    pub fn run(&self) -> SimOutput {
+        self.run_with(&mut Obs::disabled())
+    }
+
+    /// Runs the full simulation, recording telemetry into `obs`.
+    ///
+    /// The sink never influences the run: every record call is a pure
+    /// observation of state the engine computes anyway, so
+    /// `run_with(&mut Obs::enabled())` and `run()` produce identical
+    /// [`SimOutput`]s (pinned by the telemetry determinism tests).
+    pub fn run_with(&self, obs: &mut Obs) -> SimOutput {
+        let mut st = EngineState::new(&self.config, obs);
+        st.run_until(SimTime::MAX, obs);
+        st.finalize(obs)
+    }
+}
+
 /// Reported per-structure SBE vector for the card on `node`.
 fn reported_sbe_vector(fleet: &Fleet, node: NodeId) -> [u64; 5] {
     let mut v = [0u64; 5];
     if let Some(slot) = node_to_gpu_index(node) {
         let card = fleet.card(fleet.card_at_slot(slot));
-        for (i, &s) in MemoryStructure::ECC_COUNTED.iter().enumerate() {
-            v[i] = card.inforom.reported_sbe(s);
+        for (slot_v, &s) in v.iter_mut().zip(MemoryStructure::ECC_COUNTED.iter()) {
+            *slot_v = card.inforom.reported_sbe(s);
         }
     }
     v
@@ -1103,10 +1398,9 @@ fn weighted_job_pick<'a>(
     }
     weights.clear();
     weights.extend(active.iter().map(|&j| {
-        if schedule.jobs[j as usize].spec.is_debug {
-            20.0
-        } else {
-            1.0
+        match schedule.jobs.get(j as usize) {
+            Some(job) if job.spec.is_debug => 20.0,
+            _ => 1.0,
         }
     }));
     let total: f64 = weights.iter().sum();
@@ -1129,9 +1423,12 @@ fn pick_any_job_node(
     if active.is_empty() {
         return None;
     }
-    let j = active[rng.gen_range(0..active.len())];
-    let nodes = &schedule.jobs[j as usize].nodes;
-    Some(nodes[rng.gen_range(0..nodes.len())])
+    let j = active.get(rng.gen_range(0..active.len())).copied()?;
+    let nodes = &schedule.jobs.get(j as usize)?.nodes;
+    if nodes.is_empty() {
+        return None;
+    }
+    nodes.get(rng.gen_range(0..nodes.len())).copied()
 }
 
 /// Pushes a console line, mirroring it into the flight recorder and the
@@ -1181,12 +1478,13 @@ fn schedule_retirement(
                 (true, rng.gen_range(600..21_600))
             } else {
                 // Prompt: exponential with the calibrated mean, capped
-                // inside the 10-minute bucket.
+                // inside the 10-minute bucket. The mean is a positive
+                // constant, so the fallback branch never runs.
                 let d = titan_stats::Exponential::new(
                     1.0 / calibration::RETIRE_AFTER_DBE_MEAN_DELAY_SEC,
                 )
-                .expect("positive mean")
-                .sample(rng)
+                .map(|e| e.sample(rng))
+                .unwrap_or(calibration::RETIRE_AFTER_DBE_MEAN_DELAY_SEC)
                 .min(590.0) as u64; // lint: allow(N1, clamped to ≤ 590 before the cast)
                 (true, d.max(1))
             }
@@ -1641,5 +1939,78 @@ mod tests {
             assert!(seen.insert(o.card), "card {} had two OTBs", o.card);
         }
         assert!(!out.truth.otb.is_empty(), "no OTB in 120 epidemic days");
+    }
+
+    /// Checkpoint contract, engine level: pausing at a boundary,
+    /// snapshotting, restoring into a fresh state, and finishing must
+    /// equal the uninterrupted run exactly (the binary-level byte
+    /// identity tests build on this).
+    #[test]
+    fn snapshot_resume_is_identical() {
+        let cfg = SimConfig::quick(30, 7);
+        let full = Simulator::new(cfg.clone()).expect("valid config").run();
+
+        let t = 10 * 86_400;
+        let mut st = EngineState::new(&cfg, &mut Obs::disabled());
+        st.run_until(t, &mut Obs::disabled());
+        let snap = st.snapshot(t);
+        assert_eq!(snap.sim_time(), t);
+
+        let mut resumed =
+            EngineState::restore(&cfg, &snap, &mut Obs::disabled()).expect("restore");
+        resumed.run_until(SimTime::MAX, &mut Obs::disabled());
+        let out = resumed.finalize(&mut Obs::disabled());
+        assert_eq!(full, out);
+    }
+
+    /// Snapshots chain: a snapshot taken later in a resumed run equals
+    /// the snapshot the uninterrupted run takes at the same boundary —
+    /// this is what lets `ckpt bisect` compare per-interval digests from
+    /// two independent runs.
+    #[test]
+    fn snapshot_after_resume_matches_run_through() {
+        let cfg = SimConfig::quick(30, 11);
+        let t1 = 8 * 86_400;
+        let t2 = 16 * 86_400;
+
+        let mut a = EngineState::new(&cfg, &mut Obs::disabled());
+        a.run_until(t1, &mut Obs::disabled());
+        let snap1 = a.snapshot(t1);
+        a.run_until(t2, &mut Obs::disabled());
+        let direct = a.snapshot(t2);
+
+        let mut b = EngineState::restore(&cfg, &snap1, &mut Obs::disabled()).expect("restore");
+        b.run_until(t2, &mut Obs::disabled());
+        let resumed = b.snapshot(t2);
+        assert_eq!(direct, resumed);
+    }
+
+    /// Restore must refuse a snapshot taken under a different config:
+    /// the regenerated setup would not line up with the captured tail.
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let cfg = SimConfig::quick(10, 7);
+        let mut st = EngineState::new(&cfg, &mut Obs::disabled());
+        st.run_until(86_400, &mut Obs::disabled());
+        let snap = st.snapshot(86_400);
+
+        let other = SimConfig::quick(40, 7);
+        let err = EngineState::restore(&other, &snap, &mut Obs::disabled());
+        assert!(err.is_err(), "restore accepted a mismatched config");
+    }
+
+    /// The divergence probe visibly corrupts the run (it steals one RNG
+    /// draw), and a resumed run does not repeat the burn — the injected
+    /// nondeterminism `ckpt bisect` exists to localize.
+    #[test]
+    fn divergence_probe_changes_the_output() {
+        let cfg = SimConfig::quick(30, 13);
+        let base = Simulator::new(cfg.clone()).expect("valid config").run();
+
+        let mut st = EngineState::new(&cfg, &mut Obs::disabled());
+        st.set_divergence_probe(Some(5 * 86_400));
+        st.run_until(SimTime::MAX, &mut Obs::disabled());
+        let diverged = st.finalize(&mut Obs::disabled());
+        assert_ne!(base.console, diverged.console);
     }
 }

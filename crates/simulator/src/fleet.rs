@@ -7,6 +7,7 @@
 //! undergo further rigorous testing in a hot-spare cluster …)".
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use titan_faults::susceptibility::{CardSusceptibility, SbeAliasSampler};
 use titan_gpu::{CardSerial, GpuCard};
 use titan_stats::WeightedAlias;
@@ -169,6 +170,48 @@ impl Fleet {
         }
         self.sbe_picker.as_ref().map(|p| p.sample(rng) as u32)
     }
+
+    /// Captures placement, spare pool, and per-card wear for a
+    /// checkpoint.
+    pub(crate) fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            cards: self.cards.clone(),
+            slot_card: self.slot_card.clone(),
+            card_slot: self.card_slot.clone(),
+            spares: self.spares.clone(),
+            otb_done: self.otb_done.clone(),
+        }
+    }
+
+    /// Overlays a snapshot onto a freshly generated fleet. The cached
+    /// pickers are dropped (they are deterministic functions of the
+    /// overlaid placement state and rebuild lazily), and susceptibility
+    /// / thermal stay as generated — they are pure functions of the
+    /// seed, never mutated.
+    pub(crate) fn restore(&mut self, s: &FleetSnapshot) {
+        self.cards = s.cards.clone();
+        self.slot_card = s.slot_card.clone();
+        self.card_slot = s.card_slot.clone();
+        self.spares = s.spares.clone();
+        self.otb_done = s.otb_done.clone();
+        self.dbe_picker = None;
+        self.otb_picker = None;
+        self.sbe_picker = None;
+    }
+}
+
+/// Portable [`Fleet`] state for checkpointing: everything the event loop
+/// mutates. Susceptibility, the thermal model, and the cached alias
+/// samplers are deliberately absent — the first two are regenerated from
+/// the seed by [`Fleet::new`], and the samplers are lazy caches over the
+/// fields captured here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct FleetSnapshot {
+    cards: Vec<GpuCard>,
+    slot_card: Vec<u32>,
+    card_slot: Vec<Option<u32>>,
+    spares: Vec<u32>,
+    otb_done: Vec<bool>,
 }
 
 #[cfg(test)]

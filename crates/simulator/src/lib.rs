@@ -42,7 +42,7 @@ pub mod hotspare;
 pub mod output;
 
 pub use config::SimConfig;
-pub use engine::Simulator;
+pub use engine::{EngineSnapshot, EngineState, Simulator};
 pub use fleet::Fleet;
 pub use hotspare::{stress_test, StressOutcome, StressTestConfig};
 pub use output::{GroundTruth, SimOutput};

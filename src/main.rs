@@ -54,6 +54,7 @@ fn main() -> ExitCode {
         "replicate" => replicate(&args[1..]),
         "profile" => profile(&args[1..]),
         "trace" => trace_cmd(&args[1..]),
+        "ckpt" => ckpt_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -75,11 +76,18 @@ commands:
   taxonomy                          print Tables 1 & 2 (the XID taxonomy)
   run   [--days N] [--seed S] [--metrics FILE] [--trace FILE]
         [--span-capacity N]
+        [--checkpoint-every SECS --ckpt-dir DIR] [--from-checkpoint FILE]
                                     simulate and print the full report;
                                     --metrics writes the sim-time telemetry
                                     document (stable JSON, seed-deterministic);
                                     --trace writes the titan-trace/1 causal
-                                    flight-recorder JSONL
+                                    flight-recorder JSONL;
+                                    --checkpoint-every freezes the full machine
+                                    state into DIR/ckpt-NNNNNN.json (titan-ckpt/1,
+                                    hash-chained) every SECS sim seconds;
+                                    --from-checkpoint resumes one and reproduces
+                                    the run-through output byte for byte (use the
+                                    same --metrics/--trace flags as the original)
   check [--days N] [--seed S] [--metrics FILE] [--json FILE]
         [--span-capacity N]
                                     run the paper-shape checks; exit 1 on FAIL;
@@ -111,6 +119,12 @@ commands:
                                     summarize prints per-kind counts; show
                                     prints matching records; --chrome exports
                                     Chrome trace events (open in Perfetto)
+  ckpt <verify|bisect> ...
+                                    verify FILE: recompute a checkpoint's chained
+                                    digest and report its provenance;
+                                    bisect DIR_A DIR_B: compare two runs'
+                                    checkpoint chains and report the first
+                                    interval whose chained digest diverges
 
 Without --days the full 21-month study window runs (~2 min in release).";
 
@@ -123,6 +137,21 @@ struct Opts {
     json: Option<String>,
     trace: Option<String>,
     span_capacity: Option<usize>,
+    checkpoint_every: Option<u64>,
+    ckpt_dir: Option<String>,
+    from_checkpoint: Option<String>,
+    inject_divergence: Option<u64>,
+}
+
+impl Opts {
+    /// True when any checkpoint/restore flag was given (only `run`
+    /// accepts them).
+    fn any_checkpoint_flag(&self) -> bool {
+        self.checkpoint_every.is_some()
+            || self.ckpt_dir.is_some()
+            || self.from_checkpoint.is_some()
+            || self.inject_divergence.is_some()
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -134,6 +163,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         json: None,
         trace: None,
         span_capacity: None,
+        checkpoint_every: None,
+        ckpt_dir: None,
+        from_checkpoint: None,
+        inject_divergence: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -173,6 +206,29 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     return Err("--span-capacity must be at least 1".into());
                 }
                 opts.span_capacity = Some(n);
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs sim seconds")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--checkpoint-every: `{v}` is not a positive integer"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1 sim second".into());
+                }
+                opts.checkpoint_every = Some(n);
+            }
+            "--ckpt-dir" => {
+                opts.ckpt_dir = Some(it.next().ok_or("--ckpt-dir needs a directory")?.clone());
+            }
+            "--from-checkpoint" => {
+                opts.from_checkpoint =
+                    Some(it.next().ok_or("--from-checkpoint needs a file")?.clone());
+            }
+            "--inject-divergence" => {
+                let v = it.next().ok_or("--inject-divergence needs sim seconds")?;
+                opts.inject_divergence = Some(v.parse().map_err(|_| {
+                    format!("--inject-divergence: `{v}` is not a non-negative integer")
+                })?);
             }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -274,24 +330,191 @@ fn print_kind(k: GpuErrorKind) {
     println!("  {xid}  {}", k.description());
 }
 
+/// Builds the `--ckpt-dir` writer: each sealed checkpoint document goes
+/// to `DIR/ckpt-<index>.json` the moment its boundary is reached.
+/// Progress chatter goes to **stderr** so stdout stays byte-comparable
+/// between checkpointed, plain, and resumed runs.
+fn checkpoint_sink(
+    dir: Option<String>,
+) -> Result<impl FnMut(&titan_runner::CheckpointDoc) -> Result<(), String>, String> {
+    if let Some(d) = &dir {
+        std::fs::create_dir_all(d).map_err(|e| format!("create {d}: {e}"))?;
+    }
+    Ok(move |doc: &titan_runner::CheckpointDoc| {
+        let Some(d) = &dir else { return Ok(()) };
+        let path = format!("{d}/ckpt-{:06}.json", doc.index);
+        std::fs::write(&path, titan_runner::render_checkpoint(doc))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "checkpoint {:>3}  t = {:>10} s  digest {:016x}  -> {path}",
+            doc.index, doc.t, doc.digest
+        );
+        Ok(())
+    })
+}
+
+/// The shared tail of every `run` variant: collect telemetry, print the
+/// report, write the artifacts. Identical on the straight-through,
+/// checkpointing, and resumed paths — that is what makes their stdout,
+/// metrics, and trace byte-comparable.
+fn finish_run(
+    study: &titan_gpu_reliability::study::CompletedStudy,
+    obs: &mut Obs,
+    opts: &Opts,
+    seed: u64,
+    window: u64,
+) -> Result<ExitCode, String> {
+    let doc = if obs.is_enabled() || obs.trace_enabled() {
+        obs.phase("cli:collect_metrics");
+        let doc = titan_runner::collect_metrics(&study.sim, seed, window, obs);
+        obs.is_enabled().then_some(doc)
+    } else {
+        None
+    };
+    println!("{}", full_report(study));
+    if let (Some(path), Some(doc)) = (&opts.metrics, &doc) {
+        write_text(path, &doc.to_json())?;
+    }
+    if let Some(path) = &opts.trace {
+        write_text(path, &obs.stream.render_jsonl(seed, window / 86_400))?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.json.is_some() {
         return Err("--json applies to `check` and `profile` only".into());
     }
+    if opts.checkpoint_every.is_some() != opts.ckpt_dir.is_some() {
+        return Err("--checkpoint-every and --ckpt-dir must be given together".into());
+    }
+    if opts.inject_divergence.is_some()
+        && opts.checkpoint_every.is_none()
+        && opts.from_checkpoint.is_none()
+    {
+        return Err(
+            "--inject-divergence is for validating `ckpt bisect`; combine it with \
+             --checkpoint-every or --from-checkpoint"
+                .into(),
+        );
+    }
+    let every = opts.checkpoint_every.unwrap_or(0);
+
+    // Resume: the checkpoint carries the full configuration.
+    if let Some(path) = &opts.from_checkpoint {
+        if opts.days.is_some() || opts.seed.is_some() {
+            return Err(
+                "--from-checkpoint carries its own configuration; drop --days/--seed".into(),
+            );
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let ck = titan_runner::parse_checkpoint(&text)?;
+        let seed = ck.seed;
+        let window = ck.config.sim.window;
+        eprintln!(
+            "resuming from checkpoint {} (t = {} s, digest {:016x})",
+            ck.index, ck.t, ck.digest
+        );
+        let mut obs = build_obs(&opts, opts.metrics.is_some());
+        let sink = checkpoint_sink(opts.ckpt_dir.clone())?;
+        let study =
+            titan_runner::resume_checkpointed(&ck, every, opts.inject_divergence, &mut obs, sink)?;
+        return finish_run(&study, &mut obs, &opts, seed, window);
+    }
+
     let config = study_config(&opts)?;
     let seed = config.sim.seed;
-    let window_days = config.sim.window / 86_400;
+    let window = config.sim.window;
     let mut obs = build_obs(&opts, opts.metrics.is_some());
-    let (study, doc) = run_study(config, &mut obs);
-    println!("{}", full_report(&study));
-    if let (Some(path), Some(doc)) = (&opts.metrics, &doc) {
-        write_text(path, &doc.to_json())?;
+
+    // Checkpointing run: the runner drives the engine in boundary-sized
+    // steps; output is byte-identical to the plain path below.
+    if every > 0 {
+        let sink = checkpoint_sink(opts.ckpt_dir.clone())?;
+        let study =
+            titan_runner::run_checkpointed(&config, every, opts.inject_divergence, &mut obs, sink)?;
+        return finish_run(&study, &mut obs, &opts, seed, window);
     }
-    if let Some(path) = &opts.trace {
-        write_text(path, &obs.stream.render_jsonl(seed, window_days))?;
+
+    let study = Study::new(config).run_with_obs(&mut obs);
+    finish_run(&study, &mut obs, &opts, seed, window)
+}
+
+/// The `ckpt` subcommand: offline tooling over `titan-ckpt/1` files.
+fn ckpt_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let Some(mode) = args.first() else {
+        return Err(format!("ckpt needs a mode (verify | bisect)\n{USAGE}"));
+    };
+    match mode.as_str() {
+        "verify" => {
+            let [_, file] = args else {
+                return Err("usage: ckpt verify FILE".into());
+            };
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+            let doc = titan_runner::parse_checkpoint(&text)?;
+            println!(
+                "{file}: checkpoint {} of seed {} ({} days), t = {} s, digest {:016x} \
+                 (chained over {:016x}) — digest OK",
+                doc.index, doc.seed, doc.window_days, doc.t, doc.digest, doc.prev_digest
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "bisect" => {
+            let [_, dir_a, dir_b] = args else {
+                return Err("usage: ckpt bisect DIR_A DIR_B".into());
+            };
+            let a = load_checkpoint_chain(dir_a)?;
+            let b = load_checkpoint_chain(dir_b)?;
+            println!(
+                "run A: {} checkpoints ({dir_a}), run B: {} checkpoints ({dir_b})",
+                a.len(),
+                b.len()
+            );
+            let report = titan_runner::bisect(&a, &b)?;
+            match report.divergence {
+                Some(d) => {
+                    println!(
+                        "first divergence at checkpoint {}: the runs diverged in \
+                         ({} s, {} s] — chained digests agree through t = {} s",
+                        d.index, d.t_lo, d.t_hi, d.t_lo
+                    );
+                }
+                None => {
+                    println!(
+                        "chains agree through all {} compared checkpoints — no divergence",
+                        report.compared
+                    );
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown ckpt mode `{other}`\n{USAGE}")),
     }
-    Ok(ExitCode::SUCCESS)
+}
+
+/// Loads every `ckpt-*.json` in `dir`, digest-verifying each, sorted by
+/// checkpoint index.
+fn load_checkpoint_chain(dir: &str) -> Result<Vec<titan_runner::CheckpointDoc>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("ckpt-") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("{dir}: no ckpt-*.json checkpoint files"));
+    }
+    let mut docs = Vec::new();
+    for name in names {
+        let path = format!("{dir}/{name}");
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+        docs.push(titan_runner::parse_checkpoint(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    docs.sort_by_key(|d| d.index);
+    Ok(docs)
 }
 
 /// One line of the `check --json` document.
@@ -319,6 +542,9 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.trace.is_some() {
         return Err("--trace applies to `run` and `replicate` only".into());
+    }
+    if opts.any_checkpoint_flag() {
+        return Err("checkpoint flags apply to `run` only".into());
     }
     let config = study_config(&opts)?;
     let seed = config.sim.seed;
@@ -412,7 +638,7 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
         }
     };
     let threads = threads.unwrap_or_else(titan_runner::recommended_threads);
-    let mut opts = titan_runner::ReplicateOptions::consecutive(base, base_seed, n, threads);
+    let mut opts = titan_runner::ReplicateOptions::consecutive(base, base_seed, n, threads)?;
     opts.skip_expectations = skip_expectations;
     opts.collect_obs = metrics.is_some();
     opts.collect_trace = trace_dir.is_some();
@@ -496,7 +722,7 @@ struct ProfileDoc {
 
 fn profile(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
-    if opts.out.is_some() || opts.trace.is_some() {
+    if opts.out.is_some() || opts.trace.is_some() || opts.any_checkpoint_flag() {
         return Err("profile takes --days / --seed / --metrics / --json only".into());
     }
     let config = study_config(&opts)?;
@@ -685,7 +911,9 @@ fn trace_cmd(args: &[String]) -> Result<ExitCode, String> {
 
 fn logs(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
-    if opts.metrics.is_some() || opts.json.is_some() || opts.trace.is_some() {
+    if opts.metrics.is_some() || opts.json.is_some() || opts.trace.is_some()
+        || opts.any_checkpoint_flag()
+    {
         return Err("logs takes --days / --seed / --out only".into());
     }
     let out_dir = opts.out.clone().ok_or("logs requires --out DIR")?;

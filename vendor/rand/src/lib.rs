@@ -284,6 +284,28 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The full 256-bit internal state, for checkpointing. Feeding
+        /// the returned words back through [`StdRng::from_state`] yields
+        /// a generator that continues the exact same output stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator mid-stream from [`StdRng::state`] words.
+        /// The all-zero fixed point is rejected the same way
+        /// `from_seed` rejects it, so a corrupted checkpoint cannot
+        /// wedge the engine.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 

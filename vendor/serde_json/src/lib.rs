@@ -273,17 +273,13 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            let rest = &self.bytes[self.pos..];
-            let text = std::str::from_utf8(rest)
-                .map_err(|_| Error("invalid UTF-8 in string".into()))?;
-            let mut chars = text.char_indices();
-            match chars.next() {
+            match self.peek() {
                 None => return Err(Error("unterminated string".into())),
-                Some((_, '"')) => {
+                Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
                 }
-                Some((_, '\\')) => {
+                Some(b'\\') => {
                     self.pos += 1;
                     match self.peek() {
                         Some(b'"') => out.push('"'),
@@ -319,9 +315,21 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some((i, c)) => {
-                    out.push(c);
-                    self.pos += i + c.len_utf8();
+                Some(_) => {
+                    // Consume the maximal run of plain bytes (everything
+                    // up to the next quote or escape) and validate that
+                    // run once. Validating from `pos` to the *end of
+                    // input* per character — the previous shape — made
+                    // parsing quadratic in document size, which
+                    // multi-megabyte checkpoint documents turned into
+                    // minutes of CPU.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    out.push_str(chunk);
                 }
             }
         }
@@ -407,6 +415,20 @@ mod tests {
             &Value::Array(vec![Value::UInt(1), Value::Int(-2), Value::Float(3.5)])
         );
         assert_eq!(v.get_field("c").get_field("d"), &Value::Str("x".into()));
+    }
+
+    #[test]
+    fn long_and_multibyte_strings_roundtrip() {
+        // The chunked fast path: plain runs, escapes at both ends, and
+        // multibyte UTF-8 interleaved.
+        let s = format!("é{}\"tail\\é", "x".repeat(10_000));
+        let json = to_string(&s.as_str()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // Invalid UTF-8 inside a string is rejected, not mangled.
+        let mut bytes = json.into_bytes();
+        bytes[5] = 0xFF;
+        assert!(std::str::from_utf8(&bytes).is_err());
     }
 
     #[test]
