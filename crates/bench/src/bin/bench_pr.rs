@@ -1,0 +1,464 @@
+//! `bench_pr` — machine-readable performance snapshot for the PR
+//! trajectory: single-run wall time + events/sec, replication scaling
+//! (threaded vs sequential multi-seed fan-out), and the overhead of
+//! the metrics and health observability layers. Generalizes the old
+//! `bench_pr2` binary: `--pr N` stamps the snapshot and picks the
+//! default output name, so each PR commits its own `BENCH_PR<N>.json`
+//! and the throughput gate can diff against the previous one.
+//!
+//! ```text
+//! cargo run --release -p titan-bench --bin bench_pr -- \
+//!     [--quick] [--pr N] [--out FILE] \
+//!     [--gate-metrics-overhead PCT] [--gate-health-overhead PCT] \
+//!     [--gate-throughput-regression PCT]
+//! ```
+//!
+//! `--quick` shrinks the windows so CI can afford the run; the JSON
+//! schema is identical, with `"mode"` marking which one produced it.
+//! The speedup number is only meaningful on multi-core hosts, so the
+//! report records both `host_cores_detected` (what the machine has)
+//! and `pool_threads` (what the pool actually uses — the
+//! `TITAN_NUM_THREADS` override wins when set).
+//!
+//! Gates (each exits nonzero on breach; CI wires all three):
+//! - `--gate-metrics-overhead PCT`: metrics-on wall time vs metrics-off
+//!   (min-of-3 each) must stay within PCT percent.
+//! - `--gate-health-overhead PCT`: same contract for the health sink —
+//!   the online analytics must stay near-free.
+//! - `--gate-throughput-regression PCT`: `events_per_sec` must not drop
+//!   more than PCT percent below the highest-numbered committed
+//!   `BENCH_PR*.json` baseline. The baseline is read *before* the new
+//!   snapshot is written, so regenerating in place still compares
+//!   against the committed bytes. Baselines from a different `mode`
+//!   (full vs quick) are incomparable and skip the gate with a note.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use titan_reliability::StudyConfig;
+use titan_runner::{replicate, run_seed, run_seed_full, run_seed_obs, ReplicateOptions};
+use titan_sim::{SimConfig, Simulator};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut pr: u64 = 8;
+    let mut out_path: Option<String> = None;
+    let mut gate_metrics: Option<f64> = None;
+    let mut gate_health: Option<f64> = None;
+    let mut gate_throughput: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--pr" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => pr = n,
+                _ => {
+                    eprintln!("--pr needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--gate-metrics-overhead" => match parse_pct(it.next()) {
+                Some(p) => gate_metrics = Some(p),
+                None => {
+                    eprintln!("--gate-metrics-overhead needs a non-negative percent");
+                    return ExitCode::from(2);
+                }
+            },
+            "--gate-health-overhead" => match parse_pct(it.next()) {
+                Some(p) => gate_health = Some(p),
+                None => {
+                    eprintln!("--gate-health-overhead needs a non-negative percent");
+                    return ExitCode::from(2);
+                }
+            },
+            "--gate-throughput-regression" => match parse_pct(it.next()) {
+                Some(p) => gate_throughput = Some(p),
+                None => {
+                    eprintln!("--gate-throughput-regression needs a non-negative percent");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (expected --quick, --pr N, --out FILE, \
+                     --gate-metrics-overhead PCT, --gate-health-overhead PCT, \
+                     --gate-throughput-regression PCT)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
+    let gates = Gates {
+        metrics: gate_metrics,
+        health: gate_health,
+        throughput: gate_throughput,
+    };
+    match emit(quick, pr, &out_path, &gates) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_pr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_pct(arg: Option<&String>) -> Option<f64> {
+    match arg.map(|v| v.parse::<f64>()) {
+        Some(Ok(p)) if p >= 0.0 => Some(p),
+        _ => None,
+    }
+}
+
+struct Gates {
+    metrics: Option<f64>,
+    health: Option<f64>,
+    throughput: Option<f64>,
+}
+
+/// One interleaved overhead measurement: minimum walls for the plain,
+/// metrics-on, and health-on variants, plus the noise floor the host
+/// exhibited (relative gap between two independent minima of the same
+/// plain workload).
+struct OverheadMeasure {
+    off: f64,
+    on: f64,
+    health: f64,
+    noise_pct: f64,
+    metrics_pct: f64,
+    health_pct: f64,
+}
+
+/// Minimum wall time over `n` runs of `f` — min, not mean, because
+/// scheduling noise only ever adds time.
+fn min_wall<T>(n: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("n >= 1"))
+}
+
+/// The committed throughput baseline: the highest-numbered
+/// `BENCH_PR<N>.json` in the working directory, read before the new
+/// snapshot overwrites it. Returns `(path, mode, events_per_sec)`.
+fn read_baseline() -> Option<(String, String, f64)> {
+    let mut best: Option<(u64, String)> = None;
+    let entries = std::fs::read_dir(".").ok()?;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(num) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if !best.as_ref().is_some_and(|(b, _)| num <= *b) {
+            best = Some((num, name));
+        }
+    }
+    let (_, path) = best?;
+    let text = std::fs::read_to_string(&path).ok()?;
+    let mode = json_str_field(&text, "mode")?;
+    let eps = json_num_field(&text, "events_per_sec")?;
+    Some((path, mode, eps))
+}
+
+/// Pulls `"key": "value"` out of the snapshot JSON. The snapshots are
+/// emitted by this binary with a fixed shape, so a substring scan is
+/// enough — no JSON parser dependency.
+fn json_str_field(text: &str, key: &str) -> Option<String> {
+    let tail = text.split_once(&format!("\"{key}\": \""))?.1;
+    Some(tail.split_once('"')?.0.to_string())
+}
+
+/// Pulls `"key": number` out of the snapshot JSON.
+fn json_num_field(text: &str, key: &str) -> Option<f64> {
+    let tail = text.split_once(&format!("\"{key}\": "))?.1;
+    let end = tail.find([',', '\n', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn emit(quick: bool, pr: u64, out_path: &str, gates: &Gates) -> Result<(), String> {
+    // Read the committed baseline before anything touches the file.
+    let baseline = read_baseline();
+
+    let seed = 0xBE4C;
+    // Single-run measurement: the full study window unless --quick.
+    let single_cfg = if quick {
+        SimConfig::quick(30, seed)
+    } else {
+        SimConfig::default()
+    };
+    let single_days = single_cfg.window / 86_400;
+    // Quick mode is cheap enough to take the min of three runs, which
+    // is what the throughput regression gate compares — a single
+    // sample would hand the gate straight to scheduler noise. Full
+    // mode's 21-month window stays single-shot.
+    let single_runs = if quick { 3 } else { 1 };
+    let (single_wall, output) = min_wall(single_runs, || {
+        let sim = Simulator::new(single_cfg.clone()).expect("bench sim config");
+        sim.run()
+    });
+
+    // "Events" = everything the loop dequeued that left a trace: job
+    // starts+ends, every console line, and every SBE draw (accepted or
+    // thinned). An honest floor on heap traffic, stable across PRs.
+    let sbe_total: u64 = output.truth.sbe_by_card.iter().sum();
+    let events = output.console.len() as u64
+        + 2 * output.jobs.len() as u64
+        + sbe_total
+        + output.truth.sbe_rejected;
+    let events_per_sec = events as f64 / single_wall.max(1e-9);
+
+    // Replication scaling: the same seed set sequentially and threaded.
+    // Short windows even in full mode — scaling is a ratio, it does not
+    // need the 21-month window the wall-time number above uses.
+    let rep_days = if quick { 10 } else { 60 };
+    let rep_seeds = 4u64;
+    let base = StudyConfig::quick(rep_days, seed);
+    let mut seq_opts = ReplicateOptions::consecutive(base.clone(), seed, rep_seeds, 1)?;
+    seq_opts.skip_expectations = true;
+    let t1 = Instant::now();
+    let seq = replicate(&seq_opts)?;
+    let seq_wall = t1.elapsed().as_secs_f64();
+
+    let par_threads = titan_runner::recommended_threads().min(rep_seeds as usize).max(1);
+    let mut par_opts = ReplicateOptions::consecutive(base.clone(), seed, rep_seeds, par_threads)?;
+    par_opts.skip_expectations = true;
+    let t2 = Instant::now();
+    let par = replicate(&par_opts)?;
+    let par_wall = t2.elapsed().as_secs_f64();
+
+    // Byte-identity across widths, and against a direct run.
+    let digests_match = seq.runs == par.runs
+        && seq
+            .runs
+            .iter()
+            .all(|r| run_seed(&base, r.seed, true).output_digest == r.output_digest);
+    if !digests_match {
+        return Err("replication digests diverged between thread widths".into());
+    }
+
+    // Observer overhead: see [`measure_overheads`]. The first
+    // measurement lands in the committed snapshot; the gates below may
+    // re-measure on a breach.
+    let ov_days = if quick { 30 } else { 60 };
+    let ov_cfg = StudyConfig::quick(ov_days, seed);
+    let runs_each = 5;
+    let ov = measure_overheads(&ov_cfg, seed, runs_each)?;
+
+    let host_cores_detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool_threads = rayon::current_num_threads();
+    let mode = if quick { "quick" } else { "full" };
+    let json = format!(
+        "{{\n  \"pr\": {pr},\n  \"mode\": \"{mode}\",\n  \
+         \"host_cores_detected\": {host_cores_detected},\n  \
+         \"pool_threads\": {pool_threads},\n  \
+         \"single_run\": {{\n    \"window_days\": {single_days},\n    \"seed\": {seed},\n    \
+         \"wall_seconds\": {single_wall:.3},\n    \"events\": {events},\n    \
+         \"events_per_sec\": {events_per_sec:.0},\n    \
+         \"console_events\": {console},\n    \"jobs\": {jobs},\n    \
+         \"sbe_total\": {sbe_total}\n  }},\n  \
+         \"replication\": {{\n    \"window_days\": {rep_days},\n    \"seeds\": {rep_seeds},\n    \
+         \"sequential_wall_seconds\": {seq_wall:.3},\n    \
+         \"parallel_threads\": {par_threads},\n    \
+         \"parallel_wall_seconds\": {par_wall:.3},\n    \
+         \"speedup\": {speedup:.2},\n    \"digests_match\": true\n  }},\n  \
+         \"metrics_overhead\": {{\n    \"window_days\": {ov_days},\n    \
+         \"runs_each\": {runs_each},\n    \
+         \"off_wall_seconds\": {off_floor:.3},\n    \
+         \"on_wall_seconds\": {on_wall:.3},\n    \
+         \"overhead_pct\": {metrics_overhead_pct:.2},\n    \
+         \"noise_floor_pct\": {noise_pct:.2},\n    \"digests_match\": true\n  }},\n  \
+         \"health_overhead\": {{\n    \"window_days\": {ov_days},\n    \
+         \"runs_each\": {runs_each},\n    \
+         \"off_wall_seconds\": {off_floor:.3},\n    \
+         \"on_wall_seconds\": {health_wall:.3},\n    \
+         \"overhead_pct\": {health_overhead_pct:.2},\n    \
+         \"noise_floor_pct\": {noise_pct:.2},\n    \"digests_match\": true\n  }}\n}}\n",
+        console = output.console.len(),
+        jobs = output.jobs.len(),
+        speedup = seq_wall / par_wall.max(1e-9),
+        off_floor = ov.off,
+        on_wall = ov.on,
+        health_wall = ov.health,
+        metrics_overhead_pct = ov.metrics_pct,
+        health_overhead_pct = ov.health_pct,
+        noise_pct = ov.noise_pct,
+    );
+    std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    // Gate evaluation with breach-retry: a wall-clock breach only
+    // counts after it reproduces on GATE_ATTEMPTS independent
+    // measurements — transient host noise almost never repeats, a real
+    // regression always does. Each retry re-measures from scratch
+    // (fresh noise floor included), and each individual check also
+    // widens its gate to the noise floor the host actually exhibited.
+    const GATE_ATTEMPTS: usize = 3;
+    if gates.metrics.is_some() || gates.health.is_some() {
+        let mut cur = ov;
+        for attempt in 1..=GATE_ATTEMPTS {
+            let breach = overhead_breach(&cur, gates);
+            match breach {
+                None => {
+                    println!(
+                        "metrics overhead {:.2}%, health overhead {:.2}% \
+                         (noise floor {:.2}%) — gates clear",
+                        cur.metrics_pct, cur.health_pct, cur.noise_pct
+                    );
+                    break;
+                }
+                Some(msg) if attempt == GATE_ATTEMPTS => {
+                    return Err(format!(
+                        "{msg} — reproduced on {GATE_ATTEMPTS} independent measurements"
+                    ));
+                }
+                Some(msg) => {
+                    println!("{msg} — re-measuring ({attempt}/{GATE_ATTEMPTS})");
+                    cur = measure_overheads(&ov_cfg, seed, runs_each)?;
+                }
+            }
+        }
+    }
+    if let Some(gate) = gates.throughput {
+        match baseline {
+            Some((path, base_mode, base_eps)) if base_mode == mode && base_eps > 0.0 => {
+                let mut eps = events_per_sec;
+                for attempt in 1..=GATE_ATTEMPTS {
+                    let drop_pct = (base_eps - eps) / base_eps * 100.0;
+                    if drop_pct <= gate {
+                        println!(
+                            "throughput {eps:.0} events/sec vs {path} baseline \
+                             {base_eps:.0} ({drop_pct:+.1}% drop, gate {gate:.1}%)"
+                        );
+                        break;
+                    }
+                    if attempt == GATE_ATTEMPTS {
+                        return Err(format!(
+                            "throughput regressed {drop_pct:.1}% vs {path} \
+                             ({base_eps:.0} -> {eps:.0} events/sec), gate is {gate:.1}% — \
+                             reproduced on {GATE_ATTEMPTS} independent measurements"
+                        ));
+                    }
+                    println!(
+                        "throughput {eps:.0} events/sec is {drop_pct:.1}% below the {path} \
+                         baseline {base_eps:.0} — re-measuring ({attempt}/{GATE_ATTEMPTS})"
+                    );
+                    let (wall, rerun) = min_wall(single_runs, || {
+                        let sim = Simulator::new(single_cfg.clone()).expect("bench sim config");
+                        sim.run()
+                    });
+                    let re_sbe: u64 = rerun.truth.sbe_by_card.iter().sum();
+                    let re_events = rerun.console.len() as u64
+                        + 2 * rerun.jobs.len() as u64
+                        + re_sbe
+                        + rerun.truth.sbe_rejected;
+                    eps = re_events as f64 / wall.max(1e-9);
+                }
+            }
+            Some((path, base_mode, _)) => {
+                println!(
+                    "throughput gate skipped: baseline {path} is `{base_mode}` mode, \
+                     this run is `{mode}` — incomparable windows"
+                );
+            }
+            None => {
+                println!("throughput gate skipped: no committed BENCH_PR*.json baseline");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Interleaved overhead measurement: each round times plain, metrics-on,
+/// health-on, and plain *again* — interleaving cancels slow host drift
+/// (thermal, cache warmup, a neighbor starting work) that back-to-back
+/// min-of-N would attribute to whichever variant ran later, and the gap
+/// between the two independent plain minima is the noise floor the host
+/// actually exhibited during this measurement. Also checks that neither
+/// sink perturbed the output digest (the pure-observer invariant).
+fn measure_overheads(
+    ov_cfg: &StudyConfig,
+    seed: u64,
+    runs_each: usize,
+) -> Result<OverheadMeasure, String> {
+    let mut off_a = f64::INFINITY;
+    let mut off_b = f64::INFINITY;
+    let mut on_wall = f64::INFINITY;
+    let mut health_wall = f64::INFINITY;
+    let mut digests: Option<(u64, u64, u64)> = None;
+    for _ in 0..runs_each {
+        let (w0, off_run) = min_wall(1, || run_seed(ov_cfg, seed, true));
+        let (w1, on_run) = min_wall(1, || run_seed_obs(ov_cfg, seed, true, true));
+        let (w2, health_run) =
+            min_wall(1, || run_seed_full(ov_cfg, seed, true, false, false, true));
+        let (w3, _) = min_wall(1, || run_seed(ov_cfg, seed, true));
+        off_a = off_a.min(w0);
+        on_wall = on_wall.min(w1);
+        health_wall = health_wall.min(w2);
+        off_b = off_b.min(w3);
+        digests = Some((
+            off_run.output_digest,
+            on_run.output_digest,
+            health_run.0.output_digest,
+        ));
+    }
+    let (off_digest, on_digest, health_digest) = digests.expect("runs_each >= 1");
+    if off_digest != on_digest {
+        return Err("metrics collection perturbed the simulation output".into());
+    }
+    if off_digest != health_digest {
+        return Err("health collection perturbed the simulation output".into());
+    }
+    let off = off_a.min(off_b);
+    Ok(OverheadMeasure {
+        off,
+        on: on_wall,
+        health: health_wall,
+        noise_pct: (off_a - off_b).abs() / off.max(1e-9) * 100.0,
+        metrics_pct: (on_wall - off) / off.max(1e-9) * 100.0,
+        health_pct: (health_wall - off) / off.max(1e-9) * 100.0,
+    })
+}
+
+/// First overhead gate breached by this measurement, as a message, or
+/// `None` when all requested gates clear. Each gate widens to the
+/// measurement's own noise floor — the host cannot certify a
+/// percentage finer than its own jitter.
+fn overhead_breach(m: &OverheadMeasure, gates: &Gates) -> Option<String> {
+    if let Some(gate) = gates.metrics {
+        if m.metrics_pct > gate.max(m.noise_pct) {
+            return Some(format!(
+                "metrics overhead {:.2}% exceeds the {gate:.2}% gate \
+                 (noise floor {:.2}%, off {:.3}s, on {:.3}s)",
+                m.metrics_pct, m.noise_pct, m.off, m.on
+            ));
+        }
+    }
+    if let Some(gate) = gates.health {
+        if m.health_pct > gate.max(m.noise_pct) {
+            return Some(format!(
+                "health overhead {:.2}% exceeds the {gate:.2}% gate \
+                 (noise floor {:.2}%, off {:.3}s, on {:.3}s)",
+                m.health_pct, m.noise_pct, m.off, m.health
+            ));
+        }
+    }
+    None
+}

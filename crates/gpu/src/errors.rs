@@ -194,6 +194,34 @@ impl GpuErrorKind {
         }
     }
 
+    /// Stable snake_case label for telemetry keys (health-doc class
+    /// names, counter suffixes). Frozen alongside `titan-health/1`:
+    /// renaming one is a schema change.
+    pub fn short_name(self) -> &'static str {
+        use GpuErrorKind::*;
+        match self {
+            SingleBitError => "sbe",
+            DoubleBitError => "dbe",
+            OffTheBus => "otb",
+            DisplayEngine => "display_engine",
+            VideoMemoryProgramming => "video_memory_programming",
+            UnstableVideoMemory => "unstable_video_memory",
+            EccPageRetirement => "ecc_page_retirement",
+            EccPageRetirementFailure => "ecc_page_retirement_failure",
+            VideoProcessorHw => "video_processor_hw",
+            GraphicsEngineException => "graphics_engine_exception",
+            GpuMemoryPageFault => "gpu_memory_page_fault",
+            PushBufferStream => "push_buffer_stream",
+            DriverFirmware => "driver_firmware",
+            VideoProcessorSw => "video_processor_sw",
+            GpuStoppedProcessing => "gpu_stopped_processing",
+            ContextSwitchFault => "context_switch_fault",
+            PreemptiveCleanup => "preemptive_cleanup",
+            MicrocontrollerHaltOld => "microcontroller_halt_old",
+            MicrocontrollerHaltNew => "microcontroller_halt_new",
+        }
+    }
+
     /// True for errors whose *possible causes* include the user
     /// application (per NVIDIA's XID documentation, reflected in Table 2).
     /// These are the bursty ones of Observation 6.
@@ -280,6 +308,20 @@ mod tests {
             if k.user_application_possible() {
                 assert_eq!(k.category(), ErrorCategory::SoftwareFirmware);
             }
+        }
+    }
+
+    #[test]
+    fn short_names_are_unique_snake_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in GpuErrorKind::ALL {
+            let n = k.short_name();
+            assert!(!n.is_empty());
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{n}"
+            );
+            assert!(seen.insert(n), "duplicate short name {n}");
         }
     }
 

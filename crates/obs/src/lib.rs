@@ -36,6 +36,7 @@
 
 pub mod export;
 pub mod flight;
+pub mod health;
 pub mod metrics;
 pub mod series;
 pub mod snapshot;
@@ -45,6 +46,12 @@ pub use export::{HistogramSnapshot, MetricsDoc, SpanRecord, TimeSeriesDoc, Trace
 pub use flight::{
     chrome_trace, parse_trace, summarize_trace, verify_trace, TraceFilter, TraceHeader,
     TraceKind, TraceRecord, TraceStream, VerifyReport, TRACE_SCHEMA,
+};
+pub use health::{
+    olcf_default_rules, parse_health, rules_from_json, rules_to_json, summarize_health,
+    verify_health_alerts, watch_health, HealthAlert, HealthDoc, HealthEvent, HealthHeader,
+    HealthInterval, HealthRec, HealthRule, HealthSink, HealthSnap, HealthSummary,
+    DEFAULT_HEALTH_INTERVAL_SECS, HEALTH_SCHEMA,
 };
 pub use metrics::{metric_key, Counter, Gauge, HistId, Registry};
 pub use series::{TimeBuckets, TsSeries, DEFAULT_BUCKET_SECS};
@@ -182,6 +189,9 @@ pub struct Obs {
     /// Fixed sim-time bucket counters for the `timeseries` document
     /// section (enabled together with the registry).
     pub ts: TimeBuckets,
+    /// The online reliability-analytics sink (off by default; see
+    /// [`Obs::enable_health`]).
+    pub health: HealthSink,
     /// Pre-registered handles for the standard catalog.
     pub cat: Catalog,
     phase_hook: Option<Box<dyn FnMut(&'static str)>>,
@@ -264,6 +274,7 @@ impl Obs {
             trace: TraceRing::new(enabled, span_capacity),
             stream: TraceStream::new(false),
             ts: TimeBuckets::new(enabled, series::DEFAULT_BUCKET_SECS),
+            health: HealthSink::new(false),
             cat,
             phase_hook: None,
         }
@@ -294,6 +305,18 @@ impl Obs {
     /// Whether the flight recorder is on.
     pub fn trace_enabled(&self) -> bool {
         self.stream.is_enabled()
+    }
+
+    /// Turns the online health-analytics sink on (`--health FILE`).
+    /// Like tracing, independent of metric collection and a pure
+    /// observer: per-seed digests are identical with it on or off.
+    pub fn enable_health(&mut self) {
+        self.health = HealthSink::new(true);
+    }
+
+    /// Whether the health sink is on.
+    pub fn health_enabled(&self) -> bool {
+        self.health.is_enabled()
     }
 
     /// Installs a phase-boundary callback. The engine calls
@@ -383,6 +406,27 @@ mod tests {
                 .mint(TraceKind::FaultDraft, 0, 1, None, None, None, String::new),
             1
         );
+    }
+
+    #[test]
+    fn health_sink_is_off_by_default_and_opt_in() {
+        let mut obs = Obs::enabled();
+        assert!(!obs.health_enabled());
+        obs.health.on_sbe(1, 5, 0);
+        obs.health.finish(100);
+        assert_eq!(
+            parse_health(&obs.health.render_jsonl(1, 1))
+                .expect("parse")
+                .header
+                .intervals,
+            0
+        );
+        obs.enable_health();
+        assert!(obs.health_enabled());
+        obs.health.on_sbe(1, 5, 0);
+        obs.health.finish(100);
+        let doc = parse_health(&obs.health.render_jsonl(1, 1)).expect("parse");
+        assert_eq!(doc.header.intervals, 1);
     }
 
     #[test]

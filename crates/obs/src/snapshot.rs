@@ -19,6 +19,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::flight::TraceRecord;
+use crate::health::HealthSnap;
 use crate::trace::{Span, SpanKind};
 use crate::{Obs, TsSeries};
 
@@ -64,6 +65,9 @@ pub struct ObsSnapshot {
     trace_records: Vec<TraceRecord>,
     /// Flight-recorder console `(ts, id)` pairs, emission order.
     trace_console: Vec<(u64, u64)>,
+    /// Complete health-sink state (inert on restore when health
+    /// collection is off on either side).
+    health: HealthSnap,
 }
 
 fn kind_index(k: SpanKind) -> u8 {
@@ -117,7 +121,14 @@ impl ObsSnapshot {
             trace_next: obs.stream.next_id(),
             trace_records: obs.stream.records().to_vec(),
             trace_console: obs.stream.console_pairs().to_vec(),
+            health: obs.health.snap(),
         }
+    }
+
+    /// Whether the snapshotted run had health collection on (resume
+    /// validates this against the `--health` flag).
+    pub fn health_enabled(&self) -> bool {
+        self.health.enabled
     }
 
     /// Overwrites `obs` with the snapshot's state. Every write goes
@@ -161,6 +172,7 @@ impl ObsSnapshot {
             self.trace_records.clone(),
             self.trace_console.clone(),
         );
+        obs.health.restore(&self.health);
     }
 }
 
@@ -172,6 +184,10 @@ mod tests {
     fn populated() -> Obs {
         let mut obs = Obs::enabled();
         obs.enable_trace();
+        obs.enable_health();
+        obs.health.set_spares_baseline(48);
+        obs.health.on_sbe(77, 5, 2);
+        obs.health.tick(5);
         let c = obs.cat.engine.ev_dbe;
         obs.reg.add(c, 7);
         obs.reg.set_max(obs.cat.engine.heap_high_water, 41);
@@ -199,7 +215,10 @@ mod tests {
         let snap = ObsSnapshot::capture(&src);
         let mut dst = Obs::enabled();
         dst.enable_trace();
+        dst.enable_health();
         snap.restore(&mut dst);
+        assert!(snap.health_enabled());
+        assert_eq!(dst.health.snap(), src.health.snap());
         assert_eq!(dst.reg.counter_value(dst.cat.engine.ev_dbe), 7);
         assert_eq!(dst.reg.gauge_value(dst.cat.engine.heap_high_water), 41);
         assert_eq!(dst.ts.series(TsSeries::EvDbe), src.ts.series(TsSeries::EvDbe));
@@ -222,6 +241,8 @@ mod tests {
         assert_eq!(dst.trace.recorded(), 0);
         assert_eq!(dst.stream.next_id(), 1);
         assert!(dst.stream.records().is_empty());
+        assert!(!dst.health_enabled());
+        assert_eq!(dst.health.snap(), crate::HealthSink::new(false).snap());
     }
 
     #[test]

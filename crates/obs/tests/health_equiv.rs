@@ -1,0 +1,171 @@
+//! Online/offline estimator equivalence: the streaming statistics the
+//! `HealthSink` maintains must agree with the batch estimators in
+//! `titan-analysis` when fed the same time-sorted event list.
+//!
+//! The online stripe score keeps the event-weighted contrast numerator
+//! as an exact integer (`n·(|even−odd|/n)` collapses to `|even−odd|`),
+//! while the offline `incident_stripe` accumulates the per-incident
+//! float terms — so contrast/null are compared with a tight epsilon and
+//! incident counts exactly.
+
+use titan_analysis::spatial::{incident_stripe, spatial_grid};
+use titan_gpu::GpuErrorKind;
+use titan_obs::{parse_health, HealthEvent, HealthRec, HealthSink};
+use titan_topology::{NodeId, COLS, ROWS, TOTAL_SLOTS};
+
+const GEE: GpuErrorKind = GpuErrorKind::GraphicsEngineException;
+const GEE_CLASS: &str = "graphics_engine_exception";
+/// Must match the sink's `STRIPE_WINDOW_SECS`.
+const WINDOW_SECS: u64 = 5;
+
+/// Deterministic xorshift so the synthetic event list is stable across
+/// runs and platforms (no `rand` dependency).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Time-sorted GEE console events with a mix of tight bursts (same
+/// incident under the 5 s window) and lone events (their own
+/// incidents), over pseudo-random node slots.
+fn synthetic_events(seed: u64, n: usize) -> Vec<titan_conlog::ConsoleEvent> {
+    let mut rng = Lcg(seed | 1);
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // ~40% of events arrive within the incident window of the
+        // previous one; the rest open a new incident.
+        let gap = if rng.next() % 10 < 4 {
+            rng.next() % WINDOW_SECS
+        } else {
+            WINDOW_SECS + rng.next() % 900
+        };
+        t += gap;
+        let node = NodeId((rng.next() % TOTAL_SLOTS as u64) as u32);
+        out.push(titan_conlog::ConsoleEvent {
+            time: t,
+            node,
+            kind: GEE,
+            structure: None,
+            page: None,
+            apid: None,
+        });
+    }
+    out
+}
+
+/// Feeds the same events to a `HealthSink` the way the engine does
+/// (tick with the loop clock, then the console hook) and returns the
+/// rendered document.
+fn run_sink(events: &[titan_conlog::ConsoleEvent]) -> titan_obs::HealthDoc {
+    let mut sink = HealthSink::new(true);
+    for ev in events {
+        sink.tick(ev.time);
+        let loc = ev.node.location();
+        sink.on_console(HealthEvent {
+            t: ev.time,
+            class: GEE_CLASS,
+            hardware: true,
+            row: loc.row,
+            col: loc.col,
+            cage: loc.cage,
+            trace: 0,
+        });
+    }
+    let t_end = events.last().map_or(0, |e| e.time) + 1;
+    sink.finish(t_end);
+    parse_health(&sink.render_jsonl(7, 1)).expect("rendered doc parses")
+}
+
+#[test]
+fn online_stripe_matches_incident_stripe() {
+    for (seed, n) in [(0xC0FFEE, 500), (42, 2000), (9_999, 37)] {
+        let events = synthetic_events(seed, n);
+        let doc = run_sink(&events);
+        let summary = doc.summary.expect("summary present");
+        let offline = incident_stripe(&events, GEE, WINDOW_SECS).expect("events exist");
+
+        assert_eq!(
+            summary.stripe_incidents, offline.incidents,
+            "incident count diverged (seed {seed}, n {n})"
+        );
+        assert!(
+            (summary.stripe_contrast - offline.contrast).abs() < 1e-12,
+            "contrast diverged (seed {seed}): online {} offline {}",
+            summary.stripe_contrast,
+            offline.contrast
+        );
+        assert!(
+            (summary.stripe_null - offline.null).abs() < 1e-12,
+            "null diverged (seed {seed}): online {} offline {}",
+            summary.stripe_null,
+            offline.null
+        );
+    }
+}
+
+#[test]
+fn online_heat_grid_matches_spatial_grid() {
+    let events = synthetic_events(0xBEEF, 1200);
+    let doc = run_sink(&events);
+    let last = doc
+        .records
+        .iter()
+        .rev()
+        .find_map(|r| match r {
+            HealthRec::Interval { v } => Some(v),
+            HealthRec::Alert { .. } => None,
+        })
+        .expect("at least one interval");
+    let grid = spatial_grid(&events, GEE, false);
+    assert_eq!(last.heat_cells.len(), ROWS * COLS);
+    for r in 0..ROWS {
+        for c in 0..COLS {
+            let online = last.heat_cells[r * COLS + c];
+            let offline = grid.get(r, c);
+            assert!(
+                (online as f64 - offline).abs() < f64::EPSILON,
+                "cell ({r},{c}) diverged: online {online} offline {offline}"
+            );
+        }
+    }
+    // Total heat equals the event count — nothing dropped or double
+    // counted by either path.
+    let total: u64 = last.heat_cells.iter().sum();
+    assert_eq!(total as usize, events.len());
+}
+
+#[test]
+fn single_event_incidents_have_unit_contrast_and_null() {
+    // Lone events: every incident has n = 1, so contrast collapses to
+    // exactly 1.0 and the size-matched null to √(2/π) in both
+    // estimators.
+    let events: Vec<_> = (0..50u64)
+        .map(|i| titan_conlog::ConsoleEvent {
+            time: i * 100,
+            node: NodeId((i * 37 % TOTAL_SLOTS as u64) as u32),
+            kind: GEE,
+            structure: None,
+            page: None,
+            apid: None,
+        })
+        .collect();
+    let doc = run_sink(&events);
+    let summary = doc.summary.expect("summary present");
+    let offline = incident_stripe(&events, GEE, WINDOW_SECS).expect("events exist");
+    assert_eq!(summary.stripe_incidents, 50);
+    assert_eq!(offline.incidents, 50);
+    let unit_null = (2.0 / std::f64::consts::PI).sqrt();
+    assert_eq!(summary.stripe_contrast, 1.0);
+    assert!((summary.stripe_null - unit_null).abs() < 1e-12);
+    assert_eq!(offline.contrast, 1.0);
+    assert!((offline.null - unit_null).abs() < 1e-12);
+}

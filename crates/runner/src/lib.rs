@@ -66,6 +66,10 @@ pub struct ReplicateOptions {
     /// return the rendered `titan-trace/1` JSONL per seed (see
     /// [`replicate_full`]). Like `collect_obs`, a pure observer.
     pub collect_trace: bool,
+    /// When true, run every seed with an enabled health sink and return
+    /// the rendered `titan-health/1` JSONL per seed. A pure observer
+    /// like the other two collectors.
+    pub collect_health: bool,
 }
 
 impl ReplicateOptions {
@@ -97,6 +101,7 @@ impl ReplicateOptions {
             skip_expectations: false,
             collect_obs: false,
             collect_trace: false,
+            collect_health: false,
         })
     }
 }
@@ -215,7 +220,7 @@ pub fn run_seed_obs(
     skip_expectations: bool,
     collect_obs: bool,
 ) -> SeedRun {
-    run_seed_full(base, seed, skip_expectations, collect_obs, false).0
+    run_seed_full(base, seed, skip_expectations, collect_obs, false, false).0
 }
 
 /// [`run_seed_obs`] plus optional flight-recorder capture: when
@@ -230,13 +235,17 @@ pub fn run_seed_full(
     skip_expectations: bool,
     collect_obs: bool,
     collect_trace: bool,
-) -> (SeedRun, Option<String>) {
+    collect_health: bool,
+) -> (SeedRun, Option<String>, Option<String>) {
     let mut config = base.clone();
     config.sim.seed = seed;
     let window = config.sim.window;
     let mut obs = Obs::new(collect_obs);
     if collect_trace {
         obs.enable_trace();
+    }
+    if collect_health {
+        obs.enable_health();
     }
     let study = Study::new(config).run_with_obs(&mut obs);
     let expectations = if skip_expectations {
@@ -265,6 +274,13 @@ pub fn run_seed_full(
     } else {
         None
     };
+    // The engine closed the health stream in `finalize`; rendering here
+    // is a pure read of the flushed records.
+    let health = if collect_health {
+        Some(obs.health.render_jsonl(seed, window / 86_400))
+    } else {
+        None
+    };
     (
         SeedRun {
             seed,
@@ -274,6 +290,7 @@ pub fn run_seed_full(
             obs: obs_doc,
         },
         trace,
+        health,
     )
 }
 
@@ -399,16 +416,18 @@ pub fn collect_metrics(
 /// at any thread width (the same guarantee the vendored pool makes for
 /// every `map`/`reduce`, see `rayon::scope_map`).
 pub fn replicate(opts: &ReplicateOptions) -> Result<ReplicationReport, String> {
-    replicate_full(opts).map(|(report, _)| report)
+    replicate_full(opts).map(|(report, _, _)| report)
 }
 
 /// [`replicate`] that also returns each seed's rendered `titan-trace/1`
-/// JSONL (all `None` unless `collect_trace` was set). Traces ride the
-/// same seed-order merge, so for a fixed seed list every trace is
-/// byte-identical at any thread width.
+/// and `titan-health/1` JSONL (all `None` unless `collect_trace` /
+/// `collect_health` was set). Both ride the same seed-order merge, so
+/// for a fixed seed list every document is byte-identical at any thread
+/// width.
+#[allow(clippy::type_complexity)]
 pub fn replicate_full(
     opts: &ReplicateOptions,
-) -> Result<(ReplicationReport, Vec<Option<String>>), String> {
+) -> Result<(ReplicationReport, Vec<Option<String>>, Vec<Option<String>>), String> {
     if opts.seeds.is_empty() {
         return Err("replicate: need at least one seed".into());
     }
@@ -429,18 +448,21 @@ pub fn replicate_full(
     let skip = opts.skip_expectations;
     let collect = opts.collect_obs;
     let collect_trace = opts.collect_trace;
-    let pairs: Vec<(SeedRun, Option<String>)> =
+    let collect_health = opts.collect_health;
+    let triples: Vec<(SeedRun, Option<String>, Option<String>)> =
         rayon::scope_map(opts.seeds.clone(), opts.threads, |seed| {
-            run_seed_full(base, seed, skip, collect, collect_trace)
+            run_seed_full(base, seed, skip, collect, collect_trace, collect_health)
         });
-    let mut runs = Vec::with_capacity(pairs.len());
-    let mut traces = Vec::with_capacity(pairs.len());
-    for (run, trace) in pairs {
+    let mut runs = Vec::with_capacity(triples.len());
+    let mut traces = Vec::with_capacity(triples.len());
+    let mut healths = Vec::with_capacity(triples.len());
+    for (run, trace, health) in triples {
         runs.push(run);
         traces.push(trace);
+        healths.push(health);
     }
 
-    Ok((merge(runs, opts.threads, base.sim.window / 86_400), traces))
+    Ok((merge(runs, opts.threads, base.sim.window / 86_400), traces, healths))
 }
 
 /// Merges per-seed runs (already in seed order) into the report.
@@ -862,14 +884,19 @@ mod tests {
     fn trace_capture_never_perturbs_run_or_metrics() {
         let base = StudyConfig::quick(10, 0);
         let plain = run_seed_obs(&base, 100, true, true);
-        let (traced, trace) = run_seed_full(&base, 100, true, true, true);
+        let (traced, trace, _) = run_seed_full(&base, 100, true, true, true, false);
         assert_eq!(plain, traced, "tracing changed the seed summary");
         let text = trace.expect("trace requested");
         assert!(text.starts_with("{\"schema\":\"titan-trace/1\""));
         // Trace-only capture (no metrics) leaves the digest alone too.
-        let (bare, _) = run_seed_full(&base, 100, true, false, true);
+        let (bare, _, _) = run_seed_full(&base, 100, true, false, true, false);
         assert_eq!(plain.output_digest, bare.output_digest);
         assert!(bare.obs.is_none());
+        // And so does health collection — the third pure observer.
+        let (healthy, _, health) = run_seed_full(&base, 100, true, false, false, true);
+        assert_eq!(plain.output_digest, healthy.output_digest);
+        let htext = health.expect("health requested");
+        assert!(htext.starts_with("{\"schema\":\"titan-health/1\""));
     }
 
     /// Full-pipeline provenance: a traced run's chains — SEC alerts and
@@ -877,7 +904,7 @@ mod tests {
     #[test]
     fn traced_run_passes_provenance_verification() {
         let base = StudyConfig::quick(30, 0);
-        let (_, trace) = run_seed_full(&base, 7, true, false, true);
+        let (_, trace, _) = run_seed_full(&base, 7, true, false, true, false);
         let text = trace.expect("trace requested");
         let (header, records) = titan_obs::parse_trace(&text).expect("parse");
         let report = titan_obs::verify_trace(&header, &records);
@@ -897,13 +924,29 @@ mod tests {
         a.collect_trace = true;
         let mut b = opts(10, 2, 2);
         b.collect_trace = true;
-        let (_, seq) = replicate_full(&a).unwrap();
-        let (_, par) = replicate_full(&b).unwrap();
+        let (_, seq, _) = replicate_full(&a).unwrap();
+        let (_, par, _) = replicate_full(&b).unwrap();
         assert_eq!(seq, par);
         assert!(seq.iter().all(|t| t.is_some()));
         let texts: std::collections::BTreeSet<&String> =
             seq.iter().flatten().collect();
         assert_eq!(texts.len(), 2, "different seeds must trace differently");
+    }
+
+    /// Replicate health docs are byte-identical at any thread width.
+    #[test]
+    fn replicate_health_docs_are_thread_width_invariant() {
+        let mut a = opts(10, 2, 1);
+        a.collect_health = true;
+        let mut b = opts(10, 2, 2);
+        b.collect_health = true;
+        let (_, _, seq) = replicate_full(&a).unwrap();
+        let (_, _, par) = replicate_full(&b).unwrap();
+        assert_eq!(seq, par);
+        assert!(seq.iter().all(|h| h.is_some()));
+        let texts: std::collections::BTreeSet<&String> =
+            seq.iter().flatten().collect();
+        assert_eq!(texts.len(), 2, "different seeds must differ in health");
     }
 
     #[test]

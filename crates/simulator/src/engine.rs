@@ -32,9 +32,9 @@ use titan_faults::telemetry::{
     dbe_draft_payload, otb_draft_payload, sbe_draft_payload, soft_draft_payload, DbeDraftStats,
     OtbDraftStats, SbeDraftStats, SoftDraftStats,
 };
-use titan_obs::{metric_key, Obs, Span, SpanKind, TraceKind, TsSeries};
+use titan_obs::{metric_key, HealthEvent, Obs, Span, SpanKind, TraceKind, TsSeries};
 use titan_gpu::pages::{RetireDecision, RetirementCause};
-use titan_gpu::{GpuErrorKind, MemoryStructure, PageAddress};
+use titan_gpu::{ErrorCategory, GpuErrorKind, MemoryStructure, PageAddress};
 use titan_nvsmi::{GpuSnapshot, JobEccDelta};
 use titan_topology::{node_to_gpu_index, NodeId, TOTAL_SLOTS};
 use titan_workload::{ScheduledJob, WorkloadSchedule};
@@ -679,6 +679,10 @@ impl EngineState {
     pub fn run_until(&mut self, t_stop: SimTime, obs: &mut Obs) {
         obs.phase("engine:event_loop");
         let cat = obs.cat;
+        // Seed the hot-spare gauge before the first swap fires; no-op on
+        // later slices (the baseline latches) and when health is off.
+        // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
+        obs.health.set_spares_baseline(self.fleet.n_spares() as u64);
         let EngineState {
             cfg,
             schedule,
@@ -705,6 +709,10 @@ impl EngineState {
             }
             let _popped = heap.pop();
             obs.reg.inc(cat.engine.events_dequeued);
+            // Health grid runs on the monotone loop clock, advanced
+            // *before* the event is fed, so interval boundaries land
+            // identically however `run_until` slices the drain.
+            obs.health.tick(t);
             obs.reg.set_max(cat.engine.heap_high_water, heap.len() as u64 + 1);
             if let Some(p) = *divergence_probe {
                 if t >= p {
@@ -952,6 +960,7 @@ impl EngineState {
                         None,
                         || format!("sbe {structure:?}"),
                     );
+                    obs.health.on_sbe(u64::from(card), t, ev_id);
                     let page = hot_page.map(PageAddress);
                     let retirement_active = t >= calibration::retirement_xid_introduced();
                     let decision = fleet
@@ -1205,7 +1214,7 @@ impl EngineState {
                     if let Some((old_card, new_card)) = fleet.swap_out(slot) {
                         obs.reg.inc(cat.engine.swaps_fired);
                         obs.ts.inc(TsSeries::SwapsFired, t);
-                        obs.stream.mint(
+                        let sid = obs.stream.mint(
                             TraceKind::EngineEvent,
                             trace,
                             t,
@@ -1214,6 +1223,8 @@ impl EngineState {
                             None,
                             || "swap_fired".to_string(),
                         );
+                        // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
+                        obs.health.on_swap(t, fleet.n_spares() as u64, sid);
                         // Span covers schedule (24 h earlier) to fire.
                         obs.trace.record(Span {
                             kind: SpanKind::HotSpareSwap,
@@ -1258,6 +1269,9 @@ impl EngineState {
 
         // End any jobs still running at the horizon.
         obs.phase("engine:finalize");
+        // Close the health stream at the horizon: flush every remaining
+        // interval boundary plus the final partial interval.
+        obs.health.finish(window);
         let still_active: Vec<u32> = self.jobs.active.clone();
         obs.reg
             .add(cat.engine.jobs_closed_at_horizon, still_active.len() as u64);
@@ -1438,7 +1452,7 @@ fn pick_any_job_node(
 /// after the final stable time-sort of the console log.
 fn emit_console(out: &mut SimOutput, obs: &mut Obs, parent: u64, card: Option<u64>, ev: ConsoleEvent) {
     obs.ts.inc(TsSeries::ConsoleLines, ev.time);
-    obs.stream.mint_console(
+    let cid = obs.stream.mint_console(
         parent,
         ev.time,
         card,
@@ -1446,6 +1460,18 @@ fn emit_console(out: &mut SimOutput, obs: &mut Obs, parent: u64, card: Option<u6
         ev.apid,
         || format!("console {:?}", ev.kind),
     );
+    if obs.health.is_enabled() {
+        let loc = ev.node.location();
+        obs.health.on_console(HealthEvent {
+            t: ev.time,
+            class: ev.kind.short_name(),
+            hardware: matches!(ev.kind.category(), ErrorCategory::Hardware),
+            row: loc.row,
+            col: loc.col,
+            cage: loc.cage,
+            trace: cid,
+        });
+    }
     out.console.push(ev);
 }
 
@@ -1503,6 +1529,7 @@ fn schedule_retirement(
         None,
         || format!("retire cause={cause:?} emitted={emitted}"),
     );
+    obs.health.on_retirement(t, rid);
     out.truth.retirements.push(RetireTruth {
         time: t,
         card,

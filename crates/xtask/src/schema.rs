@@ -29,6 +29,7 @@ use crate::{Finding, Rule};
 pub const S1_FILES: &[&str] = &[
     "crates/obs/src/export.rs",
     "crates/obs/src/flight.rs",
+    "crates/obs/src/health.rs",
     "crates/runner/src/ckpt.rs",
     "crates/runner/src/lib.rs",
     "src/main.rs",

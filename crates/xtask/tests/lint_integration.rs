@@ -459,6 +459,8 @@ fn real_tree_layering_and_schemas_are_clean() {
         names,
         [
             "titan-check/1",
+            "titan-ckpt/1",
+            "titan-health/1",
             "titan-obs-replicate/1",
             "titan-obs/2",
             "titan-profile/1",

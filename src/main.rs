@@ -54,6 +54,8 @@ fn main() -> ExitCode {
         "replicate" => replicate(&args[1..]),
         "profile" => profile(&args[1..]),
         "trace" => trace_cmd(&args[1..]),
+        // lint: allow(P2, first() returned Some above, so index 1.. is in bounds)
+        "health" => health_cmd(&args[1..]),
         "ckpt" => ckpt_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -74,7 +76,7 @@ const USAGE: &str = "usage: titan-repro <command> [options]
 
 commands:
   taxonomy                          print Tables 1 & 2 (the XID taxonomy)
-  run   [--days N] [--seed S] [--metrics FILE] [--trace FILE]
+  run   [--days N] [--seed S] [--metrics FILE] [--trace FILE] [--health FILE]
         [--span-capacity N]
         [--checkpoint-every SECS --ckpt-dir DIR] [--from-checkpoint FILE]
                                     simulate and print the full report;
@@ -82,13 +84,17 @@ commands:
                                     document (stable JSON, seed-deterministic);
                                     --trace writes the titan-trace/1 causal
                                     flight-recorder JSONL;
+                                    --health writes the titan-health/1 online
+                                    reliability-analytics JSONL (rolling MTBF,
+                                    spatial heat, top offenders, fired alerts);
                                     --checkpoint-every freezes the full machine
                                     state into DIR/ckpt-NNNNNN.json (titan-ckpt/1,
                                     hash-chained) every SECS sim seconds;
                                     --from-checkpoint resumes one and reproduces
                                     the run-through output byte for byte (use the
-                                    same --metrics/--trace flags as the original)
-  check [--days N] [--seed S] [--metrics FILE] [--json FILE]
+                                    same --metrics/--trace/--health flags as the
+                                    original)
+  check [--days N] [--seed S] [--metrics FILE] [--json FILE] [--health FILE]
         [--span-capacity N]
                                     run the paper-shape checks; exit 1 on FAIL;
                                     --json writes per-check verdicts as JSON
@@ -96,7 +102,7 @@ commands:
                                     write console.log / job.log / aprun.log
   replicate --seeds N [--threads T] [--days D] [--seed S]
             [--skip-expectations] [--out FILE.json] [--metrics FILE.json]
-            [--trace DIR]
+            [--trace DIR] [--health DIR]
                                     run N independent seeds across T threads
                                     (default: all cores) and report mean/95% CI
                                     bands; per-seed output is byte-identical
@@ -104,13 +110,25 @@ commands:
                                     --metrics writes per-seed telemetry
                                     documents plus aggregate metric bands;
                                     --trace writes DIR/trace-seed-<seed>.jsonl
-                                    per seed
-  profile [--days N] [--seed S] [--metrics FILE] [--json FILE]
+                                    per seed; --health writes
+                                    DIR/health-seed-<seed>.jsonl per seed
+  profile [--days N] [--seed S] [--metrics FILE] [--json FILE] [--health FILE]
           [--span-capacity N]
                                     run one window with telemetry enabled and
                                     print a per-phase wall-time table plus a
                                     per-subsystem sim-metrics breakdown;
                                     --json writes the titan-profile/1 document
+                                    (health collection is on, so its phases
+                                    include the cli:render_health cost)
+  health <summarize|watch|rules> FILE [--trace TRACEFILE]
+                                    inspect a titan-health/1 JSONL: summarize
+                                    prints the end-of-run fleet summary; watch
+                                    replays the interval stream as deterministic
+                                    heatmap frames; rules prints the default
+                                    alert-rule set as JSON; --trace additionally
+                                    walks every fired alert back to its causing
+                                    fault draft in the given titan-trace/1 file
+                                    (exit 1 on a provenance hole)
   trace <verify|summarize|show> FILE
         [--card N] [--node N] [--job APID] [--window LO:HI] [--chrome FILE]
                                     inspect a titan-trace/1 JSONL: verify walks
@@ -136,6 +154,7 @@ struct Opts {
     metrics: Option<String>,
     json: Option<String>,
     trace: Option<String>,
+    health: Option<String>,
     span_capacity: Option<usize>,
     checkpoint_every: Option<u64>,
     ckpt_dir: Option<String>,
@@ -162,6 +181,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         metrics: None,
         json: None,
         trace: None,
+        health: None,
         span_capacity: None,
         checkpoint_every: None,
         ckpt_dir: None,
@@ -196,6 +216,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--trace" => {
                 opts.trace = Some(it.next().ok_or("--trace needs a file")?.clone());
+            }
+            "--health" => {
+                opts.health = Some(it.next().ok_or("--health needs a file")?.clone());
             }
             "--span-capacity" => {
                 let v = it.next().ok_or("--span-capacity needs a value")?;
@@ -293,6 +316,9 @@ fn build_obs(opts: &Opts, metrics_on: bool) -> Obs {
     if opts.trace.is_some() {
         obs.enable_trace();
     }
+    if opts.health.is_some() {
+        obs.enable_health();
+    }
     obs
 }
 
@@ -378,6 +404,9 @@ fn finish_run(
     if let Some(path) = &opts.trace {
         write_text(path, &obs.stream.render_jsonl(seed, window / 86_400))?;
     }
+    if let Some(path) = &opts.health {
+        write_text(path, &obs.health.render_jsonl(seed, window / 86_400))?;
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -410,6 +439,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         let ck = titan_runner::parse_checkpoint(&text)?;
+        // Health state rides the ObsSnapshot: a flag mismatch cannot be
+        // papered over (the resumed doc would silently restart from an
+        // empty sink), so reject it up front instead of diverging.
+        if ck.obs.health_enabled() != opts.health.is_some() {
+            return Err(if opts.health.is_some() {
+                format!(
+                    "--from-checkpoint {path}: the checkpoint was written without --health; \
+                     resume with the same flags as the original run"
+                )
+            } else {
+                format!(
+                    "--from-checkpoint {path}: the checkpoint was written with --health; \
+                     pass --health FILE to resume it"
+                )
+            });
+        }
         let seed = ck.seed;
         let window = ck.config.sim.window;
         eprintln!(
@@ -587,6 +632,9 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     if let (Some(path), Some(doc)) = (&opts.metrics, &doc) {
         write_text(path, &doc.to_json())?;
     }
+    if let Some(path) = &opts.health {
+        write_text(path, &obs.health.render_jsonl(seed, window_days))?;
+    }
     if fail > 0 {
         return Ok(ExitCode::FAILURE);
     }
@@ -601,6 +649,7 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
     let mut out: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut trace_dir: Option<String> = None;
+    let mut health_dir: Option<String> = None;
     let mut skip_expectations = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -622,6 +671,9 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
             "--trace" => {
                 trace_dir = Some(it.next().ok_or("--trace needs a directory")?.clone());
             }
+            "--health" => {
+                health_dir = Some(it.next().ok_or("--health needs a directory")?.clone());
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -642,7 +694,8 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
     opts.skip_expectations = skip_expectations;
     opts.collect_obs = metrics.is_some();
     opts.collect_trace = trace_dir.is_some();
-    let (report, traces) = titan_runner::replicate_full(&opts)?;
+    opts.collect_health = health_dir.is_some();
+    let (report, traces, healths) = titan_runner::replicate_full(&opts)?;
     print!("{}", titan_runner::render_report(&report));
     if let Some(dir) = trace_dir {
         std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir}: {e}"))?;
@@ -651,6 +704,15 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
                 return Err("replicate produced no trace (internal error)".into());
             };
             write_text(&format!("{dir}/trace-seed-{}.jsonl", run.seed), text)?;
+        }
+    }
+    if let Some(dir) = health_dir {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir}: {e}"))?;
+        for (run, health) in report.runs.iter().zip(&healths) {
+            let Some(text) = health else {
+                return Err("replicate produced no health doc (internal error)".into());
+            };
+            write_text(&format!("{dir}/health-seed-{}.jsonl", run.seed), text)?;
         }
     }
     if let Some(path) = out {
@@ -723,7 +785,7 @@ struct ProfileDoc {
 fn profile(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.out.is_some() || opts.trace.is_some() || opts.any_checkpoint_flag() {
-        return Err("profile takes --days / --seed / --metrics / --json only".into());
+        return Err("profile takes --days / --seed / --metrics / --json / --health only".into());
     }
     let config = study_config(&opts)?;
     let seed = config.sim.seed;
@@ -731,6 +793,10 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
 
     let clock = Rc::new(RefCell::new(PhaseClock::new()));
     let mut obs = build_obs(&opts, true);
+    // Health collection is always on under `profile`, so the phase table
+    // (and the titan-profile/1 document) exposes what the online
+    // analytics layer costs on top of the metrics sink.
+    obs.enable_health();
     let hook_clock = Rc::clone(&clock);
     obs.set_phase_hook(Box::new(move |name| hook_clock.borrow_mut().mark(name)));
 
@@ -738,6 +804,8 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
     obs.phase("cli:figures_checks");
     let figures = study.figures();
     let evals = evaluate_all(&figures);
+    obs.phase("cli:render_health");
+    let health_text = obs.health.render_jsonl(seed, window_days);
     let total = clock.borrow_mut().finish();
     let doc = doc.ok_or("profile collected no telemetry (internal error)")?;
 
@@ -777,6 +845,10 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
         doc.spans.dropped
     );
     let fails = evals.iter().filter(|e| e.verdict == Verdict::Fail).count();
+    println!("  [health]");
+    let hdoc = titan_obs::parse_health(&health_text)?;
+    println!("    {:<38} {:>12}", "intervals", hdoc.header.intervals);
+    println!("    {:<38} {:>12}", "alerts_fired", hdoc.header.alerts);
     println!();
     println!(
         "checks: {} evaluated, {fails} FAIL (run `titan-repro check` for detail)",
@@ -784,6 +856,9 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
     );
     if let Some(path) = &opts.metrics {
         write_text(path, &doc.to_json())?;
+    }
+    if let Some(path) = &opts.health {
+        write_text(path, &health_text)?;
     }
     if let Some(path) = &opts.json {
         let profile_doc = ProfileDoc {
@@ -909,10 +984,70 @@ fn trace_cmd(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// The `health` subcommand: summarize / watch / rules over a
+/// `titan-health/1` JSONL file written by `run --health`,
+/// `check --health`, or `replicate --health`.
+fn health_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut mode: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut trace_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_file = Some(it.next().ok_or("--trace needs a file")?.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            word if mode.is_none() => mode = Some(word.to_string()),
+            word if file.is_none() => file = Some(word.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let mode = mode.ok_or(format!("health needs a mode\n{USAGE}"))?;
+    if mode == "rules" {
+        // `rules` takes no FILE: it prints the default alert-rule set,
+        // the starting point for a hand-rolled rule JSON.
+        if let Some(extra) = file {
+            return Err(format!("health rules takes no FILE (got `{extra}`)"));
+        }
+        print!(
+            "{}",
+            titan_obs::rules_to_json(&titan_obs::olcf_default_rules())
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let file = file.ok_or(format!("health needs a FILE\n{USAGE}"))?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file}: {e}"))?;
+    let doc = titan_obs::parse_health(&text).map_err(|e| format!("{file}: {e}"))?;
+    let walk = |doc: &titan_obs::HealthDoc| -> Result<(), String> {
+        let Some(tf) = &trace_file else { return Ok(()) };
+        let ttext = std::fs::read_to_string(tf).map_err(|e| format!("read {tf}: {e}"))?;
+        let (_, records) = titan_obs::parse_trace(&ttext).map_err(|e| format!("{tf}: {e}"))?;
+        let walked = titan_obs::verify_health_alerts(doc, &records)?;
+        println!("provenance OK: {walked} alert(s) walk back to a causing fault draft");
+        Ok(())
+    };
+    match mode.as_str() {
+        "summarize" => {
+            print!("{}", titan_obs::summarize_health(&doc));
+            walk(&doc)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "watch" => {
+            print!("{}", titan_obs::watch_health(&doc));
+            walk(&doc)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown health mode `{other}`\n{USAGE}")),
+    }
+}
+
 fn logs(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.metrics.is_some() || opts.json.is_some() || opts.trace.is_some()
-        || opts.any_checkpoint_flag()
+        || opts.health.is_some() || opts.any_checkpoint_flag()
     {
         return Err("logs takes --days / --seed / --out only".into());
     }

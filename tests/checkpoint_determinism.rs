@@ -238,3 +238,62 @@ fn bisect_localizes_injected_divergence() {
     let text = String::from_utf8_lossy(&same.stdout);
     assert!(text.contains("no divergence"), "self-comparison diverged:\n{text}");
 }
+
+/// Telemetry accounting across the resume boundary: every `titan-obs/2`
+/// time series is an exact bucketization of its run-end counter, even
+/// when the run was split by `--from-checkpoint` — the restored
+/// `TimeBuckets` carry the pre-boundary mass, and the resumed half
+/// only adds to it. Verified on both the uninterrupted and the resumed
+/// document (which are also byte-identical by the resume contract).
+#[test]
+fn timeseries_sums_match_counters_across_resume() {
+    let through = tmp("ts_sum_through");
+    let resumed = tmp("ts_sum_resumed");
+    run_in(
+        &through,
+        "1",
+        &[
+            "run", "--days", "30", "--seed", "9", "--checkpoint-every", "864000", // 10 d
+            "--ckpt-dir", "ckpts", "--metrics", "metrics.json",
+        ],
+    );
+    let ckpt = through.join("ckpts").join("ckpt-000000.json");
+    run_in(
+        &resumed,
+        "1",
+        &[
+            "run",
+            "--from-checkpoint",
+            ckpt.to_str().expect("utf8 path"),
+            "--metrics",
+            "metrics.json",
+        ],
+    );
+    for dir in [&through, &resumed] {
+        let text = std::fs::read_to_string(dir.join("metrics.json")).expect("metrics doc");
+        let doc: titan_obs::MetricsDoc =
+            serde_json::from_str(&text).expect("titan-obs/2 metrics parse");
+        assert!(!doc.timeseries.series.is_empty(), "no time series in {}", dir.display());
+        for (name, buckets) in &doc.timeseries.series {
+            let sum: u64 = buckets.iter().sum();
+            let counter = doc
+                .engine
+                .get(name)
+                .or_else(|| doc.faults.get(name))
+                .or_else(|| doc.sec.get(name))
+                .or_else(|| doc.nvsmi.get(name))
+                .unwrap_or_else(|| panic!("series `{name}` has no run-end counter"));
+            assert_eq!(
+                sum, *counter,
+                "series `{name}` buckets sum to {sum} but the run-end counter is {counter} \
+                 ({})",
+                dir.display()
+            );
+        }
+    }
+    // And the split run's document is the uninterrupted one, byte for
+    // byte — the sums above are the same numbers.
+    let x = std::fs::read(through.join("metrics.json")).expect("through metrics");
+    let y = std::fs::read(resumed.join("metrics.json")).expect("resumed metrics");
+    assert_eq!(x, y, "metrics diverged across the resume boundary");
+}
