@@ -43,7 +43,10 @@ pub fn dbe_accounting(events: &[ConsoleEvent], snapshots: &[GpuSnapshot]) -> Dbe
         .collect();
     let console_dbe = dbe_events.len() as u64;
 
-    let mut by_structure: std::collections::HashMap<MemoryStructure, u64> = Default::default();
+    // BTreeMap, not HashMap: with a count-only stable sort below,
+    // equal-count structures would otherwise surface in hash-iteration
+    // order and leak process identity into the report (T1).
+    let mut by_structure: std::collections::BTreeMap<MemoryStructure, u64> = Default::default();
     for e in &dbe_events {
         if let Some(s) = e.structure {
             *by_structure.entry(s).or_default() += 1;
@@ -51,7 +54,7 @@ pub fn dbe_accounting(events: &[ConsoleEvent], snapshots: &[GpuSnapshot]) -> Dbe
     }
     let mut console_by_structure: Vec<(MemoryStructure, u64)> =
         by_structure.into_iter().collect();
-    console_by_structure.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    console_by_structure.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s));
 
     let with_structure: u64 = console_by_structure.iter().map(|&(_, c)| c).sum();
     let dm = console_by_structure

@@ -96,6 +96,7 @@ pub fn cooccurrence_heatmap(events: &[ConsoleEvent]) -> Heatmap {
         .filter_map(|e| kind_index(e.kind).map(|i| (i, e)))
         .collect();
 
+    // lint: allow(T1, the thread count only sizes chunks; the u64-sum reduce is associative+commutative, so values are chunking-independent)
     let chunk = (evs.len() / (rayon::current_num_threads() * 8)).max(1024);
     let (followed, totals) = (0..evs.len())
         .into_par_iter()

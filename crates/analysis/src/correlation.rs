@@ -6,7 +6,10 @@
 //! value of the respective metrics. … our second case excludes jobs that
 //! used any of the top 10 SBE offender nodes."
 
-use std::collections::{HashMap, HashSet};
+// BTree maps, not hash maps: both are get-only here, but keeping hash
+// containers out of the report pipeline keeps T1's hash-iteration
+// source list empty (and iteration stays an option later).
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use titan_conlog::JobRecord;
@@ -103,7 +106,7 @@ pub fn job_sbe_correlations(
     deltas: &[JobEccDelta],
     snapshots: &[GpuSnapshot],
 ) -> CorrelationStudy {
-    let sbe_by_apid: HashMap<u64, u64> =
+    let sbe_by_apid: BTreeMap<u64, u64> =
         deltas.iter().map(|d| (d.apid, d.total_sbe())).collect();
 
     // Joined rows: (job, sbe).
@@ -119,7 +122,7 @@ pub fn job_sbe_correlations(
         .filter(|&i| node_sbe[i] > 0.0)
         .map(|i| snapshots[i].node)
         .collect();
-    let offender_set: HashSet<NodeId> = offender_nodes.iter().copied().collect();
+    let offender_set: BTreeSet<NodeId> = offender_nodes.iter().copied().collect();
 
     let clean_rows: Vec<(&JobRecord, f64)> = rows
         .iter()

@@ -73,10 +73,10 @@ pub fn dedup_by_job(
     kind: GpuErrorKind,
     window_secs: u64,
 ) -> FilterOutcome {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     let mut parents = Vec::new();
     let mut children = Vec::new();
-    let mut last_kept: HashMap<Option<u64>, u64> = HashMap::new();
+    let mut last_kept: BTreeMap<Option<u64>, u64> = BTreeMap::new();
     for ev in events {
         if ev.kind != kind {
             parents.push(*ev);
@@ -98,10 +98,10 @@ pub fn dedup_by_job(
 /// children. This is the §2.2 "filtering scheme similar to other works
 /// [15, 21, 30, 32]" used before failure characterization.
 pub fn split_parents_children(events: &[ConsoleEvent], window_secs: u64) -> FilterOutcome {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     let mut parents = Vec::new();
     let mut children = Vec::new();
-    let mut last_kept: HashMap<(u32, GpuErrorKind), u64> = HashMap::new();
+    let mut last_kept: BTreeMap<(u32, GpuErrorKind), u64> = BTreeMap::new();
     for ev in events {
         let key = (ev.node.0, ev.kind);
         match last_kept.get(&key) {

@@ -10,7 +10,7 @@
 //! how much of the SBE volume is *ambiguous*: attributable to a job that
 //! ran more than one aprun, where no finer attribution is possible.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use titan_conlog::Aprun;
@@ -46,7 +46,7 @@ impl GranularityReport {
 
 /// Computes the report from the aprun log and job-level SBE deltas.
 pub fn aprun_granularity(apruns: &[Aprun], deltas: &[JobEccDelta]) -> GranularityReport {
-    let mut apruns_per_job: HashMap<u64, u32> = HashMap::new();
+    let mut apruns_per_job: BTreeMap<u64, u32> = BTreeMap::new();
     for a in apruns {
         *apruns_per_job.entry(a.apid).or_default() += 1;
     }

@@ -64,7 +64,9 @@ pub fn sbe_offender_analysis(snapshots: &[GpuSnapshot]) -> OffenderAnalysis {
 
     let mut levels = Vec::new();
     for &k in EXCLUSION_LEVELS.iter() {
-        let excluded: std::collections::HashSet<usize> =
+        // BTreeSet, not HashSet: contains-only, and a hash container in
+        // the report pipeline would register as a T1 iteration source.
+        let excluded: std::collections::BTreeSet<usize> =
             top_k_indices(&counts, k).into_iter().collect();
         let mut grid = CabinetGrid::new();
         let mut cage_totals = CageTally::default();

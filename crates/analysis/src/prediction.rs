@@ -12,7 +12,9 @@
 //! probability of being followed by a *crash-class* event within the
 //! horizon exceeds a threshold. Standard precision/recall scoring.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: these maps are serialized into the report,
+// so iteration/field order must not depend on the process hash seed.
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use titan_conlog::ConsoleEvent;
@@ -26,9 +28,9 @@ pub const DEFAULT_HORIZON_SECS: u64 = 300;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PrecursorModel {
     /// Learned probabilities per precursor kind.
-    pub follow_prob: HashMap<GpuErrorKind, f64>,
+    pub follow_prob: BTreeMap<GpuErrorKind, f64>,
     /// Precursor sample counts (for confidence).
-    pub support: HashMap<GpuErrorKind, u64>,
+    pub support: BTreeMap<GpuErrorKind, u64>,
     /// Horizon used, seconds.
     pub horizon: u64,
 }
@@ -42,8 +44,8 @@ fn is_crash_class(kind: GpuErrorKind) -> bool {
 /// look ahead `horizon` seconds for a crash-class event on the same node
 /// or the same job.
 pub fn train(events: &[ConsoleEvent], horizon: u64) -> PrecursorModel {
-    let mut followed: HashMap<GpuErrorKind, u64> = HashMap::new();
-    let mut support: HashMap<GpuErrorKind, u64> = HashMap::new();
+    let mut followed: BTreeMap<GpuErrorKind, u64> = BTreeMap::new();
+    let mut support: BTreeMap<GpuErrorKind, u64> = BTreeMap::new();
     for (i, prev) in events.iter().enumerate() {
         *support.entry(prev.kind).or_default() += 1;
         let mut hit = false;

@@ -15,7 +15,7 @@ use crate::filtering::{dedup_job_level, of_kind};
 pub fn spatial_grid(events: &[ConsoleEvent], kind: GpuErrorKind, distinct_nodes: bool) -> CabinetGrid {
     let mut grid = CabinetGrid::new();
     if distinct_nodes {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for ev in events.iter().filter(|e| e.kind == kind) {
             if seen.insert(ev.node) {
                 grid.add_node(ev.node, 1.0);
@@ -34,7 +34,7 @@ pub fn spatial_grid(events: &[ConsoleEvent], kind: GpuErrorKind, distinct_nodes:
 pub fn cage_tally(events: &[ConsoleEvent], kind: GpuErrorKind) -> (CageTally, CageTally) {
     let mut totals = CageTally::default();
     let mut distinct = CageTally::default();
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for ev in events.iter().filter(|e| e.kind == kind) {
         totals.add_node(ev.node, 1.0);
         if seen.insert(ev.node) {

@@ -5,7 +5,10 @@
 //! Spearman coefficient is 0.80 … Our correlation coefficient actually
 //! improves as the top 10 SBE offender nodes are excluded."
 
-use std::collections::{HashMap, HashSet};
+// BTree containers, not hash: `by_user.into_values()` feeds a sort
+// keyed on core-hours alone, so tied users would otherwise surface in
+// hash-iteration order (T1).
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use titan_conlog::JobRecord;
@@ -43,18 +46,18 @@ pub fn user_level_correlation(
     deltas: &[JobEccDelta],
     snapshots: &[GpuSnapshot],
 ) -> UserStudy {
-    let sbe_by_apid: HashMap<u64, u64> =
+    let sbe_by_apid: BTreeMap<u64, u64> =
         deltas.iter().map(|d| (d.apid, d.total_sbe())).collect();
 
     let node_sbe: Vec<f64> = snapshots.iter().map(|s| s.total_sbe() as f64).collect();
-    let offenders: HashSet<NodeId> = top_k_indices(&node_sbe, 10)
+    let offenders: BTreeSet<NodeId> = top_k_indices(&node_sbe, 10)
         .into_iter()
         .filter(|&i| node_sbe[i] > 0.0)
         .map(|i| snapshots[i].node)
         .collect();
 
     let aggregate = |exclude_offenders: bool| -> Vec<UserRow> {
-        let mut by_user: HashMap<u32, UserRow> = HashMap::new();
+        let mut by_user: BTreeMap<u32, UserRow> = BTreeMap::new();
         for j in jobs {
             let Some(&sbe) = sbe_by_apid.get(&j.apid) else {
                 continue;

@@ -29,7 +29,7 @@ pub enum Protection {
 /// The SECDED-protected memory structures are the ones that appear in the
 /// paper's per-structure breakdowns (Fig. 3(c) for DBEs; §4 notes most
 /// SBEs land in the L2 despite its small size).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MemoryStructure {
     /// 6 GB GDDR5 framebuffer.
     DeviceMemory,

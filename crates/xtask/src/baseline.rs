@@ -1,6 +1,6 @@
 //! The committed ratchet baseline (`crates/xtask/lint-baseline.toml`).
 //!
-//! Three sections, all ratcheting downward only:
+//! Four sections, all ratcheting downward only:
 //!
 //! - `[p2]` — non-test panic-surface sites (`.unwrap()` / `.expect(` /
 //!   `panic!` / indexing) per fully-qualified *function* path (rule
@@ -9,6 +9,9 @@
 //!   simulation crate (rule N1).
 //! - `[x1]` — unreferenced `pub` items per `crates/*` package (rule
 //!   X1).
+//! - `[t1]` — interprocedural determinism-taint paths per simulation
+//!   crate (rule T1). Unlike the count ratchets, a `[t1]` regression
+//!   reports each offending path with its full source→sink call chain.
 //!
 //! Every section uses implicit-zero budgets: a key missing from the
 //! file may measure zero and nothing else. The file is never
@@ -19,6 +22,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::taint::{t1_message, T1Path};
 use crate::{Finding, Rule};
 
 /// The committed budgets.
@@ -30,11 +34,14 @@ pub struct Baseline {
     pub n1: BTreeMap<String, usize>,
     /// crate name → allowed dead-pub count (X1).
     pub x1: BTreeMap<String, usize>,
+    /// crate name → allowed determinism-taint path count (T1).
+    pub t1: BTreeMap<String, usize>,
 }
 
 impl Baseline {
     /// Parses the minimal TOML subset the baseline file uses:
-    /// `[p2]` / `[n1]` / `[x1]` sections of `"name" = count` lines.
+    /// `[p2]` / `[n1]` / `[x1]` / `[t1]` sections of `"name" = count`
+    /// lines.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut out = Baseline::default();
         let mut section: Option<&str> = None;
@@ -48,6 +55,7 @@ impl Baseline {
                     "[p2]" => Some("p2"),
                     "[n1]" => Some("n1"),
                     "[x1]" => Some("x1"),
+                    "[t1]" => Some("t1"),
                     other => {
                         return Err(format!(
                             "lint-baseline.toml:{}: unknown section `{other}` (stale \
@@ -70,7 +78,8 @@ impl Baseline {
             match section {
                 "p2" => out.p2.insert(key, count),
                 "n1" => out.n1.insert(key, count),
-                _ => out.x1.insert(key, count),
+                "x1" => out.x1.insert(key, count),
+                _ => out.t1.insert(key, count),
             };
         }
         Ok(out)
@@ -93,6 +102,10 @@ impl Baseline {
              #       sites with `// lint: allow(N1, reason)`.\n\
              # [x1]: unreferenced `pub` items per crate (rule X1); delete the item,\n\
              #       reference it, or annotate with `// lint: allow(X1, reason)`.\n\
+             # [t1]: interprocedural determinism-taint paths per sim crate (rule T1);\n\
+             #       cut the chain (pass the value in from the runner layer), or\n\
+             #       annotate the source read or the importing call site with\n\
+             #       `// lint: allow(T1, reason)`.\n\
              \n[p2]\n",
         );
         for (name, count) in &self.p2 {
@@ -104,6 +117,10 @@ impl Baseline {
         }
         out.push_str("\n[x1]\n");
         for (name, count) in &self.x1 {
+            out.push_str(&format!("\"{name}\" = {count}\n"));
+        }
+        out.push_str("\n[t1]\n");
+        for (name, count) in &self.t1 {
             out.push_str(&format!("\"{name}\" = {count}\n"));
         }
         out
@@ -205,9 +222,60 @@ pub fn check_x1_baseline(
     )
 }
 
+/// Compares measured T1 path counts against `[t1]` (implicit zero for
+/// missing crates). Unlike the count-only ratchets, a regressed crate
+/// reports **every** offending path individually — each finding anchors
+/// at the taint-importing line and carries the full source→sink chain
+/// in its message (which is also what the SARIF layer turns into
+/// `codeFlows`). Improvements and stale entries are notes, as usual.
+pub fn check_t1_baseline(
+    baseline: &Baseline,
+    t1_counts: &BTreeMap<String, usize>,
+    t1_paths: &[T1Path],
+) -> (Vec<Finding>, Vec<String>) {
+    let mut findings = Vec::new();
+    let mut notes = Vec::new();
+    for (name, &count) in t1_counts {
+        let budget = baseline.t1.get(name).copied().unwrap_or(0);
+        if count > budget {
+            for p in t1_paths.iter().filter(|p| &p.crate_name == name) {
+                findings.push(Finding {
+                    file: p.file.clone(),
+                    line: p.line,
+                    rule: Rule::T1,
+                    message: t1_message(p),
+                    hint: format!(
+                        "cut the chain (inject the value from the runner layer), or \
+                         annotate the source read or this call site with \
+                         `// lint: allow(T1, reason)`; `{name}` budget is {budget}, \
+                         measured {count} (t1_paths in `--format json` lists every \
+                         chain; `cargo xtask lint --explain T1` has the recipe)"
+                    ),
+                });
+            }
+        } else if count < budget {
+            notes.push(format!(
+                "`{name}` improved: {budget} → {count} determinism-taint paths; run \
+                 `cargo xtask lint --update-baseline` to ratchet the budget down"
+            ));
+        }
+    }
+    for (name, &budget) in &baseline.t1 {
+        if budget > 0 && !t1_counts.contains_key(name) {
+            notes.push(format!(
+                "`{name}` improved: {budget} → 0 determinism-taint paths; run \
+                 `cargo xtask lint --update-baseline` to drop the stale entry"
+            ));
+        }
+    }
+    (findings, notes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::callgraph::{SinkKind, SourceKind};
+    use crate::taint::T1Step;
 
     #[test]
     fn baseline_roundtrip_is_byte_stable() {
@@ -217,6 +285,7 @@ mod tests {
         baseline.n1.insert("titan-sim".into(), 7);
         baseline.x1.insert("titan-sim".into(), 0);
         baseline.x1.insert("titan-gpu".into(), 2);
+        baseline.t1.insert("titan-obs".into(), 1);
         let text = baseline.render();
         assert_eq!(Baseline::parse(&text).unwrap(), baseline);
         assert!(text.ends_with('\n'), "trailing newline is part of the format");
@@ -288,10 +357,67 @@ mod tests {
         assert_eq!(notes.len(), 1);
     }
 
+    fn path(crate_name: &str, file: &str, line: usize) -> T1Path {
+        T1Path {
+            sink_fn: "titan_sim::Engine::apply".into(),
+            file: file.into(),
+            line,
+            crate_name: crate_name.into(),
+            sink_kind: SinkKind::StateWrite,
+            sink_line: line,
+            source_kind: SourceKind::EnvRead,
+            source_desc: "env::var(\"W\")".into(),
+            source_file: "crates/stats/src/lib.rs".into(),
+            source_line: 2,
+            steps: vec![
+                T1Step {
+                    path: "titan_stats::host_width".into(),
+                    file: "crates/stats/src/lib.rs".into(),
+                    line: 2,
+                },
+                T1Step { path: "titan_sim::Engine::apply".into(), file: file.into(), line },
+            ],
+        }
+    }
+
+    #[test]
+    fn t1_ratchet_reports_each_path_with_its_chain() {
+        let baseline = Baseline::default();
+        let counts = BTreeMap::from([("titan-sim".to_string(), 2), ("titan-obs".to_string(), 0)]);
+        let paths = vec![
+            path("titan-sim", "crates/simulator/src/lib.rs", 10),
+            path("titan-sim", "crates/simulator/src/lib.rs", 20),
+        ];
+        let (findings, notes) = check_t1_baseline(&baseline, &counts, &paths);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(notes.is_empty());
+        assert_eq!(findings[0].rule, Rule::T1);
+        assert_eq!(findings[0].file, "crates/simulator/src/lib.rs");
+        assert_eq!(findings[0].line, 10);
+        assert!(findings[0].message.contains("titan_stats::host_width"), "{}", findings[0]);
+        assert!(findings[0].hint.contains("allow(T1"), "{}", findings[0].hint);
+
+        // Within budget: no findings. Under budget: an improvement note.
+        let mut ok = Baseline::default();
+        ok.t1.insert("titan-sim".into(), 2);
+        let (findings, notes) = check_t1_baseline(&ok, &counts, &paths);
+        assert!(findings.is_empty());
+        assert!(notes.is_empty());
+        let mut loose = Baseline::default();
+        loose.t1.insert("titan-sim".into(), 5);
+        loose.t1.insert("titan-gone".into(), 3);
+        let (findings, notes) = check_t1_baseline(&loose, &counts, &paths);
+        assert!(findings.is_empty());
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes[0].contains("titan-sim"), "{notes:?}");
+        assert!(notes[1].contains("titan-gone"), "{notes:?}");
+    }
+
     #[test]
     fn parse_rejects_unknown_sections_and_bad_counts() {
         assert!(Baseline::parse("[p2]\n\"a::b\" = 1\n").is_ok());
         assert!(Baseline::parse("[x1]\n\"titan-gpu\" = 0\n").is_ok());
+        assert!(Baseline::parse("[t1]\n\"titan-sim\" = 1\n").is_ok());
         let stale = Baseline::parse("[budgets]\n\"a\" = 1\n");
         assert!(stale.is_err(), "the pre-v3 [budgets] section must be rejected");
         assert!(stale.unwrap_err().contains("--update-baseline"));

@@ -51,6 +51,12 @@
 //! - **X1** — dead `pub` items in `titan-*` crates, found via the
 //!   workspace reference graph and ratcheted in `[x1]`
 //!   (see [`symbols`]).
+//! - **T1** — interprocedural determinism taint: a nondeterminism
+//!   source (env read, wall clock, thread-width query, pointer-address
+//!   cast, hash iteration, entropy) reaching a sim-state write or an
+//!   output/digest emission through *any* call chain, reported with
+//!   the full source→sink witness and ratcheted per crate in `[t1]`
+//!   (see [`callgraph`] and [`taint`]).
 //!
 //! Since v2 the scanner is **token-based**: every file is lexed by the
 //! hand-rolled [`lexer`] (comments incl. nesting, string/char/raw
@@ -63,23 +69,32 @@
 //! tree (modules, fns, impls, closures, with exact byte spans), and
 //! P2/E1/D6/X1 are expressed against that tree plus the workspace
 //! symbol graph. The scanner stays std-only: it runs on a cold
-//! checkout before any dependency resolution.
+//! checkout before any dependency resolution. Since v4 the same item
+//! tree feeds a workspace *call graph* ([`callgraph`]) and a
+//! fixed-point taint propagation ([`taint`]), so T1 sees across
+//! function and crate boundaries — still with zero dependency
+//! resolution, and still on the single shared pass over the tree.
 
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod baseline;
+pub mod callgraph;
 pub mod layering;
 pub mod lexer;
+pub mod meta;
 pub mod output;
 pub mod parser;
 pub mod rules;
 pub mod sarif;
 pub mod schema;
 pub mod symbols;
+pub mod taint;
 
-pub use baseline::{check_n1_baseline, check_p2_baseline, check_x1_baseline, Baseline};
+pub use baseline::{
+    check_n1_baseline, check_p2_baseline, check_t1_baseline, check_x1_baseline, Baseline,
+};
 pub use output::{render_github, render_json};
 pub use sarif::render_sarif;
 
@@ -128,6 +143,8 @@ pub enum Rule {
     P2,
     /// Dead `pub` item budget regression.
     X1,
+    /// Interprocedural determinism-taint path regression.
+    T1,
 }
 
 impl Rule {
@@ -145,6 +162,7 @@ impl Rule {
             Rule::S1 => "S1",
             Rule::P2 => "P2",
             Rule::X1 => "X1",
+            Rule::T1 => "T1",
         }
     }
 }
@@ -751,6 +769,12 @@ pub struct LintReport {
     pub x1_counts: std::collections::BTreeMap<String, usize>,
     /// Every unhatched dead pub item, sorted (the burn-down worklist).
     pub x1_sites: Vec<X1Site>,
+    /// Measured per-crate determinism-taint path counts (sim-scope
+    /// packages, zero included; the T1 ratchet input).
+    pub t1_counts: std::collections::BTreeMap<String, usize>,
+    /// Every source→sink taint path, sorted (the T1 burn-down worklist
+    /// and the SARIF codeFlows input).
+    pub t1_paths: Vec<taint::T1Path>,
     pub files_scanned: usize,
 }
 
@@ -771,6 +795,7 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport>
         Default::default();
     let mut must_use: BTreeSet<String> = BTreeSet::new();
     let mut discards: Vec<rules::Discard> = Vec::new();
+    let mut cg_fns: Vec<callgraph::FnDecl> = Vec::new();
 
     for target in workspace_targets(root)? {
         let mut crate_casts = 0usize;
@@ -814,6 +839,16 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport>
             }
             must_use.extend(ss.must_use_fns);
             discards.extend(ss.discards);
+            // T1 input: every crate contributes call-graph nodes — a
+            // source in an analysis-side crate taints whatever sim code
+            // calls it, even though only sim-scope fns hold sinks.
+            cg_fns.extend(callgraph::harvest_file(
+                &rel,
+                &text,
+                &prefix,
+                &target.name,
+                target.sim_scope,
+            ));
             report.files_scanned += 1;
         }
         if target.sim_scope {
@@ -858,12 +893,17 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport>
     // L1: the manifest-level layering contract.
     report.findings.extend(layering::check_layering(&manifests));
 
+    // T1: interprocedural determinism taint over the call graph.
+    let (t1_paths, t1_counts) = taint::analyze(&cg_fns, &manifests);
+    report.t1_paths = t1_paths;
+    report.t1_counts = t1_counts;
+
     // S1: frozen output schemas against their golden specs.
     let (specs, spec_findings) = schema::load_specs(root)?;
     report.findings.extend(spec_findings);
     report.findings.extend(schema::check_schemas(root, &specs));
 
-    // P2 + N1 + X1 ratchets.
+    // P2 + N1 + X1 + T1 ratchets.
     let (p2, mut notes) = check_p2_baseline(baseline, &report.p2_counts);
     report.findings.extend(p2);
     let (n1, n1_notes) = check_n1_baseline(baseline, &report.n1_counts);
@@ -872,6 +912,9 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport>
     let (x1, x1_notes) = check_x1_baseline(baseline, &report.x1_counts);
     report.findings.extend(x1);
     notes.extend(x1_notes);
+    let (t1, t1_notes) = check_t1_baseline(baseline, &report.t1_counts, &report.t1_paths);
+    report.findings.extend(t1);
+    notes.extend(t1_notes);
     report.notes = notes;
 
     // Deterministic order regardless of scan interleaving.

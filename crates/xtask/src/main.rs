@@ -12,17 +12,17 @@ usage: cargo xtask <task>
 
 tasks:
   lint [--format text|json|github|sarif] [--out FILE] [--sarif FILE]
-       [--update-baseline]
-        Run the titan-lint pass (rules D1-D6, E1, N1, L1, S1, P2, X1)
-        over all workspace crates. Exits 1 on any violation.
+       [--update-baseline] [--explain RULE]
+        Run the titan-lint pass (rules D1-D6, E1, N1, L1, S1, P2, X1,
+        T1) over all workspace crates. Exits 1 on any violation.
 
-        --format json       machine-readable titan-lint/3 document on
+        --format json       machine-readable titan-lint/4 document on
                             stdout (byte-stable: sorted findings, sorted
                             maps)
         --format github     GitHub Actions ::error annotations on stdout
         --format sarif      SARIF 2.1.0 log on stdout (what GitHub code
-                            scanning ingests)
-        --out FILE          always write the titan-lint/3 JSON document
+                            scanning ingests; T1 results carry codeFlows)
+        --out FILE          always write the titan-lint/4 JSON document
                             to FILE, regardless of --format (the CI
                             artifact), even when the lint fails
         --sarif FILE        always write the SARIF 2.1.0 log to FILE,
@@ -30,8 +30,12 @@ tasks:
                             fails
         --update-baseline   rewrite crates/xtask/lint-baseline.toml with
                             the measured [p2] panic-surface, [n1] cast,
-                            and [x1] dead-pub counts (deterministic:
-                            sorted keys, trailing newline)
+                            [x1] dead-pub, and [t1] taint-path counts
+                            (deterministic: sorted keys, trailing
+                            newline)
+        --explain RULE      print one rule's rationale, source/sink
+                            catalog, and escape-hatch recipe, then exit
+                            (no scan)
 ";
 
 fn main() -> ExitCode {
@@ -98,6 +102,27 @@ fn lint(args: &[String]) -> ExitCode {
                 }
             },
             "--update-baseline" => update_baseline = true,
+            "--explain" => match it.next() {
+                Some(rule) => match xtask::meta::explain(rule) {
+                    Some(text) => {
+                        print!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        let known: Vec<&str> =
+                            xtask::meta::RULE_META.iter().map(|m| m.id).collect();
+                        eprintln!(
+                            "xtask lint: unknown rule `{rule}` (known: {})",
+                            known.join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("xtask lint: --explain needs a rule id (e.g. T1)");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("xtask lint: unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -151,11 +176,13 @@ fn lint(args: &[String]) -> ExitCode {
             p2: nonzero(&report.p2_counts),
             n1: nonzero(&report.n1_counts),
             x1: nonzero(&report.x1_counts),
+            t1: nonzero(&report.t1_counts),
         };
         for (section, old_map, new_map) in [
             ("p2", &baseline.p2, &new.p2),
             ("n1", &baseline.n1, &new.n1),
             ("x1", &baseline.x1, &new.x1),
+            ("t1", &baseline.t1, &new.t1),
         ] {
             for (name, &count) in new_map {
                 if let Some(&old) = old_map.get(name) {
@@ -182,7 +209,12 @@ fn lint(args: &[String]) -> ExitCode {
             report
                 .findings
                 .iter()
-                .filter(|f| f.rule != Rule::P2 && f.rule != Rule::N1 && f.rule != Rule::X1)
+                .filter(|f| {
+                    f.rule != Rule::P2
+                        && f.rule != Rule::N1
+                        && f.rule != Rule::X1
+                        && f.rule != Rule::T1
+                })
                 .cloned()
                 .collect()
         } else {
@@ -194,6 +226,8 @@ fn lint(args: &[String]) -> ExitCode {
         n1_sites: report.n1_sites.clone(),
         x1_counts: report.x1_counts.clone(),
         x1_sites: report.x1_sites.clone(),
+        t1_counts: report.t1_counts.clone(),
+        t1_paths: report.t1_paths.clone(),
         files_scanned: report.files_scanned,
     };
 

@@ -2,21 +2,23 @@
 //! (machine-readable, byte-stable), `--format github` (workflow
 //! annotation commands). `--format sarif` lives in [`crate::sarif`].
 //!
-//! The JSON document is itself a frozen schema, `titan-lint/3`: CI
+//! The JSON document is itself a frozen schema, `titan-lint/4`: CI
 //! uploads it as an artifact and downstream dashboards diff it between
 //! runs, so its key order and separators must be byte-identical for
 //! identical input — everything it serializes is either a BTreeMap or
 //! a pre-sorted vector, and the writer uses no HashMap anywhere.
 //!
-//! `titan-lint/3` supersedes `titan-lint/2`: the per-crate
-//! `unwrap_panic_counts` map (old rule P1) is replaced by the
-//! per-function `p2_counts` map, and the `x1_counts` / `x1_sites`
-//! dead-pub worklist is new.
+//! `titan-lint/4` supersedes `titan-lint/3`: the `t1_counts` map and
+//! the `t1_paths` array (rule T1's per-crate determinism-taint path
+//! counts and full source→sink witness chains) are new; everything
+//! else is unchanged. (`/3` had replaced the per-crate
+//! `unwrap_panic_counts` of `/2` with per-function `p2_counts` and
+//! added the `x1_*` dead-pub worklist.)
 
 use crate::LintReport;
 
 /// The lint report's own output schema version.
-pub const JSON_SCHEMA: &str = "titan-lint/3";
+pub const JSON_SCHEMA: &str = "titan-lint/4";
 
 pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -34,7 +36,7 @@ pub(crate) fn esc(s: &str) -> String {
     out
 }
 
-/// Renders the `titan-lint/3` JSON document. Findings are emitted in
+/// Renders the `titan-lint/4` JSON document. Findings are emitted in
 /// the report's (already sorted) order; maps iterate in BTreeMap key
 /// order; two runs over an identical tree produce identical bytes.
 pub fn render_json(report: &LintReport) -> String {
@@ -95,7 +97,44 @@ pub fn render_json(report: &LintReport) -> String {
             esc(&s.path),
         ));
     }
-    out.push_str(if report.x1_sites.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str(if report.x1_sites.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    render_count_map(&mut out, "t1_counts", &report.t1_counts);
+    out.push_str(",\n");
+
+    out.push_str("  \"t1_paths\": [");
+    for (i, p) in report.t1_paths.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"crate\": \"{}\", \
+             \"sink_fn\": \"{}\", \"sink_kind\": \"{}\", \"sink_line\": {}, \
+             \"source_kind\": \"{}\", \"source\": \"{}\", \
+             \"source_file\": \"{}\", \"source_line\": {}, \"steps\": [",
+            esc(&p.file),
+            p.line,
+            esc(&p.crate_name),
+            esc(&p.sink_fn),
+            esc(p.sink_kind.as_str()),
+            p.sink_line,
+            esc(p.source_kind.as_str()),
+            esc(&p.source_desc),
+            esc(&p.source_file),
+            p.source_line,
+        ));
+        for (j, s) in p.steps.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"fn\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                esc(&s.path),
+                esc(&s.file),
+                s.line,
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if report.t1_paths.is_empty() { "]\n" } else { "\n  ]\n" });
     out.push_str("}\n");
     out
 }
@@ -158,6 +197,8 @@ pub fn render_github(report: &LintReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::callgraph::{SinkKind, SourceKind};
+    use crate::taint::{T1Path, T1Step};
     use crate::{Finding, N1Site, Rule, X1Site};
 
     fn sample_report() -> LintReport {
@@ -190,6 +231,31 @@ mod tests {
             line: 11,
             path: "titan_x::orphan".into(),
         });
+        report.t1_counts.insert("titan-x".into(), 1);
+        report.t1_paths.push(T1Path {
+            sink_fn: "titan_x::Engine::apply".into(),
+            file: "crates/x/src/lib.rs".into(),
+            line: 13,
+            crate_name: "titan-x".into(),
+            sink_kind: SinkKind::StateWrite,
+            sink_line: 13,
+            source_kind: SourceKind::EnvRead,
+            source_desc: "env::var(\"W\")".into(),
+            source_file: "crates/stats/src/lib.rs".into(),
+            source_line: 2,
+            steps: vec![
+                T1Step {
+                    path: "titan_stats::host_width".into(),
+                    file: "crates/stats/src/lib.rs".into(),
+                    line: 2,
+                },
+                T1Step {
+                    path: "titan_x::Engine::apply".into(),
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 13,
+                },
+            ],
+        });
         report.notes.push("a note".into());
         report
     }
@@ -197,7 +263,7 @@ mod tests {
     #[test]
     fn json_is_schema_tagged_and_escaped() {
         let json = render_json(&sample_report());
-        assert!(json.starts_with("{\n  \"schema\": \"titan-lint/3\",\n"));
+        assert!(json.starts_with("{\n  \"schema\": \"titan-lint/4\",\n"));
         assert!(json.contains("\"rule\": \"D2\""));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"titan_x::f\": 2"));
@@ -205,6 +271,14 @@ mod tests {
         assert!(json.contains("\"cast\": \"as u32\""));
         assert!(json.contains("\"x1_counts\""));
         assert!(json.contains("\"path\": \"titan_x::orphan\""));
+        assert!(json.contains("\"t1_counts\""));
+        assert!(json.contains("\"source_kind\": \"env read\""));
+        assert!(json.contains("\"source\": \"env::var(\\\"W\\\")\""));
+        assert!(json.contains("\"sink_kind\": \"a sim-state write\""));
+        assert!(json.contains(
+            "\"steps\": [{\"fn\": \"titan_stats::host_width\", \
+             \"file\": \"crates/stats/src/lib.rs\", \"line\": 2}, "
+        ));
         assert!(json.ends_with("}\n"));
     }
 
@@ -219,7 +293,9 @@ mod tests {
         assert!(json.contains("\"findings\": [],"));
         assert!(json.contains("\"p2_counts\": {},"));
         assert!(json.contains("\"n1_sites\": [],"));
-        assert!(json.contains("\"x1_sites\": []\n"));
+        assert!(json.contains("\"x1_sites\": [],"));
+        assert!(json.contains("\"t1_counts\": {},"));
+        assert!(json.contains("\"t1_paths\": []\n"));
     }
 
     #[test]

@@ -10,27 +10,20 @@
 //! Only the minimal required subset of the spec is emitted — one run,
 //! one driver, `results` with `ruleId` / `message` / a single physical
 //! location. Crate-level findings (line 0, e.g. ratchet regressions)
-//! omit the `region` object, which SARIF permits.
+//! omit the `region` object, which SARIF permits. T1 findings
+//! additionally carry `codeFlows`/`threadFlows`: one location per hop
+//! of the taint chain, so code-scanning UIs replay the laundering path
+//! step by step.
+//!
+//! The driver rule table comes from [`crate::meta::RULE_META`] — the
+//! same table `--explain` prints and LINTS.md mirrors, so the SARIF
+//! descriptions can no longer drift from the docs (the old static copy
+//! here had gone stale for D3/D4/D5/S1).
 
+use crate::meta::RULE_META;
 use crate::output::esc;
-use crate::LintReport;
-
-/// Static rule table for `tool.driver.rules`. Kept in rule-id order so
-/// the document is reproducible; descriptions mirror LINTS.md.
-const RULES: &[(&str, &str)] = &[
-    ("D1", "wall-clock or OS entropy source in a simulation crate"),
-    ("D2", "unordered hash container in non-test simulation code"),
-    ("D3", "thread-based parallelism inside the deterministic core"),
-    ("D4", "float accumulation across unordered iteration"),
-    ("D5", "telemetry emitted outside the deterministic clock"),
-    ("D6", "RNG draw inside a comparator or Drop impl in an engine crate"),
-    ("E1", "fallible simulation result silently discarded"),
-    ("L1", "crate dependency violates the committed layering DAG"),
-    ("N1", "lossy numeric cast budget exceeded in a simulation crate"),
-    ("P2", "per-function panic-surface budget exceeded"),
-    ("S1", "nondeterministic iteration feeding sorted output"),
-    ("X1", "unreferenced pub item budget exceeded"),
-];
+use crate::taint::{t1_message, T1Path};
+use crate::{LintReport, Rule};
 
 /// Renders the report as a SARIF 2.1.0 log. Deterministic: equal
 /// reports produce identical bytes.
@@ -48,11 +41,12 @@ pub fn render_sarif(report: &LintReport) -> String {
     ));
     out.push_str("          \"informationUri\": \"LINTS.md\",\n");
     out.push_str("          \"rules\": [");
-    for (i, (id, desc)) in RULES.iter().enumerate() {
+    for (i, m) in RULE_META.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str(&format!(
-            "            {{\"id\": \"{id}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
-            esc(desc)
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            m.id,
+            esc(m.short)
         ));
     }
     out.push_str("\n          ]\n        }\n      },\n");
@@ -72,11 +66,52 @@ pub fn render_sarif(report: &LintReport) -> String {
         if f.line > 0 {
             out.push_str(&format!(", \"region\": {{\"startLine\": {}}}", f.line));
         }
-        out.push_str("}}\n          ]\n        }");
+        out.push_str("}}\n          ]");
+        // T1 results carry the full taint chain as a codeFlow. The
+        // finding was built from the path, so (file, line, message)
+        // identifies it exactly.
+        if f.rule == Rule::T1 {
+            if let Some(p) = report.t1_paths.iter().find(|p| {
+                p.file == f.file && p.line == f.line && t1_message(p) == f.message
+            }) {
+                push_code_flow(&mut out, p);
+            }
+        }
+        out.push_str("\n        }");
     }
     out.push_str(if report.findings.is_empty() { "]\n" } else { "\n      ]\n" });
     out.push_str("    }\n  ]\n}\n");
     out
+}
+
+/// Appends the `codeFlows` array for one T1 path: a single threadFlow
+/// whose locations walk the witness source read → call sites → sink
+/// statement, each with a step message.
+fn push_code_flow(out: &mut String, p: &T1Path) {
+    out.push_str(",\n          \"codeFlows\": [\n");
+    out.push_str("            {\"threadFlows\": [\n");
+    out.push_str("              {\"locations\": [");
+    let last = p.steps.len().saturating_sub(1);
+    for (i, s) in p.steps.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let note = if i == 0 {
+            format!("{} `{}` read in {}", p.source_kind.as_str(), p.source_desc, s.path)
+        } else if i == last {
+            format!("{} in {}", p.sink_kind.as_str(), s.path)
+        } else {
+            format!("tainted value flows through {}", s.path)
+        };
+        out.push_str(&format!(
+            "                {{\"location\": {{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}, \
+             \"message\": {{\"text\": \"{}\"}}}}}}",
+            esc(&s.file),
+            s.line,
+            esc(&note),
+        ));
+    }
+    out.push_str("\n              ]}\n            ]}\n          ]");
 }
 
 #[cfg(test)]
@@ -113,7 +148,7 @@ mod tests {
         assert!(sarif.contains("sarif-2.1.0.json"));
         assert!(sarif.contains("\"name\": \"titan-lint\""));
         // Every rule id appears in the driver table exactly once.
-        for id in ["D1", "D2", "D3", "D4", "D5", "D6", "E1", "L1", "N1", "P2", "S1", "X1"] {
+        for id in ["D1", "D2", "D3", "D4", "D5", "D6", "E1", "L1", "N1", "P2", "S1", "T1", "X1"] {
             assert_eq!(
                 sarif.matches(&format!("\"id\": \"{id}\"")).count(),
                 1,
@@ -127,6 +162,70 @@ mod tests {
         assert!(sarif.contains("\"ruleId\": \"P2\""));
         assert!(!sarif.contains("\"startLine\": 0"));
         assert_eq!(sarif.matches("\"region\"").count(), 1, "only the D6 finding has a region");
+    }
+
+    #[test]
+    fn t1_findings_carry_code_flows() {
+        use crate::callgraph::{SinkKind, SourceKind};
+        use crate::taint::T1Step;
+
+        let path = T1Path {
+            sink_fn: "titan_sim::Engine::apply_hint".into(),
+            file: "crates/simulator/src/lib.rs".into(),
+            line: 9,
+            crate_name: "titan-sim".into(),
+            sink_kind: SinkKind::StateWrite,
+            sink_line: 9,
+            source_kind: SourceKind::EnvRead,
+            source_desc: "env::var(\"TITAN_NUM_THREADS\")".into(),
+            source_file: "crates/stats/src/lib.rs".into(),
+            source_line: 2,
+            steps: vec![
+                T1Step {
+                    path: "titan_stats::host_width_raw".into(),
+                    file: "crates/stats/src/lib.rs".into(),
+                    line: 2,
+                },
+                T1Step {
+                    path: "titan_sim::width_hint".into(),
+                    file: "crates/simulator/src/lib.rs".into(),
+                    line: 4,
+                },
+                T1Step {
+                    path: "titan_sim::Engine::apply_hint".into(),
+                    file: "crates/simulator/src/lib.rs".into(),
+                    line: 9,
+                },
+            ],
+        };
+        let mut report = report_with(vec![Finding {
+            file: path.file.clone(),
+            line: path.line,
+            rule: Rule::T1,
+            message: t1_message(&path),
+            hint: "cut the chain".into(),
+        }]);
+        report.t1_paths.push(path);
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains("\"ruleId\": \"T1\""), "{sarif}");
+        assert!(sarif.contains("\"codeFlows\""), "{sarif}");
+        assert!(sarif.contains("\"threadFlows\""));
+        // One location per step, each with file + line + step message.
+        assert_eq!(sarif.matches("\"location\":").count(), 3, "{sarif}");
+        assert!(sarif.contains("env read `env::var(\\\"TITAN_NUM_THREADS\\\")` read in titan_stats::host_width_raw"));
+        assert!(sarif.contains("tainted value flows through titan_sim::width_hint"));
+        assert!(sarif.contains("a sim-state write in titan_sim::Engine::apply_hint"));
+        assert!(sarif.contains("\"startLine\": 4"));
+
+        // A non-T1 finding never grows a codeFlows block.
+        let plain = render_sarif(&report_with(vec![Finding {
+            file: "crates/gpu/src/ecc.rs".into(),
+            line: 3,
+            rule: Rule::D1,
+            message: "m".into(),
+            hint: "h".into(),
+        }]));
+        assert!(!plain.contains("codeFlows"));
     }
 
     #[test]

@@ -72,6 +72,146 @@ pub fn visibility(manifests: &[CrateManifest]) -> BTreeMap<String, BTreeSet<Stri
     out
 }
 
+/// For every package, the set of packages whose items *it* may
+/// reference: itself plus its transitive `[dependencies]` closure.
+/// This is [`visibility`] with the arrows reversed — X1 asks "who can
+/// see me", call resolution asks "whom can I call".
+pub fn reachable(manifests: &[CrateManifest]) -> BTreeMap<String, BTreeSet<String>> {
+    let by_pkg: BTreeMap<&str, &CrateManifest> = manifests
+        .iter()
+        .filter(|m| !m.package.is_empty())
+        .map(|m| (m.package.as_str(), m))
+        .collect();
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for m in manifests {
+        if m.package.is_empty() {
+            continue;
+        }
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut frontier = vec![m.package.as_str()];
+        while let Some(pkg) = frontier.pop() {
+            if !seen.insert(pkg) {
+                continue;
+            }
+            if let Some(dep) = by_pkg.get(pkg) {
+                frontier.extend(dep.deps.iter().map(|(d, _)| d.as_str()));
+            }
+        }
+        out.insert(m.package.clone(), seen.into_iter().map(String::from).collect());
+    }
+    out
+}
+
+/// One callable item for name-based call resolution.
+#[derive(Debug, Clone)]
+pub struct Callable {
+    /// Fully-qualified path (`titan_sim::engine::Engine::step`).
+    pub path: String,
+    /// Unqualified name (`step`).
+    pub name: String,
+    /// Defined inside an `impl`/`trait` block of this type, if any.
+    pub owner: Option<String>,
+    /// Package the definition lives in.
+    pub pkg: String,
+}
+
+/// Name-keyed index over every workspace callable, with the resolution
+/// policy the call graph needs. The PR 6 reference counter only asked
+/// "does this identifier occur anywhere"; `resolve` additionally
+/// honors path qualifiers — `Engine::step(..)`, `Vec::<u8>::new(..)`,
+/// `<Fleet as Spare>::swap(..)`, `Self::helper(..)` — and the manifest
+/// dependency DAG, so an edge is only drawn to a definition the caller
+/// could actually link against.
+pub struct CallableIndex {
+    items: Vec<Callable>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallableIndex {
+    pub fn new(items: Vec<Callable>) -> Self {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, c) in items.iter().enumerate() {
+            by_name.entry(c.name.clone()).or_default().push(i);
+        }
+        CallableIndex { items, by_name }
+    }
+
+    pub fn get(&self, idx: usize) -> &Callable {
+        &self.items[idx]
+    }
+
+    /// Candidate definitions for one call site, in index order.
+    ///
+    /// - `caller_pkg` / `reach`: a candidate must live in a package the
+    ///   caller's manifest closure reaches (see [`reachable`]).
+    /// - `caller_owner`: the caller's enclosing impl self-type; a
+    ///   `Self::` qualifier resolves against it.
+    /// - `name` / `quals`: the callee and its path qualifiers as
+    ///   written. Each qualifier must appear, in order, among the
+    ///   candidate's path segments — `engine::step` matches
+    ///   `titan_sim::engine::Engine::step`, not `titan_sim::obs::step`.
+    /// - `method`: a `.name(..)` receiver call; only `impl`/`trait`
+    ///   members can answer it (a free fn cannot be a method).
+    ///
+    /// Name-based matching over-approximates — a method call may hit
+    /// every visible type's method of that name — which is the safe
+    /// direction for taint: a spurious edge adds a path to review, a
+    /// missing one would hide a leak.
+    pub fn resolve(
+        &self,
+        caller_pkg: &str,
+        caller_owner: Option<&str>,
+        name: &str,
+        quals: &[String],
+        method: bool,
+        reach: &BTreeMap<String, BTreeSet<String>>,
+    ) -> Vec<usize> {
+        let Some(candidates) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let own = BTreeSet::from([caller_pkg.to_string()]);
+        let visible = reach.get(caller_pkg).unwrap_or(&own);
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let c = &self.items[i];
+                if !visible.contains(&c.pkg) {
+                    return false;
+                }
+                if method {
+                    return c.owner.is_some();
+                }
+                if quals.is_empty() {
+                    // A bare `name(..)` call can only reach a free fn
+                    // (associated fns need a path or a receiver).
+                    return c.owner.is_none();
+                }
+                // Qualifier match: walk the written qualifiers in
+                // order, greedily consuming the candidate's path
+                // segments. A qualifier no segment spells is tolerated
+                // — UFCS trait names (`<Fleet as Spare>::swap`) and
+                // turbofish type args (`parse::<u64>`) are foreign to
+                // the definition path by construction — but at least
+                // one qualifier must land, so `engine::step` can never
+                // claim `titan_sim::obs::step`.
+                let segs: Vec<&str> = c.path.split("::").collect();
+                let inner = &segs[..segs.len().saturating_sub(1)];
+                let mut pos = 0usize;
+                let mut matched = 0usize;
+                for q in quals {
+                    let want = if q == "Self" { caller_owner.unwrap_or("Self") } else { q };
+                    if let Some(off) = inner[pos..].iter().position(|s| *s == want) {
+                        pos += off + 1;
+                        matched += 1;
+                    }
+                }
+                matched >= 1
+            })
+            .collect()
+    }
+}
+
 /// Identifier counts from the global reference pool: `tests/`,
 /// `examples/`, and `benches/` trees at the root and under every
 /// `crates/*` member. These compile against dev-dependencies, which
@@ -204,6 +344,109 @@ mod tests {
         // A test-pool mention is a reference too.
         let pool = BTreeMap::from([("orphan".to_string(), 1)]);
         assert!(dead_pubs("titan-stats", &items, &per_crate, &pool, &vis).is_empty());
+    }
+
+    #[test]
+    fn reachable_is_the_transitive_dependency_closure() {
+        let reach = reachable(&manifests());
+        let sim: Vec<&str> = reach["titan-sim"].iter().map(String::as_str).collect();
+        assert_eq!(sim, vec!["titan-faults", "titan-sim", "titan-stats"]);
+        let stats: Vec<&str> = reach["titan-stats"].iter().map(String::as_str).collect();
+        assert_eq!(stats, vec!["titan-stats"], "a leaf reaches only itself");
+    }
+
+    fn callables() -> CallableIndex {
+        let c = |path: &str, owner: Option<&str>, pkg: &str| Callable {
+            path: path.to_string(),
+            name: path.rsplit("::").next().unwrap().to_string(),
+            owner: owner.map(str::to_string),
+            pkg: pkg.to_string(),
+        };
+        CallableIndex::new(vec![
+            c("titan_sim::engine::Engine::step", Some("Engine"), "titan-sim"),
+            c("titan_sim::obs_glue::step", None, "titan-sim"),
+            c("titan_faults::Injector::step", Some("Injector"), "titan-faults"),
+            c("titan_stats::mean", None, "titan-stats"),
+            c("titan_sim::fleet::Fleet::swap", Some("Fleet"), "titan-sim"),
+            c("titan_sim::engine::Engine::helper", Some("Engine"), "titan-sim"),
+        ])
+    }
+
+    fn paths(idx: &CallableIndex, hits: Vec<usize>) -> Vec<String> {
+        hits.into_iter().map(|i| idx.get(i).path.clone()).collect()
+    }
+
+    #[test]
+    fn resolve_honors_impl_qualifiers() {
+        // The PR 6 reference counter treated `Engine::step(..)` as a
+        // bare mention of `step`; the index must pin it to the impl.
+        let idx = callables();
+        let reach = reachable(&manifests());
+        let hits = idx.resolve("titan-sim", None, "step", &["Engine".into()], false, &reach);
+        assert_eq!(paths(&idx, hits), vec!["titan_sim::engine::Engine::step"]);
+
+        // Module qualifiers pin the same way.
+        let hits = idx.resolve("titan-sim", None, "step", &["obs_glue".into()], false, &reach);
+        assert_eq!(paths(&idx, hits), vec!["titan_sim::obs_glue::step"]);
+    }
+
+    #[test]
+    fn resolve_bare_and_method_calls() {
+        let idx = callables();
+        let reach = reachable(&manifests());
+        // Bare `step()` can only be the free fn.
+        let hits = idx.resolve("titan-sim", None, "step", &[], false, &reach);
+        assert_eq!(paths(&idx, hits), vec!["titan_sim::obs_glue::step"]);
+        // `.step()` can be any visible method, never the free fn.
+        let hits = idx.resolve("titan-sim", None, "step", &[], true, &reach);
+        assert_eq!(
+            paths(&idx, hits),
+            vec!["titan_sim::engine::Engine::step", "titan_faults::Injector::step"]
+        );
+    }
+
+    #[test]
+    fn resolve_respects_the_dependency_closure() {
+        let idx = callables();
+        let reach = reachable(&manifests());
+        // titan-stats cannot see upward into titan-sim/titan-faults.
+        assert!(idx.resolve("titan-stats", None, "step", &[], true, &reach).is_empty());
+        let hits = idx.resolve("titan-faults", None, "step", &[], true, &reach);
+        assert_eq!(paths(&idx, hits), vec!["titan_faults::Injector::step"]);
+    }
+
+    #[test]
+    fn resolve_ufcs_turbofish_and_self_qualifiers() {
+        let idx = callables();
+        let reach = reachable(&manifests());
+        // `<Fleet as Spare>::swap(..)`: the trait name is foreign to
+        // the impl path and must not block the match.
+        let hits = idx.resolve(
+            "titan-sim",
+            None,
+            "swap",
+            &["Fleet".into(), "Spare".into()],
+            false,
+            &reach,
+        );
+        assert_eq!(paths(&idx, hits), vec!["titan_sim::fleet::Fleet::swap"]);
+
+        // `Self::helper(..)` from inside `impl Engine`.
+        let hits =
+            idx.resolve("titan-sim", Some("Engine"), "helper", &["Self".into()], false, &reach);
+        assert_eq!(paths(&idx, hits), vec!["titan_sim::engine::Engine::helper"]);
+
+        // A fully-foreign qualifier set (`Vec::<u64>::step`) matches
+        // nothing — at least one written qualifier must land.
+        let hits = idx.resolve(
+            "titan-sim",
+            None,
+            "step",
+            &["Vec".into(), "u64".into()],
+            false,
+            &reach,
+        );
+        assert!(hits.is_empty(), "{:?}", paths(&idx, hits));
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Sim-scope side of the T1 golden fixture. The laundering path is
+//! `width_hint` -> `clamp_hint` -> `Engine::apply_hint`: two helpers
+//! sit between the env read (in fix-stats) and the state write, so the
+//! per-site rules D1/D2/D5 see nothing — no clock, hash container, or
+//! time type appears anywhere in this crate — while T1 must report the
+//! chain end to end.
+
+/// First helper: imports the env-derived width from fix-stats.
+fn width_hint() -> usize {
+    fix_stats::host_width_raw() + 1
+}
+
+/// Second helper: launders the hint through one more call.
+fn clamp_hint(cap: usize) -> usize {
+    width_hint().min(cap)
+}
+
+pub struct Engine {
+    pub width: usize,
+}
+
+impl Engine {
+    /// T1 hit: the laundered env read lands in sim state.
+    pub fn apply_hint(&mut self) {
+        self.width = clamp_hint(64);
+    }
+
+    /// Non-hit: same write shape, but the value comes from a clean
+    /// helper chain.
+    pub fn apply_unit(&mut self) {
+        self.width = fix_stats::unit_width();
+    }
+
+    /// Non-hit: the tainted value is consumed without touching state
+    /// or output.
+    pub fn probe_hint(&self) -> bool {
+        clamp_hint(64) > self.width
+    }
+
+    /// Hatched: the importing call site is reviewed, so the chain is
+    /// cut here and only `apply_hint` above is reported.
+    pub fn apply_hint_reviewed(&mut self) {
+        // lint: allow(T1, the hint is clamped to the fixture cap, so host width never changes results)
+        self.width = clamp_hint(64);
+    }
+
+    /// Intra-fn hit: the env read and the state write share one body
+    /// (no call chain needed, and no site rule covers env reads).
+    pub fn width_from_env(&mut self) {
+        self.width = std::env::var("TITAN_WIDTH").map(|v| v.len()).unwrap_or(1);
+    }
+}

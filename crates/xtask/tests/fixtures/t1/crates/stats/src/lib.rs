@@ -1,0 +1,16 @@
+//! Analysis-scope side of the T1 golden fixture: the nondeterminism
+//! source lives one crate away from the sink, so only an
+//! interprocedural rule can connect them.
+
+/// T1 source: reads the host's requested width from the environment.
+pub fn host_width_raw() -> usize {
+    std::env::var("TITAN_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Clean helper: no sources, no sinks.
+pub fn unit_width() -> usize {
+    1
+}

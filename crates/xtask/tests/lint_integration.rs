@@ -199,6 +199,7 @@ fn p2_budget_ratchets_per_function() {
         p2: report.p2_counts.clone(),
         n1: report.n1_counts.clone(),
         x1: report.x1_counts.clone(),
+        t1: report.t1_counts.clone(),
     };
     let reparsed = Baseline::parse(&updated.render()).unwrap();
     assert!(reparsed.p2.is_empty(), "zero-count fns must drop out of [p2]");
@@ -567,10 +568,12 @@ fn json_output_is_byte_stable_across_runs() {
     assert!(a.status.success(), "lint failed: {}", String::from_utf8_lossy(&a.stdout));
     assert_eq!(a.stdout, b.stdout, "json output must be byte-identical");
     let doc = String::from_utf8(a.stdout).expect("utf8");
-    assert!(doc.contains("\"schema\": \"titan-lint/3\""));
+    assert!(doc.contains("\"schema\": \"titan-lint/4\""));
     assert!(doc.contains("\"p2_counts\""));
     assert!(doc.contains("\"n1_sites\""));
     assert!(doc.contains("\"x1_sites\""));
+    assert!(doc.contains("\"t1_counts\""));
+    assert!(doc.contains("\"t1_paths\""));
 }
 
 /// The SARIF artifact is stable and well-formed on the real tree too.
@@ -617,4 +620,124 @@ fn test_modules_are_exempt_from_d2_and_p2_but_not_d1() {
     // D2, no P2 indexing count, no E1 for the test-local `let _ =`.
     assert_eq!(found.len(), 1, "{found:?}");
     assert_eq!(found[0].0, Rule::D1);
+}
+
+/// The T1 golden fixture: an env read in the analysis-scope crate is
+/// laundered through two sim-crate helpers into a state write. The
+/// per-site rules see nothing (no clock, hash container, or time type
+/// anywhere in the sim crate), so every finding must be T1 — one
+/// interprocedural chain, one intra-fn env hit — with the full witness
+/// path in the message.
+#[test]
+fn t1_fixture_reports_the_laundering_chain_end_to_end() {
+    let report = run_lint(&fixture("t1"), &Baseline::default()).expect("scan");
+    assert!(
+        report.findings.iter().all(|f| f.rule == Rule::T1),
+        "per-site rules must stay silent on the laundering fixture: {:?}",
+        report.findings
+    );
+    let t1: Vec<&Finding> = report.findings.iter().filter(|f| f.rule == Rule::T1).collect();
+    assert_eq!(t1.len(), 2, "{:?}", report.findings);
+
+    let chain = t1
+        .iter()
+        .find(|f| f.message.contains("->"))
+        .expect("the two-helper chain is reported");
+    assert!(
+        chain.message.contains(
+            "fix_stats::host_width_raw -> fix_sim::width_hint -> fix_sim::clamp_hint \
+             -> fix_sim::Engine::apply_hint"
+        ),
+        "full witness chain expected, got: {}",
+        chain.message
+    );
+    assert!(chain.message.contains("env::var(\"TITAN_NUM_THREADS\")"), "{}", chain.message);
+    assert!(chain.message.contains("crates/stats/src/lib.rs"), "{}", chain.message);
+    assert_eq!(chain.file, "crates/simulator/src/lib.rs");
+
+    let intra = t1
+        .iter()
+        .find(|f| !f.message.contains("->"))
+        .expect("the intra-fn env read is reported");
+    assert!(intra.message.contains("TITAN_WIDTH"), "{}", intra.message);
+
+    assert_eq!(report.t1_counts.get("fix-sim"), Some(&2), "{:?}", report.t1_counts);
+    assert_eq!(report.t1_paths.len(), 2);
+
+    // A committed [t1] budget accepts the measured debt.
+    let mut b = Baseline::default();
+    b.t1.insert("fix-sim".into(), 2);
+    let budgeted = run_lint(&fixture("t1"), &b).expect("scan");
+    assert!(budgeted.findings.is_empty(), "{:?}", budgeted.findings);
+}
+
+/// Acceptance criterion: every T1 result in the SARIF log carries a
+/// codeFlow replaying the witness chain.
+#[test]
+fn t1_fixture_sarif_carries_code_flows_for_every_hit() {
+    let report = run_lint(&fixture("t1"), &Baseline::default()).expect("scan");
+    let hits = report.findings.iter().filter(|f| f.rule == Rule::T1).count();
+    assert!(hits > 0, "fixture must produce T1 results");
+    let sarif = xtask::render_sarif(&report);
+    assert_eq!(
+        sarif.matches("\"codeFlows\"").count(),
+        hits,
+        "one codeFlows block per T1 result"
+    );
+    assert!(sarif.contains("tainted value flows through fix_sim::width_hint"), "{sarif}");
+    assert!(sarif.contains("a sim-state write in fix_sim::Engine::apply_hint"), "{sarif}");
+}
+
+/// `--explain RULE` prints the rule card from the shared metadata
+/// table and exits successfully without scanning; unknown ids fail.
+#[test]
+fn explain_flag_prints_the_rule_card() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let out = std::process::Command::new(bin)
+        .args(["lint", "--explain", "T1"])
+        .output()
+        .expect("spawn xtask");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.starts_with("T1 — "), "{text}");
+    assert!(text.contains("sources:"), "{text}");
+    assert!(text.contains("sinks:"), "{text}");
+    assert!(text.contains("allow(T1"), "{text}");
+
+    let bad = std::process::Command::new(bin)
+        .args(["lint", "--explain", "Z9"])
+        .output()
+        .expect("spawn xtask");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown rule"));
+}
+
+/// The LINTS.md "SARIF rule descriptions" mirror must match the
+/// metadata table verbatim — this is the drift guard the shared table
+/// exists for.
+#[test]
+fn lints_md_mirror_matches_rule_meta() {
+    let root = xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let md = fs::read_to_string(root.join("LINTS.md")).expect("LINTS.md");
+    for m in xtask::meta::RULE_META {
+        let row = format!("| {} | {} |", m.id, m.short);
+        assert!(md.contains(&row), "LINTS.md mirror row missing or stale: {row}");
+    }
+}
+
+/// Acceptance criterion: the full-workspace lint stays under the 2 s
+/// cold budget (CI times the built binary as well).
+#[test]
+fn full_workspace_lint_stays_under_two_seconds() {
+    let root = xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let t0 = std::time::Instant::now();
+    let report = run_lint(&root, &Baseline::default()).expect("scan");
+    let elapsed = t0.elapsed();
+    assert!(report.files_scanned > 40, "swept {} files", report.files_scanned);
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "full-workspace lint took {elapsed:?}, budget is 2 s"
+    );
 }
