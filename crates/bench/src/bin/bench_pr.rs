@@ -10,7 +10,8 @@
 //! cargo run --release -p titan-bench --bin bench_pr -- \
 //!     [--quick] [--pr N] [--out FILE] \
 //!     [--gate-metrics-overhead PCT] [--gate-health-overhead PCT] \
-//!     [--gate-throughput-regression PCT]
+//!     [--gate-prof-overhead PCT] [--gate-throughput-regression PCT]
+//! cargo run --release -p titan-bench --bin bench_pr -- --trajectory [--out FILE]
 //! ```
 //!
 //! `--quick` shrinks the windows so CI can afford the run; the JSON
@@ -18,39 +19,56 @@
 //! The speedup number is only meaningful on multi-core hosts, so the
 //! report records both `host_cores_detected` (what the machine has)
 //! and `pool_threads` (what the pool actually uses — the
-//! `TITAN_NUM_THREADS` override wins when set).
+//! `TITAN_NUM_THREADS` override wins when set). Snapshots also embed a
+//! `prof` section — the deterministic `titan-prof/2` per-scope ledger
+//! of the overhead window — which `titan-repro bench diff` uses to
+//! attribute an events/sec delta between two snapshots to event kinds.
 //!
-//! Gates (each exits nonzero on breach; CI wires all three):
+//! Gates (each exits nonzero on breach; CI wires all four):
 //! - `--gate-metrics-overhead PCT`: metrics-on wall time vs metrics-off
 //!   (min-of-3 each) must stay within PCT percent.
 //! - `--gate-health-overhead PCT`: same contract for the health sink —
 //!   the online analytics must stay near-free.
+//! - `--gate-prof-overhead PCT`: same contract for the cost ledger —
+//!   the per-event accounting must stay near-free (the ISSUE bar is 1%).
 //! - `--gate-throughput-regression PCT`: `events_per_sec` must not drop
 //!   more than PCT percent below the highest-numbered committed
 //!   `BENCH_PR*.json` baseline. The baseline is read *before* the new
 //!   snapshot is written, so regenerating in place still compares
 //!   against the committed bytes. Baselines from a different `mode`
 //!   (full vs quick) are incomparable and skip the gate with a note.
+//!
+//! `--trajectory` runs no simulation at all: it merges every committed
+//! `BENCH_PR*.json` into `BENCH_TRAJECTORY.json`
+//! (`titan-bench-trajectory/1`, one point per PR, ascending) and fails
+//! if the newest point regressed events/sec more than 10% against the
+//! previous same-mode point.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use titan_reliability::StudyConfig;
-use titan_runner::{replicate, run_seed, run_seed_full, run_seed_obs, ReplicateOptions};
+use titan_runner::{
+    replicate, run_seed, run_seed_full, run_seed_obs, run_seed_prof, KindCost, ReplicateOptions,
+};
 use titan_sim::{SimConfig, Simulator};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut pr: u64 = 8;
+    let mut pr: u64 = 10;
     let mut out_path: Option<String> = None;
+    let mut trajectory_mode = false;
     let mut gate_metrics: Option<f64> = None;
     let mut gate_health: Option<f64> = None;
+    let mut gate_prof: Option<f64> = None;
     let mut gate_throughput: Option<f64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--quick" => quick = true,
+            "--trajectory" => trajectory_mode = true,
             "--pr" => match it.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(n)) => pr = n,
                 _ => {
@@ -79,6 +97,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--gate-prof-overhead" => match parse_pct(it.next()) {
+                Some(p) => gate_prof = Some(p),
+                None => {
+                    eprintln!("--gate-prof-overhead needs a non-negative percent");
+                    return ExitCode::from(2);
+                }
+            },
             "--gate-throughput-regression" => match parse_pct(it.next()) {
                 Some(p) => gate_throughput = Some(p),
                 None => {
@@ -89,17 +114,29 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "unknown flag `{other}` (expected --quick, --pr N, --out FILE, \
-                     --gate-metrics-overhead PCT, --gate-health-overhead PCT, \
+                     --trajectory, --gate-metrics-overhead PCT, \
+                     --gate-health-overhead PCT, --gate-prof-overhead PCT, \
                      --gate-throughput-regression PCT)"
                 );
                 return ExitCode::from(2);
             }
         }
     }
+    if trajectory_mode {
+        let out = out_path.unwrap_or_else(|| "BENCH_TRAJECTORY.json".to_string());
+        return match trajectory(&out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench_pr --trajectory: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let out_path = out_path.unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
     let gates = Gates {
         metrics: gate_metrics,
         health: gate_health,
+        prof: gate_prof,
         throughput: gate_throughput,
     };
     match emit(quick, pr, &out_path, &gates) {
@@ -121,20 +158,23 @@ fn parse_pct(arg: Option<&String>) -> Option<f64> {
 struct Gates {
     metrics: Option<f64>,
     health: Option<f64>,
+    prof: Option<f64>,
     throughput: Option<f64>,
 }
 
 /// One interleaved overhead measurement: minimum walls for the plain,
-/// metrics-on, and health-on variants, plus the noise floor the host
-/// exhibited (relative gap between two independent minima of the same
-/// plain workload).
+/// metrics-on, health-on, and prof-ledger-on variants, plus the noise
+/// floor the host exhibited (relative gap between two independent
+/// minima of the same plain workload).
 struct OverheadMeasure {
     off: f64,
     on: f64,
     health: f64,
+    prof: f64,
     noise_pct: f64,
     metrics_pct: f64,
     health_pct: f64,
+    prof_pct: f64,
 }
 
 /// Minimum wall time over `n` runs of `f` — min, not mean, because
@@ -259,7 +299,12 @@ fn emit(quick: bool, pr: u64, out_path: &str, gates: &Gates) -> Result<(), Strin
     let ov_days = if quick { 30 } else { 60 };
     let ov_cfg = StudyConfig::quick(ov_days, seed);
     let runs_each = 5;
-    let ov = measure_overheads(&ov_cfg, seed, runs_each)?;
+    let (ov, prof_ledger) = measure_overheads(&ov_cfg, seed, runs_each)?;
+    // The embedded ledger is deterministic (same seed/window every PR),
+    // so `titan-repro bench diff` can attribute an events/sec delta
+    // between two snapshots to the event kinds whose counts moved.
+    let prof_kinds_json = serde_json::to_string(&prof_ledger)
+        .map_err(|e| format!("serialize prof ledger: {e}"))?;
 
     let host_cores_detected = std::thread::available_parallelism().map_or(1, |n| n.get());
     let pool_threads = rayon::current_num_threads();
@@ -289,15 +334,25 @@ fn emit(quick: bool, pr: u64, out_path: &str, gates: &Gates) -> Result<(), Strin
          \"off_wall_seconds\": {off_floor:.3},\n    \
          \"on_wall_seconds\": {health_wall:.3},\n    \
          \"overhead_pct\": {health_overhead_pct:.2},\n    \
-         \"noise_floor_pct\": {noise_pct:.2},\n    \"digests_match\": true\n  }}\n}}\n",
+         \"noise_floor_pct\": {noise_pct:.2},\n    \"digests_match\": true\n  }},\n  \
+         \"prof_overhead\": {{\n    \"window_days\": {ov_days},\n    \
+         \"runs_each\": {runs_each},\n    \
+         \"off_wall_seconds\": {off_floor:.3},\n    \
+         \"on_wall_seconds\": {prof_wall:.3},\n    \
+         \"overhead_pct\": {prof_overhead_pct:.2},\n    \
+         \"noise_floor_pct\": {noise_pct:.2},\n    \"digests_match\": true\n  }},\n  \
+         \"prof\": {{\n    \"window_days\": {ov_days},\n    \"seed\": {seed},\n    \
+         \"kinds\": {prof_kinds_json}\n  }}\n}}\n",
         console = output.console.len(),
         jobs = output.jobs.len(),
         speedup = seq_wall / par_wall.max(1e-9),
         off_floor = ov.off,
         on_wall = ov.on,
         health_wall = ov.health,
+        prof_wall = ov.prof,
         metrics_overhead_pct = ov.metrics_pct,
         health_overhead_pct = ov.health_pct,
+        prof_overhead_pct = ov.prof_pct,
         noise_pct = ov.noise_pct,
     );
     std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
@@ -311,16 +366,16 @@ fn emit(quick: bool, pr: u64, out_path: &str, gates: &Gates) -> Result<(), Strin
     // (fresh noise floor included), and each individual check also
     // widens its gate to the noise floor the host actually exhibited.
     const GATE_ATTEMPTS: usize = 3;
-    if gates.metrics.is_some() || gates.health.is_some() {
+    if gates.metrics.is_some() || gates.health.is_some() || gates.prof.is_some() {
         let mut cur = ov;
         for attempt in 1..=GATE_ATTEMPTS {
             let breach = overhead_breach(&cur, gates);
             match breach {
                 None => {
                     println!(
-                        "metrics overhead {:.2}%, health overhead {:.2}% \
-                         (noise floor {:.2}%) — gates clear",
-                        cur.metrics_pct, cur.health_pct, cur.noise_pct
+                        "metrics overhead {:.2}%, health overhead {:.2}%, \
+                         prof overhead {:.2}% (noise floor {:.2}%) — gates clear",
+                        cur.metrics_pct, cur.health_pct, cur.prof_pct, cur.noise_pct
                     );
                     break;
                 }
@@ -331,7 +386,7 @@ fn emit(quick: bool, pr: u64, out_path: &str, gates: &Gates) -> Result<(), Strin
                 }
                 Some(msg) => {
                     println!("{msg} — re-measuring ({attempt}/{GATE_ATTEMPTS})");
-                    cur = measure_overheads(&ov_cfg, seed, runs_each)?;
+                    cur = measure_overheads(&ov_cfg, seed, runs_each)?.0;
                 }
             }
         }
@@ -397,44 +452,60 @@ fn measure_overheads(
     ov_cfg: &StudyConfig,
     seed: u64,
     runs_each: usize,
-) -> Result<OverheadMeasure, String> {
+) -> Result<(OverheadMeasure, BTreeMap<String, KindCost>), String> {
     let mut off_a = f64::INFINITY;
     let mut off_b = f64::INFINITY;
     let mut on_wall = f64::INFINITY;
     let mut health_wall = f64::INFINITY;
-    let mut digests: Option<(u64, u64, u64)> = None;
+    let mut prof_wall = f64::INFINITY;
+    let mut digests: Option<(u64, u64, u64, u64)> = None;
+    let mut ledger = BTreeMap::new();
     for _ in 0..runs_each {
         let (w0, off_run) = min_wall(1, || run_seed(ov_cfg, seed, true));
         let (w1, on_run) = min_wall(1, || run_seed_obs(ov_cfg, seed, true, true));
         let (w2, health_run) =
             min_wall(1, || run_seed_full(ov_cfg, seed, true, false, false, true));
+        // The prof arm runs with *only* the ledger armed (no metrics
+        // sink, no probe, no wall hook), so its wall isolates the
+        // in-loop accounting cost against the plain floor.
+        let (w2b, prof_run) = min_wall(1, || run_seed_prof(ov_cfg, seed, true));
         let (w3, _) = min_wall(1, || run_seed(ov_cfg, seed, true));
         off_a = off_a.min(w0);
         on_wall = on_wall.min(w1);
         health_wall = health_wall.min(w2);
+        prof_wall = prof_wall.min(w2b);
         off_b = off_b.min(w3);
         digests = Some((
             off_run.output_digest,
             on_run.output_digest,
             health_run.0.output_digest,
+            prof_run.0.output_digest,
         ));
+        ledger = prof_run.1;
     }
-    let (off_digest, on_digest, health_digest) = digests.expect("runs_each >= 1");
+    let (off_digest, on_digest, health_digest, prof_digest) =
+        digests.expect("runs_each >= 1");
     if off_digest != on_digest {
         return Err("metrics collection perturbed the simulation output".into());
     }
     if off_digest != health_digest {
         return Err("health collection perturbed the simulation output".into());
     }
+    if off_digest != prof_digest {
+        return Err("the cost ledger perturbed the simulation output".into());
+    }
     let off = off_a.min(off_b);
-    Ok(OverheadMeasure {
+    let measure = OverheadMeasure {
         off,
         on: on_wall,
         health: health_wall,
+        prof: prof_wall,
         noise_pct: (off_a - off_b).abs() / off.max(1e-9) * 100.0,
         metrics_pct: (on_wall - off) / off.max(1e-9) * 100.0,
         health_pct: (health_wall - off) / off.max(1e-9) * 100.0,
-    })
+        prof_pct: (prof_wall - off) / off.max(1e-9) * 100.0,
+    };
+    Ok((measure, ledger))
 }
 
 /// First overhead gate breached by this measurement, as a message, or
@@ -460,5 +531,139 @@ fn overhead_breach(m: &OverheadMeasure, gates: &Gates) -> Option<String> {
             ));
         }
     }
+    if let Some(gate) = gates.prof {
+        if m.prof_pct > gate.max(m.noise_pct) {
+            return Some(format!(
+                "prof-ledger overhead {:.2}% exceeds the {gate:.2}% gate \
+                 (noise floor {:.2}%, off {:.3}s, on {:.3}s)",
+                m.prof_pct, m.noise_pct, m.off, m.prof
+            ));
+        }
+    }
     None
+}
+
+/// One point of the `titan-bench-trajectory/1` document, extracted from
+/// a committed `BENCH_PR<N>.json` snapshot's `single_run` section.
+#[derive(serde::Serialize)]
+struct TrajectoryPoint {
+    pr: u64,
+    mode: String,
+    window_days: u64,
+    events: u64,
+    events_per_sec: f64,
+    wall_seconds: f64,
+}
+
+/// The merged perf-trajectory document: every committed bench snapshot
+/// as one point, PR-ascending, so a plot of events/sec over the PR
+/// sequence is a single `jq` away.
+#[derive(serde::Serialize)]
+struct TrajectoryDoc {
+    schema: String,
+    points: Vec<TrajectoryPoint>,
+}
+
+/// `--trajectory`: merge committed `BENCH_PR*.json` snapshots into the
+/// trajectory document and gate the newest point against the previous
+/// same-mode point (>10% events/sec regression fails). Pure file work —
+/// no simulation runs.
+fn trajectory(out_path: &str) -> Result<(), String> {
+    let mut found: Vec<(u64, String)> = Vec::new();
+    let entries = std::fs::read_dir(".").map_err(|e| format!("read .: {e}"))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(num) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            found.push((num, name));
+        }
+    }
+    if found.is_empty() {
+        return Err("no BENCH_PR*.json snapshots in the working directory".into());
+    }
+    found.sort();
+    let mut points = Vec::new();
+    for (num, name) in &found {
+        let text =
+            std::fs::read_to_string(name).map_err(|e| format!("read {name}: {e}"))?;
+        let Some(mode) = json_str_field(&text, "mode") else {
+            println!("skipping {name}: no `mode` field (pre-schema snapshot)");
+            continue;
+        };
+        // First occurrence wins in all of these, which is the
+        // `single_run` section — the sections after it repeat
+        // `window_days` but never precede it.
+        let (Some(window_days), Some(events), Some(eps), Some(wall)) = (
+            json_num_field(&text, "window_days"),
+            json_num_field(&text, "events"),
+            json_num_field(&text, "events_per_sec"),
+            json_num_field(&text, "wall_seconds"),
+        ) else {
+            println!("skipping {name}: incomplete single_run section");
+            continue;
+        };
+        points.push(TrajectoryPoint {
+            pr: *num,
+            mode,
+            // lint: allow(N1, snapshot values are small non-negative integers by construction)
+            window_days: window_days as u64,
+            // lint: allow(N1, snapshot values are small non-negative integers by construction)
+            events: events as u64,
+            events_per_sec: eps,
+            wall_seconds: wall,
+        });
+    }
+    if points.is_empty() {
+        return Err("no parseable BENCH_PR*.json snapshots".into());
+    }
+    for p in &points {
+        println!(
+            "pr {:>3} [{:>5}] {:>10.0} events/sec  ({} events over {} days in {:.3}s)",
+            p.pr, p.mode, p.events_per_sec, p.events, p.window_days, p.wall_seconds
+        );
+    }
+    let doc = TrajectoryDoc {
+        schema: "titan-bench-trajectory/1".to_string(),
+        points,
+    };
+    let mut json = serde_json::to_string_pretty(&doc)
+        .map_err(|e| format!("serialize trajectory: {e}"))?;
+    json.push('\n');
+    std::fs::write(out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+
+    // Regression gate: newest point vs the previous point of the same
+    // mode (full and quick windows are incomparable).
+    // lint: allow(P2, points.is_empty() returned an error above)
+    let newest = doc.points.last().expect("points is non-empty");
+    // lint: allow(P2, len - 1 is in bounds: points is non-empty)
+    let prev = doc.points[..doc.points.len() - 1]
+        .iter()
+        .rev()
+        .find(|p| p.mode == newest.mode);
+    match prev {
+        Some(prev) if prev.events_per_sec > 0.0 => {
+            let drop_pct =
+                (prev.events_per_sec - newest.events_per_sec) / prev.events_per_sec * 100.0;
+            if drop_pct > 10.0 {
+                return Err(format!(
+                    "pr {} regressed events/sec {:.1}% vs pr {} \
+                     ({:.0} -> {:.0}) — over the 10% trajectory gate",
+                    newest.pr, drop_pct, prev.pr, prev.events_per_sec, newest.events_per_sec
+                ));
+            }
+            println!(
+                "trajectory gate clear: pr {} vs pr {} ({:+.1}%)",
+                newest.pr, prev.pr, -drop_pct
+            );
+        }
+        _ => println!(
+            "trajectory gate skipped: no previous `{}`-mode point before pr {}",
+            newest.mode, newest.pr
+        ),
+    }
+    Ok(())
 }

@@ -63,6 +63,58 @@ pub fn render_line(ev: &ConsoleEvent) -> String {
     s
 }
 
+/// Decimal digit count of `v` (1 for zero).
+fn digits(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 10 {
+        v /= 10;
+        n += 1;
+    }
+    n
+}
+
+/// Exact byte length of [`render_line`] for `ev`, computed without
+/// formatting or allocating. The titan-prof cost ledger charges console
+/// bytes per event kind on the hot path; rendering each line twice just
+/// to measure it would cost more than the ledger is allowed to
+/// (`bench_pr`'s prof-overhead gate). Pinned equal to
+/// `render_line(ev).len()` by the `rendered_len_matches_render_line`
+/// test over the full event corpus.
+pub fn rendered_len(ev: &ConsoleEvent) -> usize {
+    // "[" + fixed 19-char timestamp + "] "
+    let mut n = 1 + 19 + 2;
+    // cname "c{col}-{row}c{cage}s{blade}n{node}" + trailing space.
+    let loc = ev.node.location();
+    n += 1
+        + digits(u64::from(loc.col))
+        + 1
+        + digits(u64::from(loc.row))
+        + 1
+        + digits(u64::from(loc.cage))
+        + 1
+        + digits(u64::from(loc.blade))
+        + 1
+        + digits(u64::from(loc.node))
+        + 1;
+    match ev.kind.xid() {
+        Some(x) => n += "GPU Xid ".len() + digits(u64::from(x.0)) + ": ".len() + ev.kind.description().len(),
+        None => match ev.kind {
+            GpuErrorKind::OffTheBus => n += "GPU has fallen off the bus".len(),
+            _ => n += ev.kind.description().len(),
+        },
+    }
+    if let Some(st) = ev.structure {
+        n += " struct=\"".len() + st.label().len() + 1;
+    }
+    if ev.page.is_some() {
+        n += " page=0x".len() + 8; // {:08x} of a u32 is always 8 hex digits
+    }
+    if let Some(a) = ev.apid {
+        n += " apid=".len() + digits(a);
+    }
+    n
+}
+
 /// Renders a batch of events into a newline-delimited buffer.
 pub fn render_stream(events: &[ConsoleEvent]) -> BytesMut {
     let mut buf = BytesMut::with_capacity(events.len() * 96);
@@ -200,6 +252,32 @@ mod tests {
             structure: Some(MemoryStructure::DeviceMemory),
             page: Some(0x1a2b3),
             apid: Some(1_048_576),
+        }
+    }
+
+    #[test]
+    fn rendered_len_matches_render_line() {
+        // The prof ledger relies on the arithmetic mirror being exact;
+        // sweep every kind × attribute combination × awkward numbers.
+        for kind in GpuErrorKind::ALL {
+            for st in [None, Some(MemoryStructure::DeviceMemory), Some(MemoryStructure::SharedL1)] {
+                for pg in [None, Some(0u32), Some(0x1a2b3), Some(u32::MAX)] {
+                    for ap in [None, Some(0u64), Some(9), Some(10), Some(99), Some(100), Some(u64::MAX)] {
+                        for node in [0u32, 1, 3, 10_000, 17_000] {
+                            let ev = ConsoleEvent {
+                                time: 8_982_161,
+                                node: NodeId(node),
+                                kind,
+                                structure: st,
+                                page: pg,
+                                apid: ap,
+                            };
+                            let line = render_line(&ev);
+                            assert_eq!(rendered_len(&ev), line.len(), "{line}");
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -35,7 +35,7 @@ pub mod record;
 pub mod sec;
 pub mod time;
 
-pub use format::{parse_line, render_line, ParseStats};
+pub use format::{parse_line, render_line, rendered_len, ParseStats};
 pub use joblog::{Aprun, JobLogError, JobRecord};
 pub use record::{ConsoleEvent, Severity};
 pub use sec::{SecAction, SecEngine, SecRule, SecStats};

@@ -38,6 +38,7 @@ pub mod export;
 pub mod flight;
 pub mod health;
 pub mod metrics;
+pub mod prof;
 pub mod series;
 pub mod snapshot;
 pub mod trace;
@@ -54,6 +55,10 @@ pub use health::{
     DEFAULT_HEALTH_INTERVAL_SECS, HEALTH_SCHEMA,
 };
 pub use metrics::{metric_key, Counter, Gauge, HistId, Registry};
+pub use prof::{
+    AllocStats, CostKind, KindCost, ProfDoc, ProfLedger, ProfSnap, WallDoc, WallScope,
+    PROF_SCHEMA,
+};
 pub use series::{TimeBuckets, TsSeries, DEFAULT_BUCKET_SECS};
 pub use snapshot::ObsSnapshot;
 pub use trace::{Span, SpanKind, TraceRing};
@@ -195,6 +200,10 @@ pub struct Obs {
     /// Pre-registered handles for the standard catalog.
     pub cat: Catalog,
     phase_hook: Option<Box<dyn FnMut(&'static str)>>,
+    /// The deterministic cost ledger (off by default; see
+    /// [`Obs::enable_prof`]). Private: the engine records through the
+    /// `prof_*` methods so watermark reads stay in one place.
+    prof: prof::ProfLedger,
 }
 
 impl std::fmt::Debug for Obs {
@@ -277,6 +286,7 @@ impl Obs {
             health: HealthSink::new(false),
             cat,
             phase_hook: None,
+            prof: prof::ProfLedger::new(false),
         }
     }
 
@@ -328,12 +338,114 @@ impl Obs {
     }
 
     /// Marks a phase boundary: `name` starts now, the previous phase
-    /// (if any) ends now. Fires the hook when one is installed;
-    /// otherwise free.
+    /// (if any) ends now. Fires the hook when one is installed, and —
+    /// with the cost ledger on — opens a ledger phase scope, so every
+    /// existing phase marker doubles as a prof attribution boundary.
     pub fn phase(&mut self, name: &'static str) {
+        if self.prof.enabled() {
+            // Phase boundaries sit outside the event loop: no engine RNG
+            // is in scope, so the carried watermark is exact (the loop
+            // flushes its true totals before returning).
+            let rng = self.prof.last_rng();
+            let trace = self.stream.next_id();
+            self.prof.switch_phase(name, rng, trace);
+        }
         if let Some(hook) = &mut self.phase_hook {
             hook(name);
         }
+    }
+
+    /// Turns the deterministic cost ledger on (`--prof FILE` /
+    /// `profile`). Like tracing and health, a pure observer: per-seed
+    /// output digests are identical with it on or off.
+    pub fn enable_prof(&mut self) {
+        self.prof = prof::ProfLedger::new(true);
+    }
+
+    /// Whether the cost ledger is on — the engine's one-branch gate
+    /// around every prof call site.
+    #[inline]
+    pub fn prof_enabled(&self) -> bool {
+        self.prof.enabled()
+    }
+
+    /// Installs the counting-allocator probe (see
+    /// [`prof::ProfLedger::set_alloc_probe`]).
+    pub fn set_prof_alloc_probe(&mut self, probe: fn() -> prof::AllocStats) {
+        self.prof.set_alloc_probe(probe);
+    }
+
+    /// Installs the wall-clock edge hook (see
+    /// [`prof::ProfLedger::set_wall_hook`]); CLI-side only, like
+    /// [`Obs::set_phase_hook`].
+    pub fn set_prof_wall_hook(&mut self, hook: Box<dyn FnMut(&'static str)>) {
+        self.prof.set_wall_hook(hook);
+    }
+
+    /// Switches the ledger to the event kind dispatched at a heap pop.
+    /// `rng_total` is the summed draw count of every loop RNG; the
+    /// trace watermark is read from the sibling stream here.
+    #[inline]
+    pub fn prof_event(&mut self, kind: prof::CostKind, rng_total: u64) {
+        let trace = self.stream.next_id();
+        self.prof.switch_kind(kind, rng_total, trace);
+    }
+
+    /// Closes the open ledger span with the true loop-RNG totals — the
+    /// engine calls this when a `run_until` slice returns, so captures
+    /// at checkpoint boundaries see a fully attributed table.
+    pub fn prof_flush(&mut self, rng_total: u64) {
+        let trace = self.stream.next_id();
+        self.prof.flush(rng_total, trace);
+    }
+
+    /// Closes the open ledger span with carried watermarks — for the
+    /// CLI after the last post-engine phase, where no engine RNG
+    /// exists to total.
+    pub fn prof_finish(&mut self) {
+        let rng = self.prof.last_rng();
+        let trace = self.stream.next_id();
+        self.prof.flush(rng, trace);
+    }
+
+    /// Marks a ledger rebaseline after checkpoint capture (see
+    /// [`prof::ProfLedger::mark_rebaseline`]).
+    pub fn prof_rebaseline(&mut self) {
+        self.prof.mark_rebaseline();
+    }
+
+    /// Charges `n` heap pushes to the open ledger scope.
+    #[inline]
+    pub fn prof_heap_push(&mut self, n: u64) {
+        self.prof.heap_push(n);
+    }
+
+    /// Charges one console line of `bytes` rendered bytes.
+    #[inline]
+    pub fn prof_console(&mut self, bytes: u64) {
+        self.prof.console(bytes);
+    }
+
+    /// Charges setup-stream RNG draws directly to the open scope.
+    #[inline]
+    pub fn prof_rng_direct(&mut self, draws: u64) {
+        self.prof.rng_direct(draws);
+    }
+
+    /// Read access to the ledger (document building).
+    pub fn prof_ledger(&self) -> &prof::ProfLedger {
+        &self.prof
+    }
+
+    /// Plain-data ledger copy for the checkpoint ride-along.
+    pub fn prof_snap(&self) -> prof::ProfSnap {
+        self.prof.snap()
+    }
+
+    /// Restores the ledger from a checkpoint (inert when off on either
+    /// side, like every other sub-sink).
+    pub fn prof_restore(&mut self, snap: &prof::ProfSnap) {
+        self.prof.restore(snap);
     }
 }
 

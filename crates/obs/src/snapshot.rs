@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::flight::TraceRecord;
 use crate::health::HealthSnap;
+use crate::prof::ProfSnap;
 use crate::trace::{Span, SpanKind};
 use crate::{Obs, TsSeries};
 
@@ -68,6 +69,11 @@ pub struct ObsSnapshot {
     /// Complete health-sink state (inert on restore when health
     /// collection is off on either side).
     health: HealthSnap,
+    /// Deterministic cost-ledger scope table (inert on restore when the
+    /// ledger is off on either side). Checkpoints are per-build
+    /// artifacts, never long-lived archives, so the field is plain
+    /// (the vendored serde_derive supports no `#[serde(default)]`).
+    prof: ProfSnap,
 }
 
 fn kind_index(k: SpanKind) -> u8 {
@@ -122,6 +128,7 @@ impl ObsSnapshot {
             trace_records: obs.stream.records().to_vec(),
             trace_console: obs.stream.console_pairs().to_vec(),
             health: obs.health.snap(),
+            prof: obs.prof_snap(),
         }
     }
 
@@ -129,6 +136,12 @@ impl ObsSnapshot {
     /// validates this against the `--health` flag).
     pub fn health_enabled(&self) -> bool {
         self.health.enabled
+    }
+
+    /// Whether the snapshotted run had the cost ledger on (resume
+    /// validates this against the `--prof` flag).
+    pub fn prof_enabled(&self) -> bool {
+        self.prof.enabled
     }
 
     /// Overwrites `obs` with the snapshot's state. Every write goes
@@ -173,6 +186,7 @@ impl ObsSnapshot {
             self.trace_console.clone(),
         );
         obs.health.restore(&self.health);
+        obs.prof_restore(&self.prof);
     }
 }
 
@@ -206,6 +220,11 @@ mod tests {
             .mint(TraceKind::FaultDraft, 0, 5, Some(77), None, None, || "dbe".to_string());
         obs.stream
             .mint_console(root, 5, Some(77), Some(3), None, || "line".to_string());
+        obs.enable_prof();
+        obs.phase("engine:workload");
+        obs.prof_rng_direct(42);
+        obs.prof_heap_push(3);
+        obs.prof_finish();
         obs
     }
 
@@ -216,8 +235,14 @@ mod tests {
         let mut dst = Obs::enabled();
         dst.enable_trace();
         dst.enable_health();
+        dst.enable_prof();
         snap.restore(&mut dst);
         assert!(snap.health_enabled());
+        assert!(snap.prof_enabled());
+        assert_eq!(
+            dst.prof_ledger().ledger_map()["engine:workload"].rng_draws,
+            42
+        );
         assert_eq!(dst.health.snap(), src.health.snap());
         assert_eq!(dst.reg.counter_value(dst.cat.engine.ev_dbe), 7);
         assert_eq!(dst.reg.gauge_value(dst.cat.engine.heap_high_water), 41);

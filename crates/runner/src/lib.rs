@@ -28,7 +28,7 @@ pub use ckpt::{
 };
 // Re-exported so CLI code can name the telemetry types through the
 // runner without a direct titan-obs dependency.
-pub use titan_obs::{MetricsDoc, Obs};
+pub use titan_obs::{KindCost, MetricsDoc, Obs};
 use titan_obs::TraceKind;
 use titan_reliability::{evaluate_all, Expectation, Study, StudyConfig, Verdict};
 use titan_sim::SimOutput;
@@ -291,6 +291,41 @@ pub fn run_seed_full(
         },
         trace,
         health,
+    )
+}
+
+/// [`run_seed`] with the `titan-prof/2` cost ledger armed and nothing
+/// else: the metrics sink stays off, so the measured wall is comparable
+/// to [`run_seed`]'s — this is the bench_pr prof-overhead arm. Returns
+/// the summary plus the deterministic per-scope ledger. No allocator
+/// probe or wall hook is installed: overhead measurement wants the pure
+/// in-loop ledger cost, and the count columns are identical either way.
+pub fn run_seed_prof(
+    base: &StudyConfig,
+    seed: u64,
+    skip_expectations: bool,
+) -> (SeedRun, BTreeMap<String, titan_obs::KindCost>) {
+    let mut config = base.clone();
+    config.sim.seed = seed;
+    let mut obs = Obs::new(false);
+    obs.enable_prof();
+    let study = Study::new(config).run_with_obs(&mut obs);
+    let expectations = if skip_expectations {
+        Vec::new()
+    } else {
+        evaluate_all(&study.figures())
+    };
+    let metrics = seed_metrics(&study.sim);
+    obs.prof_finish();
+    (
+        SeedRun {
+            seed,
+            output_digest: output_digest(&study.sim),
+            metrics,
+            expectations,
+            obs: None,
+        },
+        obs.prof_ledger().ledger_map(),
     )
 }
 

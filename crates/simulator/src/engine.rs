@@ -32,7 +32,7 @@ use titan_faults::telemetry::{
     dbe_draft_payload, otb_draft_payload, sbe_draft_payload, soft_draft_payload, DbeDraftStats,
     OtbDraftStats, SbeDraftStats, SoftDraftStats,
 };
-use titan_obs::{metric_key, HealthEvent, Obs, Span, SpanKind, TraceKind, TsSeries};
+use titan_obs::{metric_key, CostKind, HealthEvent, Obs, Span, SpanKind, TraceKind, TsSeries};
 use titan_gpu::pages::{RetireDecision, RetirementCause};
 use titan_gpu::{ErrorCategory, GpuErrorKind, MemoryStructure, PageAddress};
 use titan_nvsmi::{GpuSnapshot, JobEccDelta};
@@ -413,7 +413,11 @@ impl EngineState {
         obs.phase("engine:workload");
         let schedule = {
             let mut rng = streams.stream(StreamTag::Workload);
-            WorkloadSchedule::generate(&cfg.schedule, &mut rng)
+            let schedule = WorkloadSchedule::generate(&cfg.schedule, &mut rng);
+            // Setup streams are local to their block and never reach a
+            // ledger scope switch, so their draws are charged directly.
+            obs.prof_rng_direct(rng.draws());
+            schedule
         };
 
         let mut heap: BinaryHeap<Reverse<(SimTime, u8, u64)>> =
@@ -440,11 +444,16 @@ impl EngineState {
             push(&mut heap, &mut payloads, j.start, 0, Ev::JobStart(i as u32));
             push(&mut heap, &mut payloads, j.end, 2, Ev::JobEnd(i as u32));
         }
+        // Bulk attribution: every payload so far is a workload push.
+        // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
+        let workload_payloads = payloads.len() as u64;
+        obs.prof_heap_push(workload_payloads);
 
         obs.phase("engine:fault_drafts");
         if cfg.enable_dbe {
             let mut rng = streams.stream(StreamTag::Dbe);
             let drafts = DbeProcess::default().sample(&mut rng);
+            obs.prof_rng_direct(rng.draws());
             if obs.is_enabled() {
                 let s = DbeDraftStats::collect(drafts.iter().filter(|d| d.time < window));
                 obs.reg.add(cat.faults.dbe_drafts, s.total);
@@ -477,6 +486,7 @@ impl EngineState {
         if cfg.enable_otb {
             let mut rng = streams.stream(StreamTag::OffTheBus);
             let drafts = OtbProcess::default().sample(&mut rng);
+            obs.prof_rng_direct(rng.draws());
             if obs.is_enabled() {
                 let s = OtbDraftStats::collect(drafts.iter().filter(|d| d.time < window));
                 obs.reg.add(cat.faults.otb_drafts, s.total);
@@ -497,6 +507,7 @@ impl EngineState {
         if cfg.enable_sbe {
             let mut rng = streams.stream(StreamTag::Sbe);
             let drafts = SbeProcess::default().sample(&mut rng);
+            obs.prof_rng_direct(rng.draws());
             if obs.is_enabled() {
                 let s = SbeDraftStats::collect(drafts.iter().filter(|d| d.time < window));
                 obs.reg.add(cat.faults.sbe_drafts, s.total);
@@ -530,6 +541,7 @@ impl EngineState {
         if cfg.enable_software {
             let mut rng = streams.stream(StreamTag::SoftwareXid);
             let incidents = SoftwareXidModel::default().sample(&mut rng);
+            obs.prof_rng_direct(rng.draws());
             if obs.is_enabled() {
                 let s = SoftDraftStats::collect(incidents.iter().filter(|i| i.time < window));
                 obs.reg.add(cat.faults.soft_incidents, s.total);
@@ -557,11 +569,17 @@ impl EngineState {
             }
         }
         let initial_payload_len = payloads.len();
+        // Bulk attribution: everything pushed since the workload block
+        // is a fault-draft payload.
+        // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
+        obs.prof_heap_push(initial_payload_len as u64 - workload_payloads);
 
         // --- Runtime state ---------------------------------------------
         let fleet = {
             let mut rng = streams.stream(StreamTag::Susceptibility);
-            Fleet::new(cfg.spare_cards, &mut rng)
+            let fleet = Fleet::new(cfg.spare_cards, &mut rng);
+            obs.prof_rng_direct(rng.draws());
+            fleet
         };
         let cascades = if cfg.enable_cascades {
             CascadeModel::default()
@@ -709,6 +727,22 @@ impl EngineState {
             }
             let _popped = heap.pop();
             obs.reg.inc(cat.engine.events_dequeued);
+            // Ledger scope switch rides the pop itself — *before* the
+            // health tick and horizon check — so every cost from here to
+            // the next pop is charged to the event being dispatched,
+            // identically in straight and checkpoint-resumed runs.
+            if obs.prof_enabled() {
+                let kind = if t >= window {
+                    CostKind::Horizon
+                } else {
+                    payloads
+                        // lint: allow(N1, seq is minted from payloads.len(), lossless on 64-bit)
+                        .get(seq as usize)
+                        .map(cost_kind)
+                        .unwrap_or(CostKind::Horizon)
+                };
+                obs.prof_event(kind, sim_rng.draws() + cascade_rng.draws() + spare_rng.draws());
+            }
             // Health grid runs on the monotone loop clock, advanced
             // *before* the event is fed, so interval boundaries land
             // identically however `run_until` slices the drain.
@@ -835,6 +869,7 @@ impl EngineState {
                             trace: ev_id,
                         });
                         heap.push(Reverse((t + child.delay, 1, seq2)));
+                        obs.prof_heap_push(1);
                     }
 
                     // Hot-spare policy. The schedule-time checks are a
@@ -856,6 +891,7 @@ impl EngineState {
                         });
                         // Next maintenance window: 24 h later.
                         heap.push(Reverse((t + 24 * 3600, 1, seq2)));
+                        obs.prof_heap_push(1);
                     }
                 }
                 Ev::Otb { trace } => {
@@ -1066,6 +1102,7 @@ impl EngineState {
                                 trace: ev_id,
                             });
                             heap.push(Reverse((t + child.delay, 1, seq2)));
+                            obs.prof_heap_push(1);
                         }
                         if kind.crashes_application() {
                             jobs.end(j, t, schedule, fleet, out, obs);
@@ -1119,6 +1156,7 @@ impl EngineState {
                                 trace: ev_id,
                             });
                             heap.push(Reverse((t + child.delay, 1, seq2)));
+                            obs.prof_heap_push(1);
                         }
                         if kind.crashes_application() {
                             if let Some(j) = jobs.job_at(node) {
@@ -1257,6 +1295,13 @@ impl EngineState {
                 }
             }
         }
+        // Close the open span at the slice boundary with the true loop
+        // totals, so a checkpoint captured here rides a fully-attributed
+        // table (capture-time serialization costs are then discarded by
+        // the post-capture rebaseline).
+        if obs.prof_enabled() {
+            obs.prof_flush(sim_rng.draws() + cascade_rng.draws() + spare_rng.draws());
+        }
     }
 
     /// Closes out the run: ends horizon-straddling jobs, derives the
@@ -1304,6 +1349,7 @@ impl EngineState {
                     &mut aprun_rng,
                 ));
             }
+            obs.prof_rng_direct(aprun_rng.draws());
         }
 
         // Final fleet snapshots (per production slot).
@@ -1472,7 +1518,28 @@ fn emit_console(out: &mut SimOutput, obs: &mut Obs, parent: u64, card: Option<u6
             trace: cid,
         });
     }
+    if obs.prof_enabled() {
+        // lint: allow(N1, usize to u64 is lossless on 64-bit targets)
+        obs.prof_console(titan_conlog::rendered_len(&ev) as u64);
+    }
     out.console.push(ev);
+}
+
+/// Ledger scope for a dispatched payload. Horizon drops are classed
+/// separately at the call site; every live payload maps 1:1 onto a
+/// [`CostKind`].
+fn cost_kind(ev: &Ev) -> CostKind {
+    match ev {
+        Ev::JobStart(_) => CostKind::JobStart,
+        Ev::JobEnd(_) => CostKind::JobEnd,
+        Ev::Dbe { .. } => CostKind::Dbe,
+        Ev::Otb { .. } => CostKind::Otb,
+        Ev::Sbe { .. } => CostKind::Sbe,
+        Ev::Soft { .. } => CostKind::Soft,
+        Ev::Child { .. } => CostKind::Child,
+        Ev::RetireRecord { .. } => CostKind::RetireRecord,
+        Ev::Swap { .. } => CostKind::Swap,
+    }
 }
 
 /// Schedules the XID 63 console record for a retirement, honouring the
@@ -1553,6 +1620,7 @@ fn schedule_retirement(
         let seq = payloads.len() as u64;
         payloads.push(Ev::RetireRecord { card, trace: rid });
         heap.push(Reverse((t + delay, 1, seq)));
+        obs.prof_heap_push(1);
     }
 }
 

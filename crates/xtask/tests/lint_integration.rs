@@ -459,12 +459,13 @@ fn real_tree_layering_and_schemas_are_clean() {
     assert_eq!(
         names,
         [
+            "titan-bench-trajectory/1",
             "titan-check/1",
             "titan-ckpt/1",
             "titan-health/1",
             "titan-obs-replicate/1",
             "titan-obs/2",
-            "titan-profile/1",
+            "titan-prof/2",
             "titan-trace/1",
         ],
         "golden specs missing from crates/xtask/schemas/"

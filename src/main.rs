@@ -15,9 +15,10 @@
 //!                                           run N seeds in parallel and
 //!                                           report mean/95% CI bands
 //! titan-repro profile [--days N] [--seed S] [--metrics FILE]
-//!                                           run a window and print a
-//!                                           per-phase wall-time and
-//!                                           per-subsystem metric breakdown
+//!                                           run a window and print the
+//!                                           titan-prof/2 deterministic
+//!                                           cost ledger plus a wall-clock
+//!                                           attribution table
 //! ```
 //!
 //! Without `--days` the full Jun'13–Feb'15 window runs (about two
@@ -27,8 +28,9 @@
 //! Time domains: the metrics documents written by `--metrics` carry
 //! sim-time quantities only and are byte-identical across thread
 //! widths; wall-clock timing appears exclusively in `profile` output
-//! (this binary is outside the engine, so `std::time` is allowed here —
-//! see OBSERVABILITY.md and lint rule D5).
+//! and the quarantined `wall` section of `titan-prof/2` (this binary is
+//! outside the engine, so `std::time` is allowed here — see
+//! OBSERVABILITY.md and lint rule D5).
 
 use std::cell::RefCell;
 use std::process::ExitCode;
@@ -39,6 +41,78 @@ use titan_gpu_reliability::gpu::{ErrorCategory, GpuErrorKind};
 use titan_gpu_reliability::sim::Simulator;
 use titan_gpu_reliability::{evaluate_all, full_report, Study, StudyConfig, Verdict};
 use titan_obs::Obs;
+
+/// Process-wide allocation accounting for the `titan-prof/2` cost
+/// ledger. The engine crates all `#![forbid(unsafe_code)]`, so the
+/// counting allocator lives here in the binary and reaches the ledger
+/// as a plain `fn() -> AllocStats` probe pointer.
+///
+/// The counters are thread-local `Cell`s: a `GlobalAlloc` impl must not
+/// allocate, lock, or panic, and the engine is strictly single-threaded
+/// by design (lint rule D4), so the engine thread's cells observe every
+/// engine allocation and the probe's deltas are deterministic — rayon
+/// replication workers each count their own thread without contending.
+mod alloc_track {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+        static BYTES: Cell<u64> = const { Cell::new(0) };
+        static FREES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Pass-through system allocator that counts per-thread traffic.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every allocation to `System`; the bookkeeping is
+    // plain `Cell` arithmetic on already-initialized thread-locals
+    // (`try_with` makes the TLS-teardown window a silent no-op).
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                let _ = ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+                let _ =
+                    BYTES.try_with(|c| c.set(c.get().wrapping_add(layout.size() as u64)));
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            let _ = FREES.try_with(|c| c.set(c.get().wrapping_add(1)));
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                // A realloc retires one block and produces another.
+                let _ = ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+                let _ = BYTES.try_with(|c| c.set(c.get().wrapping_add(new_size as u64)));
+                let _ = FREES.try_with(|c| c.set(c.get().wrapping_add(1)));
+            }
+            p
+        }
+    }
+
+    /// Monotone allocation totals for the calling thread — the ledger
+    /// snapshots these at every scope switch and charges the delta.
+    pub fn probe() -> titan_obs::AllocStats {
+        titan_obs::AllocStats {
+            allocs: ALLOCS.try_with(Cell::get).unwrap_or(0),
+            bytes: BYTES.try_with(Cell::get).unwrap_or(0),
+            frees: FREES.try_with(Cell::get).unwrap_or(0),
+        }
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
+
+/// Subcommands that accept `--json`, for the rejection message every
+/// other subcommand prints.
+const JSON_SUBCOMMANDS: &[&str] = &["check", "profile"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +131,8 @@ fn main() -> ExitCode {
         // lint: allow(P2, first() returned Some above, so index 1.. is in bounds)
         "health" => health_cmd(&args[1..]),
         "ckpt" => ckpt_cmd(&args[1..]),
+        // lint: allow(P2, first() returned Some above, so index 1.. is in bounds)
+        "bench" => bench_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -77,7 +153,7 @@ const USAGE: &str = "usage: titan-repro <command> [options]
 commands:
   taxonomy                          print Tables 1 & 2 (the XID taxonomy)
   run   [--days N] [--seed S] [--metrics FILE] [--trace FILE] [--health FILE]
-        [--span-capacity N]
+        [--prof FILE] [--span-capacity N]
         [--checkpoint-every SECS --ckpt-dir DIR] [--from-checkpoint FILE]
                                     simulate and print the full report;
                                     --metrics writes the sim-time telemetry
@@ -87,13 +163,15 @@ commands:
                                     --health writes the titan-health/1 online
                                     reliability-analytics JSONL (rolling MTBF,
                                     spatial heat, top offenders, fired alerts);
+                                    --prof arms the deterministic cost ledger
+                                    and writes the titan-prof/2 document;
                                     --checkpoint-every freezes the full machine
                                     state into DIR/ckpt-NNNNNN.json (titan-ckpt/1,
                                     hash-chained) every SECS sim seconds;
                                     --from-checkpoint resumes one and reproduces
                                     the run-through output byte for byte (use the
-                                    same --metrics/--trace/--health flags as the
-                                    original)
+                                    same --metrics/--trace/--health/--prof flags
+                                    as the original)
   check [--days N] [--seed S] [--metrics FILE] [--json FILE] [--health FILE]
         [--span-capacity N]
                                     run the paper-shape checks; exit 1 on FAIL;
@@ -113,13 +191,17 @@ commands:
                                     per seed; --health writes
                                     DIR/health-seed-<seed>.jsonl per seed
   profile [--days N] [--seed S] [--metrics FILE] [--json FILE] [--health FILE]
-          [--span-capacity N]
-                                    run one window with telemetry enabled and
-                                    print a per-phase wall-time table plus a
-                                    per-subsystem sim-metrics breakdown;
-                                    --json writes the titan-profile/1 document
-                                    (health collection is on, so its phases
-                                    include the cli:render_health cost)
+          [--flamegraph FILE] [--perfetto FILE] [--span-capacity N]
+                                    run one window with the titan-prof/2 cost
+                                    ledger armed and print the deterministic
+                                    per-scope cost table plus a quarantined
+                                    wall-clock attribution table;
+                                    --json writes the titan-prof/2 document
+                                    (the titan-profile/1 wall-phase table is
+                                    retired); --flamegraph writes collapsed
+                                    stacks (flamegraph.pl / inferno input);
+                                    --perfetto writes Chrome/Perfetto counter
+                                    tracks from the sim-time series
   health <summarize|watch|rules> FILE [--trace TRACEFILE]
                                     inspect a titan-health/1 JSONL: summarize
                                     prints the end-of-run fleet summary; watch
@@ -143,6 +225,10 @@ commands:
                                     bisect DIR_A DIR_B: compare two runs'
                                     checkpoint chains and report the first
                                     interval whose chained digest diverges
+  bench diff A.json B.json
+                                    compare two bench_pr snapshots (BENCH_PR*.json)
+                                    and attribute the events/sec delta to the
+                                    deterministic per-kind cost ledger they embed
 
 Without --days the full 21-month study window runs (~2 min in release).";
 
@@ -155,6 +241,9 @@ struct Opts {
     json: Option<String>,
     trace: Option<String>,
     health: Option<String>,
+    prof: Option<String>,
+    flamegraph: Option<String>,
+    perfetto: Option<String>,
     span_capacity: Option<usize>,
     checkpoint_every: Option<u64>,
     ckpt_dir: Option<String>,
@@ -182,6 +271,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         json: None,
         trace: None,
         health: None,
+        prof: None,
+        flamegraph: None,
+        perfetto: None,
         span_capacity: None,
         checkpoint_every: None,
         ckpt_dir: None,
@@ -219,6 +311,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--health" => {
                 opts.health = Some(it.next().ok_or("--health needs a file")?.clone());
+            }
+            "--prof" => {
+                opts.prof = Some(it.next().ok_or("--prof needs a file")?.clone());
+            }
+            "--flamegraph" => {
+                opts.flamegraph = Some(it.next().ok_or("--flamegraph needs a file")?.clone());
+            }
+            "--perfetto" => {
+                opts.perfetto = Some(it.next().ok_or("--perfetto needs a file")?.clone());
             }
             "--span-capacity" => {
                 let v = it.next().ok_or("--span-capacity needs a value")?;
@@ -389,6 +490,7 @@ fn finish_run(
     opts: &Opts,
     seed: u64,
     window: u64,
+    prof_clock: Option<Rc<RefCell<KindClock>>>,
 ) -> Result<ExitCode, String> {
     let doc = if obs.is_enabled() || obs.trace_enabled() {
         obs.phase("cli:collect_metrics");
@@ -407,13 +509,29 @@ fn finish_run(
     if let Some(path) = &opts.health {
         write_text(path, &obs.health.render_jsonl(seed, window / 86_400))?;
     }
+    if let Some(path) = &opts.prof {
+        // The ledger is closed only now, so the report rendering above is
+        // attributed (to cli:collect_metrics) like everything else.
+        obs.prof_finish();
+        let wall = match &prof_clock {
+            Some(clock) => clock.borrow_mut().finish(),
+            None => return Err("prof clock missing (internal error)".into()),
+        };
+        let metrics = doc.ok_or("prof collected no telemetry (internal error)")?;
+        let prof_doc =
+            titan_obs::ProfDoc::build(obs.prof_ledger(), seed, window / 86_400, metrics, wall);
+        write_text(path, &prof_doc.to_json())?;
+    }
     Ok(ExitCode::SUCCESS)
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.json.is_some() {
-        return Err("--json applies to `check` and `profile` only".into());
+        return Err(json_rejection());
+    }
+    if opts.flamegraph.is_some() || opts.perfetto.is_some() {
+        return Err("--flamegraph and --perfetto apply to `profile` only".into());
     }
     if opts.checkpoint_every.is_some() != opts.ckpt_dir.is_some() {
         return Err("--checkpoint-every and --ckpt-dir must be given together".into());
@@ -455,23 +573,44 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 )
             });
         }
+        // The cost ledger rides the same snapshot; a `--prof` mismatch
+        // would silently restart the scope table from zero, so reject it
+        // up front exactly like the health flag.
+        if ck.obs.prof_enabled() != opts.prof.is_some() {
+            return Err(if opts.prof.is_some() {
+                format!(
+                    "--from-checkpoint {path}: the checkpoint was written without --prof; \
+                     resume with the same flags as the original run"
+                )
+            } else {
+                format!(
+                    "--from-checkpoint {path}: the checkpoint was written with --prof; \
+                     pass --prof FILE to resume it"
+                )
+            });
+        }
         let seed = ck.seed;
         let window = ck.config.sim.window;
         eprintln!(
             "resuming from checkpoint {} (t = {} s, digest {:016x})",
             ck.index, ck.t, ck.digest
         );
-        let mut obs = build_obs(&opts, opts.metrics.is_some());
+        let mut obs = build_obs(&opts, opts.metrics.is_some() || opts.prof.is_some());
+        let prof_clock = opts.prof.is_some().then(|| arm_prof(&mut obs));
         let sink = checkpoint_sink(opts.ckpt_dir.clone())?;
         let study =
             titan_runner::resume_checkpointed(&ck, every, opts.inject_divergence, &mut obs, sink)?;
-        return finish_run(&study, &mut obs, &opts, seed, window);
+        return finish_run(&study, &mut obs, &opts, seed, window, prof_clock);
     }
 
     let config = study_config(&opts)?;
     let seed = config.sim.seed;
     let window = config.sim.window;
-    let mut obs = build_obs(&opts, opts.metrics.is_some());
+    // `--prof` embeds the metrics document in titan-prof/2, so the sink
+    // comes on with it (collection never perturbs the run — the
+    // digest-equality tests in `titan-runner` pin that).
+    let mut obs = build_obs(&opts, opts.metrics.is_some() || opts.prof.is_some());
+    let prof_clock = opts.prof.is_some().then(|| arm_prof(&mut obs));
 
     // Checkpointing run: the runner drives the engine in boundary-sized
     // steps; output is byte-identical to the plain path below.
@@ -479,11 +618,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         let sink = checkpoint_sink(opts.ckpt_dir.clone())?;
         let study =
             titan_runner::run_checkpointed(&config, every, opts.inject_divergence, &mut obs, sink)?;
-        return finish_run(&study, &mut obs, &opts, seed, window);
+        return finish_run(&study, &mut obs, &opts, seed, window, prof_clock);
     }
 
     let study = Study::new(config).run_with_obs(&mut obs);
-    finish_run(&study, &mut obs, &opts, seed, window)
+    finish_run(&study, &mut obs, &opts, seed, window, prof_clock)
+}
+
+/// Builds the `--json applies to …` rejection from the actual list of
+/// subcommands that accept the flag, so the message can never drift from
+/// the dispatch table.
+fn json_rejection() -> String {
+    let list: Vec<String> = JSON_SUBCOMMANDS.iter().map(|s| format!("`{s}`")).collect();
+    format!("--json applies to {} only", list.join(" and "))
 }
 
 /// The `ckpt` subcommand: offline tooling over `titan-ckpt/1` files.
@@ -562,6 +709,158 @@ fn load_checkpoint_chain(dir: &str) -> Result<Vec<titan_runner::CheckpointDoc>, 
     Ok(docs)
 }
 
+/// The `single_run` section of a bench_pr snapshot (every field is
+/// optional: older snapshots predate some of them, and the vendored
+/// serde maps a missing key to `None`).
+#[derive(serde::Deserialize)]
+struct BenchSingleRun {
+    window_days: Option<u64>,
+    events: Option<u64>,
+    events_per_sec: Option<f64>,
+    wall_seconds: Option<f64>,
+}
+
+/// The `prof` section a `titan-prof/2`-aware bench_pr embeds: the
+/// deterministic per-scope ledger of the snapshot's single run.
+#[derive(serde::Deserialize)]
+struct BenchProfSection {
+    kinds: Option<std::collections::BTreeMap<String, titan_obs::KindCost>>,
+}
+
+/// The slice of a `BENCH_PR*.json` snapshot `bench diff` reads. Extra
+/// keys in the file are ignored, so one parser covers every snapshot
+/// vintage.
+#[derive(serde::Deserialize)]
+struct BenchSnapshot {
+    pr: Option<u64>,
+    mode: Option<String>,
+    single_run: Option<BenchSingleRun>,
+    prof: Option<BenchProfSection>,
+}
+
+fn read_bench_snapshot(path: &str) -> Result<BenchSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The `bench` subcommand: offline tooling over bench_pr snapshots
+/// (`BENCH_PR*.json`, written by `cargo run --release -p titan-bench
+/// --bin bench_pr`). `diff` explains an events/sec delta between two
+/// snapshots in terms of the deterministic cost ledger they embed —
+/// count deltas are seed-deterministic, so a throughput change splits
+/// cleanly into "the workload mix changed" (counts moved) versus "the
+/// per-event cost changed" (counts held, wall moved).
+fn bench_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let Some(mode) = args.first() else {
+        return Err(format!("bench needs a mode (diff)\n{USAGE}"));
+    };
+    match mode.as_str() {
+        "diff" => {
+            let [_, a_path, b_path] = args else {
+                return Err("usage: bench diff A.json B.json".into());
+            };
+            let a = read_bench_snapshot(a_path)?;
+            let b = read_bench_snapshot(b_path)?;
+            print_bench_diff(&a, &b, a_path, b_path);
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown bench mode `{other}`\n{USAGE}")),
+    }
+}
+
+fn print_bench_diff(a: &BenchSnapshot, b: &BenchSnapshot, a_path: &str, b_path: &str) {
+    let label = |s: &BenchSnapshot, path: &str| {
+        format!(
+            "{path} (pr {}, {} mode)",
+            s.pr.map_or("?".to_string(), |p| p.to_string()),
+            s.mode.as_deref().unwrap_or("?")
+        )
+    };
+    println!("bench diff: {}", label(a, a_path));
+    println!("         -> {}", label(b, b_path));
+    if a.mode != b.mode {
+        println!("note: the snapshots ran different modes; walls are not comparable");
+    }
+    let field = |s: &BenchSnapshot, f: fn(&BenchSingleRun) -> Option<f64>| {
+        s.single_run.as_ref().and_then(f)
+    };
+    let rows: [(&str, fn(&BenchSingleRun) -> Option<f64>); 4] = [
+        // lint: allow(N1, u64 event counts are far below f64's exact-integer range)
+        ("window_days", |r| r.window_days.map(|v| v as f64)),
+        // lint: allow(N1, u64 event counts are far below f64's exact-integer range)
+        ("events", |r| r.events.map(|v| v as f64)),
+        ("wall_seconds", |r| r.wall_seconds),
+        ("events_per_sec", |r| r.events_per_sec),
+    ];
+    for (name, get) in rows {
+        match (field(a, get), field(b, get)) {
+            (Some(va), Some(vb)) => {
+                let pct = if va != 0.0 { (vb - va) / va * 100.0 } else { 0.0 };
+                println!("  {name:<16} {va:>14.2} -> {vb:>14.2}  ({pct:+.1}%)");
+            }
+            _ => println!("  {name:<16} (absent from one snapshot)"),
+        }
+    }
+    let (Some(ka), Some(kb)) = (
+        a.prof.as_ref().and_then(|p| p.kinds.as_ref()),
+        b.prof.as_ref().and_then(|p| p.kinds.as_ref()),
+    ) else {
+        println!(
+            "no deterministic ledger in one of the snapshots (written by a \
+             pre-titan-prof/2 bench_pr) — per-kind attribution unavailable"
+        );
+        return;
+    };
+    // Union of scopes, sorted by the magnitude of the dequeue delta:
+    // the scopes that moved the most work lead the attribution.
+    let mut names: Vec<&String> = ka.keys().chain(kb.keys()).collect();
+    names.sort();
+    names.dedup();
+    let zero = titan_obs::KindCost::default();
+    let mut deltas: Vec<(&String, i128, i128, i128)> = names
+        .iter()
+        .map(|name| {
+            let ca = ka.get(*name).unwrap_or(&zero);
+            let cb = kb.get(*name).unwrap_or(&zero);
+            (
+                *name,
+                i128::from(cb.dequeues) - i128::from(ca.dequeues),
+                i128::from(cb.rng_draws) - i128::from(ca.rng_draws),
+                i128::from(cb.allocs) - i128::from(ca.allocs),
+            )
+        })
+        .collect();
+    deltas.sort_by_key(|&(name, dq, rng, al)| {
+        (std::cmp::Reverse(dq.abs().max(rng.abs()).max(al.abs())), name.clone())
+    });
+    let total_dq: i128 = deltas.iter().map(|&(_, dq, _, _)| dq.abs()).sum();
+    println!();
+    println!("deterministic ledger deltas (B - A, seed-deterministic counts):");
+    println!(
+        "  {:<28} {:>12} {:>14} {:>12} {:>7}",
+        "scope", "dequeues", "rng_draws", "allocs", "share"
+    );
+    let mut moved = false;
+    for (name, dq, rng, al) in &deltas {
+        if *dq == 0 && *rng == 0 && *al == 0 {
+            continue;
+        }
+        moved = true;
+        let share = if total_dq > 0 {
+            format!("{:>6.1}%", (dq.abs() as f64) / (total_dq as f64) * 100.0)
+        } else {
+            "     —".to_string()
+        };
+        println!("  {name:<28} {dq:>+12} {rng:>+14} {al:>+12} {share}");
+    }
+    if !moved {
+        println!(
+            "  (no scope moved — the event mix is identical; any events/sec \
+             delta is host or per-event cost, not workload)"
+        );
+    }
+}
+
 /// One line of the `check --json` document.
 #[derive(serde::Serialize)]
 struct CheckVerdict {
@@ -587,6 +886,12 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.trace.is_some() {
         return Err("--trace applies to `run` and `replicate` only".into());
+    }
+    if opts.prof.is_some() {
+        return Err("--prof applies to `run` only (profile always arms the ledger)".into());
+    }
+    if opts.flamegraph.is_some() || opts.perfetto.is_some() {
+        return Err("--flamegraph and --perfetto apply to `profile` only".into());
     }
     if opts.any_checkpoint_flag() {
         return Err("checkpoint flags apply to `run` only".into());
@@ -729,76 +1034,111 @@ fn replicate(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Wall-clock phase ledger the profiler's hook writes into. This is the
-/// only place in the workspace where phase markers meet `Instant`: the
-/// engine emits pure `&'static str` markers, and this CLI timestamps
-/// them on arrival (lint rule D5 keeps it that way).
-struct PhaseClock {
+/// Wall-clock scope ledger the cost ledger's edge hook writes into. This
+/// is the only place in the workspace where scope markers meet
+/// `Instant`: the engine emits pure `&'static str` edges (phase markers
+/// and `ev:` kind names), and this CLI timestamps them on arrival (lint
+/// rule D5 keeps it that way). Unlike the retired `PhaseClock`, scopes
+/// repeat — every row is find-or-push accumulated.
+struct KindClock {
     started: Instant,
     current: Option<(&'static str, Instant)>,
-    done: Vec<(&'static str, Duration)>,
+    scopes: Vec<(&'static str, Duration, u64)>,
 }
 
-impl PhaseClock {
+impl KindClock {
     fn new() -> Self {
-        PhaseClock {
+        KindClock {
             started: Instant::now(),
             current: None,
-            done: Vec::new(),
+            scopes: Vec::new(),
         }
     }
 
     fn mark(&mut self, name: &'static str) {
         let now = Instant::now();
         if let Some((prev, t0)) = self.current.take() {
-            self.done.push((prev, now.duration_since(t0)));
+            self.credit(prev, now.duration_since(t0));
         }
         self.current = Some((name, now));
     }
 
-    fn finish(&mut self) -> Duration {
-        self.mark("cli:done");
-        self.current = None;
-        self.started.elapsed()
+    fn credit(&mut self, name: &'static str, d: Duration) {
+        match self.scopes.iter_mut().find(|(n, _, _)| *n == name) {
+            Some((_, total, switches)) => {
+                *total += d;
+                *switches += 1;
+            }
+            None => self.scopes.push((name, d, 1)),
+        }
+    }
+
+    /// Closes the open scope and renders the quarantined wall section:
+    /// rows largest-first, attribution percentage against the time since
+    /// the ledger was armed.
+    fn finish(&mut self) -> titan_obs::WallDoc {
+        let now = Instant::now();
+        if let Some((prev, t0)) = self.current.take() {
+            self.credit(prev, now.duration_since(t0));
+        }
+        let total_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let attributed_ms: f64 =
+            self.scopes.iter().map(|(_, d, _)| d.as_secs_f64() * 1e3).sum();
+        let mut scopes: Vec<titan_obs::WallScope> = self
+            .scopes
+            .iter()
+            .map(|(name, d, switches)| titan_obs::WallScope {
+                name: (*name).to_string(),
+                wall_ms: d.as_secs_f64() * 1e3,
+                switches: *switches,
+            })
+            .collect();
+        scopes.sort_by(|a, b| {
+            b.wall_ms.partial_cmp(&a.wall_ms).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        titan_obs::WallDoc {
+            total_ms,
+            attributed_ms,
+            attributed_pct: if total_ms > 0.0 { attributed_ms / total_ms * 100.0 } else { 0.0 },
+            scopes,
+        }
     }
 }
 
-/// One phase row of the `profile --json` document. Wall-clock numbers
-/// are host-dependent by nature: the *shape* of the document is frozen
-/// (lint S1), the millisecond values are not expected to replicate.
-#[derive(serde::Serialize)]
-struct ProfilePhase {
-    name: String,
-    wall_ms: f64,
-}
-
-/// The `profile --json` document.
-#[derive(serde::Serialize)]
-struct ProfileDoc {
-    schema: String,
-    seed: u64,
-    window_days: u64,
-    phases: Vec<ProfilePhase>,
-    metrics: titan_runner::MetricsDoc,
+/// Arms the `titan-prof/2` cost ledger on `obs`: collection on, the
+/// binary's allocator probe installed, and the wall-clock edge hook
+/// wired to a fresh [`KindClock`] whose epoch starts now.
+fn arm_prof(obs: &mut Obs) -> Rc<RefCell<KindClock>> {
+    let clock = Rc::new(RefCell::new(KindClock::new()));
+    obs.enable_prof();
+    obs.set_prof_alloc_probe(alloc_track::probe);
+    let hook = Rc::clone(&clock);
+    obs.set_prof_wall_hook(Box::new(move |name| hook.borrow_mut().mark(name)));
+    clock
 }
 
 fn profile(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
-    if opts.out.is_some() || opts.trace.is_some() || opts.any_checkpoint_flag() {
-        return Err("profile takes --days / --seed / --metrics / --json / --health only".into());
+    if opts.out.is_some() || opts.trace.is_some() || opts.prof.is_some()
+        || opts.any_checkpoint_flag()
+    {
+        return Err(
+            "profile takes --days / --seed / --metrics / --json / --health / \
+             --flamegraph / --perfetto only (the ledger is always armed here; \
+             `run --prof` writes the same document from a plain run)"
+                .into(),
+        );
     }
     let config = study_config(&opts)?;
     let seed = config.sim.seed;
     let window_days = config.sim.window / 86_400;
 
-    let clock = Rc::new(RefCell::new(PhaseClock::new()));
     let mut obs = build_obs(&opts, true);
-    // Health collection is always on under `profile`, so the phase table
-    // (and the titan-profile/1 document) exposes what the online
-    // analytics layer costs on top of the metrics sink.
+    // Health collection is always on under `profile`, so the ledger (and
+    // the titan-prof/2 document) exposes what the online analytics layer
+    // costs on top of the metrics sink.
     obs.enable_health();
-    let hook_clock = Rc::clone(&clock);
-    obs.set_phase_hook(Box::new(move |name| hook_clock.borrow_mut().mark(name)));
+    let clock = arm_prof(&mut obs);
 
     let (study, doc) = run_study(config, &mut obs);
     obs.phase("cli:figures_checks");
@@ -806,16 +1146,47 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
     let evals = evaluate_all(&figures);
     obs.phase("cli:render_health");
     let health_text = obs.health.render_jsonl(seed, window_days);
-    let total = clock.borrow_mut().finish();
+    obs.prof_finish();
+    let wall = clock.borrow_mut().finish();
     let doc = doc.ok_or("profile collected no telemetry (internal error)")?;
+    let prof_doc =
+        titan_obs::ProfDoc::build(obs.prof_ledger(), seed, window_days, doc.clone(), wall);
 
     println!("titan-repro profile — seed {seed}, {window_days} days");
     println!();
-    println!("phase breakdown (wall clock, this host):");
-    for (name, dur) in &clock.borrow().done {
-        println!("  {name:<28} {:>10.3} ms", dur.as_secs_f64() * 1e3);
+    println!("deterministic cost ledger (titan-prof/2; seed-deterministic):");
+    println!(
+        "  {:<28} {:>9} {:>9} {:>10} {:>8} {:>8} {:>11}",
+        "scope", "dequeues", "pushes", "rng_draws", "trace", "console", "alloc_bytes"
+    );
+    for (name, c) in &prof_doc.ledger {
+        println!(
+            "  {name:<28} {:>9} {:>9} {:>10} {:>8} {:>8} {:>11}",
+            c.dequeues, c.heap_pushes, c.rng_draws, c.trace_records, c.console_lines,
+            c.alloc_bytes
+        );
     }
-    println!("  {:<28} {:>10.3} ms", "total", total.as_secs_f64() * 1e3);
+    let t = &prof_doc.totals;
+    println!(
+        "  {:<28} {:>9} {:>9} {:>10} {:>8} {:>8} {:>11}",
+        "totals", t.dequeues, t.heap_pushes, t.rng_draws, t.trace_records, t.console_lines,
+        t.alloc_bytes
+    );
+    println!();
+    println!("wall-clock attribution (this host; quarantined from digests):");
+    for s in &prof_doc.wall.scopes {
+        println!(
+            "  {:<28} {:>10.3} ms  ({} switch{})",
+            s.name,
+            s.wall_ms,
+            s.switches,
+            if s.switches == 1 { "" } else { "es" }
+        );
+    }
+    println!(
+        "  {:<28} {:>10.3} ms  ({:.1}% attributed)",
+        "total", prof_doc.wall.total_ms, prof_doc.wall.attributed_pct
+    );
     println!();
     println!("sim-time telemetry (seed-deterministic; see OBSERVABILITY.md):");
     for (section, map) in [
@@ -861,25 +1232,18 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
         write_text(path, &health_text)?;
     }
     if let Some(path) = &opts.json {
-        let profile_doc = ProfileDoc {
-            schema: "titan-profile/1".to_string(),
-            seed,
-            window_days,
-            phases: clock
-                .borrow()
-                .done
-                .iter()
-                .map(|(name, dur)| ProfilePhase {
-                    name: (*name).to_string(),
-                    wall_ms: dur.as_secs_f64() * 1e3,
-                })
-                .collect(),
-            metrics: doc,
-        };
-        let mut json = serde_json::to_string_pretty(&profile_doc)
-            .map_err(|e| format!("serialize profile: {e}"))?;
-        json.push('\n');
-        write_text(path, &json)?;
+        eprintln!(
+            "note: `profile --json` now writes titan-prof/2; the titan-profile/1 \
+             wall-clock phase table is retired (wall time lives on in the \
+             quarantined `wall` section)"
+        );
+        write_text(path, &prof_doc.to_json())?;
+    }
+    if let Some(path) = &opts.flamegraph {
+        write_text(path, &prof_doc.collapsed_stacks())?;
+    }
+    if let Some(path) = &opts.perfetto {
+        write_text(path, &prof_doc.perfetto_counters())?;
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -1047,7 +1411,8 @@ fn health_cmd(args: &[String]) -> Result<ExitCode, String> {
 fn logs(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.metrics.is_some() || opts.json.is_some() || opts.trace.is_some()
-        || opts.health.is_some() || opts.any_checkpoint_flag()
+        || opts.health.is_some() || opts.prof.is_some() || opts.flamegraph.is_some()
+        || opts.perfetto.is_some() || opts.any_checkpoint_flag()
     {
         return Err("logs takes --days / --seed / --out only".into());
     }

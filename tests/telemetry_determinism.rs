@@ -134,8 +134,9 @@ fn check_json_has_per_check_verdicts() {
     assert_eq!(doc.matches("\"verdict\"").count(), printed);
 }
 
-/// `profile` prints the wall-time phase table and the sim-metric
-/// breakdown, and its `--metrics` document matches a plain run's.
+/// `profile` prints the deterministic cost-ledger table, the
+/// quarantined wall-clock attribution, and the sim-metric breakdown,
+/// and its `--metrics` document matches a plain run's.
 #[test]
 fn profile_prints_phases_and_matches_run_metrics() {
     let prof_path = tmp("profile_metrics.json");
@@ -150,7 +151,8 @@ fn profile_prints_phases_and_matches_run_metrics() {
     ]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     for marker in [
-        "phase breakdown (wall clock, this host):",
+        "deterministic cost ledger (titan-prof/2",
+        "wall-clock attribution (this host",
         "engine:event_loop",
         "study:render_parse_logs",
         "cli:collect_metrics",
@@ -266,19 +268,34 @@ fn trace_verify_passes_on_default_window() {
 }
 
 /// Satellite guarantee: `profile --json` writes the frozen
-/// `titan-profile/1` document — phase wall times plus the embedded
-/// sim-time metrics document.
+/// `titan-prof/2` document — the deterministic per-scope cost ledger
+/// plus the embedded sim-time metrics document, with the quarantined
+/// wall section last so tooling can strip it.
 #[test]
 fn profile_json_writes_titan_profile_doc() {
     let path = tmp("profile_doc.json");
     run_ok(&["profile", "--days", "6", "--seed", "42", "--json", path.to_str().expect("utf8 path")]);
     let doc = std::fs::read_to_string(&path).expect("profile doc");
-    assert!(doc.contains("\"schema\": \"titan-profile/1\""));
-    for field in ["\"phases\"", "\"wall_ms\"", "\"engine:event_loop\"", "\"metrics\""] {
+    assert!(doc.contains("\"schema\": \"titan-prof/2\""));
+    for field in [
+        "\"ledger\"",
+        "\"totals\"",
+        "\"metrics\"",
+        "\"wall\"",
+        "\"dequeues\"",
+        "\"rng_draws\"",
+        "\"alloc_bytes\"",
+        "\"ev:",
+        "engine:event_loop",
+    ] {
         assert!(doc.contains(field), "profile doc missing {field}");
     }
-    // The embedded metrics document is the titan-obs/2 shape.
+    // The embedded metrics document is the titan-obs/2 shape, and the
+    // non-deterministic wall section is the last top-level key.
     assert!(doc.contains("\"titan-obs/2\""), "embedded metrics schema tag");
+    let wall_pos = doc.rfind("\"wall\"").expect("wall key");
+    let metrics_pos = doc.find("\"metrics\"").expect("metrics key");
+    assert!(wall_pos > metrics_pos, "wall section is not last");
 }
 
 /// Satellite guarantee: `--span-capacity` resizes the recent-span ring

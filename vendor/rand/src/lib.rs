@@ -258,10 +258,25 @@ pub mod rngs {
     /// releases), this generator's output is a fixed function of the seed
     /// forever — a hard requirement for replaying the Titan fleet
     /// bit-for-bit from a committed seed.
-    #[derive(Debug, Clone, PartialEq, Eq)]
+    #[derive(Debug, Clone)]
     pub struct StdRng {
         s: [u64; 4],
+        /// `next_u64` invocations since construction — profiling metadata
+        /// for the titan-prof cost ledger, deliberately excluded from
+        /// equality and from [`StdRng::state`] so checkpoint identity is
+        /// untouched by instrumentation.
+        draws: u64,
     }
+
+    /// Stream identity is the 256-bit state alone; the draw counter is
+    /// observability metadata and resets across checkpoint restore.
+    impl PartialEq for StdRng {
+        fn eq(&self, other: &Self) -> bool {
+            self.s == other.s
+        }
+    }
+
+    impl Eq for StdRng {}
 
     /// Small-state generator alias; same engine as [`StdRng`] here.
     pub type SmallRng = StdRng;
@@ -269,6 +284,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256** by Blackman & Vigna (public domain).
+            self.draws = self.draws.wrapping_add(1);
             let result = self.s[1]
                 .wrapping_mul(5)
                 .rotate_left(7)
@@ -285,6 +301,13 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// `next_u64` invocations since this generator was built (every
+        /// `gen`/`gen_range`/`sample` call bottoms out here). Pure
+        /// metadata: reading it never perturbs the stream.
+        pub fn draws(&self) -> u64 {
+            self.draws
+        }
+
         /// The full 256-bit internal state, for checkpointing. Feeding
         /// the returned words back through [`StdRng::from_state`] yields
         /// a generator that continues the exact same output stream.
@@ -300,9 +323,10 @@ pub mod rngs {
             if s == [0; 4] {
                 return StdRng {
                     s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                    draws: 0,
                 };
             }
-            StdRng { s }
+            StdRng { s, draws: 0 }
         }
     }
 
@@ -321,7 +345,7 @@ pub mod rngs {
             if s == [0; 4] {
                 s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
             }
-            StdRng { s }
+            StdRng { s, draws: 0 }
         }
     }
 }
@@ -338,6 +362,25 @@ mod tests {
         let c: u64 = StdRng::seed_from_u64(8).gen();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn draw_counter_tracks_next_u64_and_stays_out_of_identity() {
+        let mut r = StdRng::seed_from_u64(7);
+        assert_eq!(r.draws(), 0);
+        let _: u64 = r.gen();
+        let _: f64 = r.gen();
+        let _ = r.gen_range(0u64..=u64::MAX); // inclusive full span: one draw
+        assert_eq!(r.draws(), 3);
+        // Reading the counter never perturbs the stream, and equality /
+        // state ignore it: a restored generator with zero draws compares
+        // equal to the original mid-stream.
+        let resumed = StdRng::from_state(r.state());
+        assert_eq!(resumed.draws(), 0);
+        assert_eq!(resumed, r);
+        let mut a = resumed.clone();
+        let mut b = r.clone();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 
     #[test]
